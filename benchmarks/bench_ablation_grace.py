@@ -1,0 +1,81 @@
+"""Ablation: grace-period length (the paper's open question).
+
+"It remains a matter of further study to determine the optimal grace
+period length."  The tension: a long grace period lets slow-checking
+tasks yield voluntarily (cheap switches) but postpones the next task;
+a short one bounds the postponement but forces involuntary switches.
+
+This sweep runs a controlled-preemption task whose check interval is
+150 us against grace periods from 50 to 800 us and reports the switch
+mix, overhead, and the victim task's outcome.
+"""
+
+import pytest
+
+from repro import MachineConfig, SimConfig, TaskDefinition, units
+from repro.core.distributor import ResourceDistributor
+from repro.core.resource_list import ResourceList, ResourceListEntry
+from repro.sim.trace import SwitchKind
+from repro.tasks.base import Compute, PreemptionConfig
+from repro.viz import format_table
+from repro.workloads import single_entry_definition
+
+GRACE_SWEEP_US = [50, 100, 200, 400, 800]
+CHECK_INTERVAL_US = 150
+
+_ROWS = []
+
+
+def greedy(ctx):
+    while True:
+        yield Compute(units.us_to_ticks(50))
+
+
+def run(grace_us, seed=88):
+    machine = MachineConfig(grace_period_ticks=units.us_to_ticks(grace_us))
+    rd = ResourceDistributor(machine=machine, sim=SimConfig(seed=seed))
+    rd.admit(
+        TaskDefinition(
+            name="bulk",
+            resource_list=ResourceList(
+                [
+                    ResourceListEntry(
+                        units.ms_to_ticks(30), units.ms_to_ticks(12), greedy, "bulk"
+                    )
+                ]
+            ),
+            preemption=PreemptionConfig(
+                check_interval=units.us_to_ticks(CHECK_INTERVAL_US)
+            ),
+        )
+    )
+    rd.admit(single_entry_definition("victim", 10, 0.3))
+    rd.run_for(units.sec_to_ticks(1))
+    return rd
+
+
+@pytest.mark.parametrize("grace_us", GRACE_SWEEP_US)
+def test_ablation_grace_period(benchmark, report, grace_us):
+    rd = benchmark.pedantic(lambda: run(grace_us), rounds=1, iterations=1)
+    voluntary = rd.trace.switch_count(SwitchKind.VOLUNTARY)
+    involuntary = rd.trace.switch_count(SwitchKind.INVOLUNTARY)
+    cost = units.ticks_to_us(rd.trace.switch_cost_ticks())
+    victim_misses = len(rd.trace.misses())
+    _ROWS.append([f"{grace_us} us", voluntary, involuntary, f"{cost:,.0f}", victim_misses])
+
+    if grace_us == GRACE_SWEEP_US[-1] and len(_ROWS) == len(GRACE_SWEEP_US):
+        # Grace >= check interval converts the switches to voluntary.
+        short = next(r for r in _ROWS if r[0] == "100 us")
+        long = next(r for r in _ROWS if r[0] == "200 us")
+        assert long[2] < short[2]  # fewer involuntary switches
+        report(
+            "ablation_grace_period",
+            format_table(
+                ["grace", "voluntary", "involuntary", "switch cost (us)", "victim misses"],
+                _ROWS,
+                title=(
+                    f"Ablation — grace-period sweep (task checks every "
+                    f"{CHECK_INTERVAL_US} us)"
+                ),
+            ),
+        )

@@ -1,0 +1,43 @@
+"""Tables 2 and 3: the MPEG and 3D graphics resource lists.
+
+Regenerates both tables from the task models and benchmarks
+resource-list construction/validation (the admission-request fast path
+an application pays when it asks for guarantees).
+"""
+
+from repro.tasks.graphics3d import Renderer3D
+from repro.tasks.mpeg import MpegDecoder
+
+PAPER_TABLE2 = [
+    (900_000, 300_000, 33.3, "FullDecompress"),
+    (3_600_000, 900_000, 25.0, "Drop_B_in_4"),
+    (2_700_000, 600_000, 22.2, "Drop_B_in_3"),
+    (3_600_000, 600_000, 16.7, "Drop_2B_in_4"),
+]
+
+PAPER_TABLE3 = [
+    (2_700_000, 2_160_000, 80.0, "Render3DFrame"),
+    (2_700_000, 1_080_000, 40.0, "Render3DFrame"),
+    (2_700_000, 540_000, 20.0, "Render3DFrame"),
+    (2_700_000, 270_000, 10.0, "Render3DFrame"),
+]
+
+
+def test_table2_mpeg_resource_list(benchmark, report):
+    decoder = MpegDecoder()
+    resource_list = benchmark(decoder.resource_list)
+    rows = [
+        (e.period, e.cpu_ticks, round(e.rate * 100, 1), e.label) for e in resource_list
+    ]
+    assert rows == PAPER_TABLE2
+    report("table2_mpeg_resource_list", resource_list.describe())
+
+
+def test_table3_graphics_resource_list(benchmark, report):
+    renderer = Renderer3D()
+    resource_list = benchmark(renderer.resource_list)
+    rows = [
+        (e.period, e.cpu_ticks, round(e.rate * 100, 1), e.label) for e in resource_list
+    ]
+    assert rows == PAPER_TABLE3
+    report("table3_graphics_resource_list", resource_list.describe())

@@ -1,0 +1,59 @@
+"""Table 5: the example Policy Box.
+
+Loads the paper's seven policies over four tasks, regenerates the
+table, and benchmarks policy resolution — the lookup the Resource
+Manager performs on every overload decision.
+"""
+
+import pytest
+
+from repro.core.policy_box import PolicyBox
+
+PAPER_TABLE5 = {
+    frozenset({1, 2}): {1: 10, 2: 85},
+    frozenset({1, 3}): {1: 20, 3: 75},
+    frozenset({1, 4}): {1: 10, 4: 85},
+    frozenset({1, 2, 3}): {1: 10, 2: 50, 3: 35},
+    frozenset({1, 2, 4}): {1: 10, 2: 35, 4: 50},
+    frozenset({1, 3, 4}): {1: 10, 3: 35, 4: 50},
+    frozenset({1, 2, 3, 4}): {1: 5, 2: 35, 3: 20, 4: 35},
+}
+
+
+def build_table5():
+    box = PolicyBox(capacity=0.96)
+    for i in range(1, 5):
+        box.register_task(f"Task {i}")
+    for rankings in PAPER_TABLE5.values():
+        box.set_default(dict(rankings))
+    return box
+
+
+def test_table5_policy_box(benchmark, report):
+    box = build_table5()
+
+    def resolve_all():
+        return [box.resolve(key) for key in PAPER_TABLE5]
+
+    policies = benchmark(resolve_all)
+    for key, policy in zip(PAPER_TABLE5, policies):
+        assert not policy.invented
+        for pid, pct in PAPER_TABLE5[key].items():
+            assert policy.shares[pid] == pytest.approx(pct / 100)
+    report("table5_policy_box", box.describe())
+
+
+def test_table5_fallback_invention(benchmark, report):
+    """A set with no matching policy gets the invented 1/N split."""
+    box = build_table5()
+    box.register_task("Task 5")
+    key = {box.policy_id("Task 1"), box.policy_id("Task 5")}
+    policy = benchmark(lambda: box.resolve(key))
+    assert policy.invented
+    assert sum(policy.shares.values()) == pytest.approx(0.96)
+    report(
+        "table5_invented_policy",
+        f"unmatched set {sorted(key)} -> invented shares "
+        f"{ {pid: round(s, 3) for pid, s in policy.shares.items()} } "
+        f"(exclusive resources to task {policy.exclusive_preference})",
+    )

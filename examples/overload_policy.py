@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Policy Box in action: who sheds load is the *user's* decision.
+
+The paper's example: video should generally degrade before audio — but
+in a loud environment the clicks and pops of poor audio vanish into the
+noise, so the user reverses the preference.  This example runs one
+overload (MPEG video + AC3 audio + a 9-level background compute task)
+twice and shows the grant sets differ exactly as the policy says,
+independent of timing accidents or admission order.
+
+Run:  python examples/overload_policy.py
+"""
+
+from repro import ResourceDistributor, units
+from repro.tasks.ac3 import Ac3Decoder
+from repro.tasks.busyloop import busyloop_definition
+from repro.tasks.mpeg import MpegDecoder
+
+
+def build(loud_environment: bool):
+    rd = ResourceDistributor()
+    mpeg = MpegDecoder("video")
+    ac3 = Ac3Decoder("audio")
+
+    vid = rd.policy_box.register_task("video")
+    aud = rd.policy_box.register_task("audio")
+    bg = rd.policy_box.register_task("background")
+
+    # Designer default: audio is precious (full 12 %), video may shed.
+    rd.policy_box.set_default({vid: 24, aud: 12, bg: 60})
+    if loud_environment:
+        # The user reverses it: keep video sharp, let audio downmix.
+        rd.policy_box.set_override({vid: 34, aud: 6, bg: 56})
+
+    threads = {
+        "video": rd.admit(mpeg.definition()),
+        "audio": rd.admit(ac3.definition()),
+        "background": rd.admit(busyloop_definition("background")),
+    }
+    rd.run_for(units.sec_to_ticks(1))
+    return rd, threads, mpeg, ac3
+
+
+def describe(rd, threads, mpeg, ac3):
+    for name, thread in threads.items():
+        grant = thread.grant
+        print(
+            f"  {name:>10}: entry #{grant.entry_index} "
+            f"({grant.entry.label or 'level'}) at {grant.rate:5.1%}"
+        )
+    print(f"  audio frames downmixed: {ac3.stats.frames_downmixed}")
+    print(f"  video B frames shed:    {mpeg.stats.dropped['B']}")
+    print(f"  deadline misses:        {len(rd.trace.misses())}")
+
+
+def main() -> None:
+    print("Offered load: video 33 % + audio 12 % + background up to 90 %\n")
+
+    print("=== Designer default: degrade video before audio ===")
+    rd, threads, mpeg, ac3 = build(loud_environment=False)
+    describe(rd, threads, mpeg, ac3)
+
+    print("\n=== User override (loud room): degrade audio before video ===")
+    rd, threads, mpeg, ac3 = build(loud_environment=True)
+    describe(rd, threads, mpeg, ac3)
+
+    print(
+        "\nSame machine, same tasks, same overload — but the QOS tradeoff"
+        "\nfollowed the user's policy, not an accident of timing.  Every"
+        "\nadmitted task kept its per-period guarantee in both runs."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""repro: a reproduction of the ETI Resource Distributor (OSDI 1999).
+
+Guaranteed resource allocation and scheduling for multimedia systems,
+rebuilt as a discrete-event-simulated Python library: the Resource
+Manager (admission + grant control), the policy-free EDF Scheduler with
+grant enforcement, the user-overridable Policy Box, Sporadic Server,
+quiescent tasks, controlled preemptions, clock synchronization, and the
+baseline schedulers the paper compares against.
+
+Quickstart::
+
+    from repro import ResourceDistributor, units
+    from repro.tasks.busyloop import busyloop_definition
+
+    rd = ResourceDistributor()
+    thread = rd.admit(busyloop_definition("worker"))
+    rd.run_for(units.sec_to_ticks(0.1))
+    print(rd.trace.misses())       # -> []  (admitted == guaranteed)
+"""
+
+from repro import units
+from repro.config import ContextSwitchCosts, MachineConfig, SimConfig
+from repro.core.distributor import ResourceDistributor
+from repro.core.policy_box import PolicyBox
+from repro.core.resource_list import ResourceList, ResourceListEntry
+from repro.core.sporadic import SporadicServer
+from repro.errors import (
+    AdmissionError,
+    GrantError,
+    PolicyError,
+    ReproError,
+    ResourceListError,
+    SchedulerError,
+    TaskError,
+)
+from repro.tasks.base import Semantics, TaskDefinition
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdmissionError",
+    "ContextSwitchCosts",
+    "GrantError",
+    "MachineConfig",
+    "PolicyBox",
+    "PolicyError",
+    "ReproError",
+    "ResourceDistributor",
+    "ResourceList",
+    "ResourceListEntry",
+    "ResourceListError",
+    "SchedulerError",
+    "Semantics",
+    "SimConfig",
+    "SporadicServer",
+    "TaskDefinition",
+    "TaskError",
+    "units",
+]

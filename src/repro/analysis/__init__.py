@@ -1,0 +1,34 @@
+"""Offline schedulability analysis.
+
+Classic real-time analysis (Liu & Layland utilization tests, exact
+fixed-priority response-time analysis, the EDF processor-demand
+criterion) over the same task descriptions the simulator runs.  The
+test suite cross-validates every predicate against simulation: what the
+math says is schedulable, the kernel schedules without a miss.
+"""
+
+from repro.analysis.advisor import AdmissionPreview, QosChange, admission_preview
+from repro.analysis.schedulability import (
+    PeriodicTask,
+    demand_bound,
+    edf_feasible,
+    edf_processor_demand_feasible,
+    hyperperiod,
+    rm_feasible_exact,
+    rm_response_times,
+    utilization_of,
+)
+
+__all__ = [
+    "AdmissionPreview",
+    "PeriodicTask",
+    "QosChange",
+    "admission_preview",
+    "demand_bound",
+    "edf_feasible",
+    "edf_processor_demand_feasible",
+    "hyperperiod",
+    "rm_feasible_exact",
+    "rm_response_times",
+    "utilization_of",
+]

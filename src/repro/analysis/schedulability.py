@@ -1,0 +1,161 @@
+"""Schedulability mathematics for periodic task sets.
+
+The Resource Distributor leans on one theorem — EDF schedules any task
+set whose utilization fits (Liu & Layland 1973) — and the paper cites
+it as the reason "the scheduler need only enforce the grants to be able
+to use a simple EDF scheme."  This module provides that test and its
+relatives:
+
+* :func:`edf_feasible` — the exact utilization test for
+  implicit-deadline periodic tasks under EDF;
+* :func:`demand_bound` / :func:`edf_processor_demand_feasible` — the
+  processor-demand criterion (Baruah et al.), exact for constrained
+  deadlines (deadline <= period);
+* :func:`rm_response_times` / :func:`rm_feasible_exact` — exact
+  fixed-priority response-time analysis (Joseph & Pandya), strictly
+  stronger than the Liu-Layland bound the Rate-Monotonic baseline's
+  admission uses;
+* :func:`hyperperiod` — the repeating-schedule horizon.
+
+Tasks are (period, cpu, deadline) triples in any consistent unit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class PeriodicTask:
+    """One periodic task for offline analysis."""
+
+    period: int
+    cpu: int
+    #: Relative deadline; defaults to the period (implicit deadline).
+    deadline: int | None = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError(f"period must be positive, got {self.period}")
+        if self.cpu <= 0:
+            raise ValueError(f"cpu must be positive, got {self.cpu}")
+        if self.relative_deadline <= 0:
+            raise ValueError("deadline must be positive")
+
+    @property
+    def relative_deadline(self) -> int:
+        return self.period if self.deadline is None else self.deadline
+
+    @property
+    def utilization(self) -> float:
+        return self.cpu / self.period
+
+
+def utilization_of(tasks: list[PeriodicTask]) -> float:
+    """Total processor utilization of the set."""
+    return sum(t.utilization for t in tasks)
+
+
+def hyperperiod(tasks: list[PeriodicTask]) -> int:
+    """LCM of the periods: the schedule repeats with this period."""
+    if not tasks:
+        return 1
+    value = 1
+    for t in tasks:
+        value = math.lcm(value, t.period)
+    return value
+
+
+def edf_feasible(tasks: list[PeriodicTask], capacity: float = 1.0) -> bool:
+    """The Liu & Layland test: exact for implicit-deadline EDF.
+
+    A set of independent preemptible periodic tasks with deadlines equal
+    to periods is EDF-schedulable iff total utilization <= capacity.
+    """
+    if any(t.deadline is not None and t.relative_deadline != t.period for t in tasks):
+        raise ValueError(
+            "the utilization test is only exact for implicit deadlines; "
+            "use edf_processor_demand_feasible for constrained deadlines"
+        )
+    return utilization_of(tasks) <= capacity + _EPS
+
+
+def demand_bound(tasks: list[PeriodicTask], t: int) -> int:
+    """Processor demand of jobs that arrive and must finish in [0, t]."""
+    demand = 0
+    for task in tasks:
+        d = task.relative_deadline
+        if t >= d:
+            demand += ((t - d) // task.period + 1) * task.cpu
+    return demand
+
+
+def edf_processor_demand_feasible(
+    tasks: list[PeriodicTask], capacity: float = 1.0
+) -> bool:
+    """The processor-demand criterion: exact for constrained deadlines.
+
+    Checks ``dbf(t) <= capacity * t`` at every absolute deadline up to
+    the hyperperiod (sufficient because dbf is a step function that only
+    changes at deadlines; utilization <= capacity bounds the horizon).
+    """
+    if not tasks:
+        return True
+    if any(t.relative_deadline > t.period for t in tasks):
+        raise ValueError("the criterion requires deadline <= period")
+    if utilization_of(tasks) > capacity + _EPS:
+        return False
+    horizon = hyperperiod(tasks)
+    checkpoints: set[int] = set()
+    for task in tasks:
+        d = task.relative_deadline
+        k = 0
+        while True:
+            point = d + k * task.period
+            if point > horizon:
+                break
+            checkpoints.add(point)
+            k += 1
+    return all(demand_bound(tasks, t) <= capacity * t + _EPS for t in sorted(checkpoints))
+
+
+def rm_response_times(tasks: list[PeriodicTask]) -> list[float]:
+    """Exact worst-case response time per task under rate-monotonic
+    fixed priorities (shorter period = higher priority).
+
+    Classic recurrence: ``R = C_i + sum_j ceil(R / T_j) * C_j`` over
+    higher-priority tasks ``j``, iterated to a fixed point.  Returns
+    ``inf`` for tasks whose recurrence diverges past their deadline.
+    """
+    ordered = sorted(tasks, key=lambda t: (t.period, t.cpu))
+    responses: list[float] = []
+    for i, task in enumerate(ordered):
+        higher = ordered[:i]
+        response = float(task.cpu)
+        while True:
+            interference = sum(
+                math.ceil(response / h.period) * h.cpu for h in higher
+            )
+            nxt = task.cpu + interference
+            if nxt == response:
+                break
+            if nxt > task.relative_deadline:
+                response = float("inf")
+                break
+            response = float(nxt)
+        responses.append(response)
+    # Report in the caller's original order.
+    by_identity = {id(t): r for t, r in zip(ordered, responses)}
+    return [by_identity[id(t)] for t in tasks]
+
+
+def rm_feasible_exact(tasks: list[PeriodicTask]) -> bool:
+    """Exact RM schedulability: every response time meets its deadline."""
+    return all(
+        r <= t.relative_deadline
+        for t, r in zip(tasks, rm_response_times(tasks))
+    )

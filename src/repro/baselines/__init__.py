@@ -1,0 +1,40 @@
+"""Baseline multimedia schedulers the paper compares against (§3.4).
+
+Each baseline runs over the same simulation kernel, machine model, and
+task protocol as the Resource Distributor, so traces are directly
+comparable.  They are deliberately faithful to the *failure modes* the
+paper attributes to each system:
+
+* :class:`~repro.baselines.reserves.ReservesSystem` — CMU Processor
+  Capacity Reserves: guaranteed per-thread CPU reservations, but no
+  notion of discrete QOS levels, so applications over-reserve and
+  admission denies tasks the RD would have admitted by degrading others.
+* :class:`~repro.baselines.smart.SmartSystem` — Stanford SMART: meets
+  all real-time constraints in underload; degrades to fair-share
+  scheduling in overload, which conflicts with discrete resource
+  requirements and spreads deadline misses across every task.
+* :class:`~repro.baselines.rialto.RialtoSystem` — Microsoft Rialto
+  style: reservations plus per-period time constraints, where the task
+  denied service is selected by an accident of timing (whoever asks
+  later), not by user policy.
+* :class:`~repro.baselines.naive_edf.NaiveEdfSystem` — EDF without
+  grant enforcement: fine until overload, then misses cascade.
+"""
+
+from repro.baselines.base import BaselineSystem, EnforcingEdfPolicy
+from repro.baselines.naive_edf import NaiveEdfSystem
+from repro.baselines.rate_monotonic import RateMonotonicSystem, liu_layland_bound
+from repro.baselines.reserves import ReservesSystem
+from repro.baselines.rialto import RialtoSystem
+from repro.baselines.smart import SmartSystem
+
+__all__ = [
+    "BaselineSystem",
+    "EnforcingEdfPolicy",
+    "NaiveEdfSystem",
+    "RateMonotonicSystem",
+    "ReservesSystem",
+    "RialtoSystem",
+    "SmartSystem",
+    "liu_layland_bound",
+]

@@ -1,0 +1,324 @@
+"""Command-line interface: regenerate the paper's artifacts.
+
+::
+
+    python -m repro tables              # Tables 2, 3, 4, 5, 6
+    python -m repro figure3             # EDF schedule of the Table 4 set
+    python -m repro figure4             # producers + spinning data threads
+    python -m repro figure5             # staggered-admission staircase
+    python -m repro faceoff             # RD vs the baseline schedulers
+    python -m repro settop              # the section 5.3 scenario
+    python -m repro validate --seed 7   # fuzz one run and audit the trace
+
+Every command is deterministic for a given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from repro import units
+from repro.config import ContextSwitchCosts, MachineConfig, SimConfig
+from repro.core.distributor import ResourceDistributor
+from repro.core.resource_list import ResourceList, ResourceListEntry
+from repro.core.sporadic import SporadicServer
+from repro.metrics import miss_rate, validate_trace
+from repro.tasks.base import TaskDefinition
+from repro.tasks.busyloop import busyloop_definition, busyloop_resource_list
+from repro.tasks.mpeg import MpegDecoder
+from repro.viz import format_table, render_gantt
+from repro.workloads import grant_follower, greedy_worker, random_task_set
+
+
+def _ms(x: float) -> int:
+    return units.ms_to_ticks(x)
+
+
+# -- commands ---------------------------------------------------------------
+
+
+def cmd_tables(args) -> int:
+    from repro.tasks.graphics3d import Renderer3D
+
+    print("Table 2 — MPEG resource list")
+    print(MpegDecoder().resource_list().describe())
+    print("\nTable 3 — 3D graphics resource list")
+    print(Renderer3D().resource_list().describe())
+
+    rd, threads = _table4_system(args.seed)
+    print("\nTable 4 — grant set for Modem / 3D / MPEG")
+    print(rd.current_grant_set.describe())
+
+    print("\nTable 5 — example Policy Box")
+    box = _table5_box()
+    print(box.describe())
+
+    print("\nTable 6 — BusyLoop resource list")
+    print(busyloop_resource_list().describe())
+    return 0
+
+
+def _table4_system(seed: int):
+    rd = ResourceDistributor(machine=MachineConfig.ideal(), sim=SimConfig(seed=seed))
+    specs = [
+        ("Modem", 270_000, 27_000, grant_follower),
+        ("3D", 275_300, 143_156, greedy_worker),
+        ("MPEG", 810_000, 270_000, grant_follower),
+    ]
+    threads = {}
+    for name, period, cpu, fn in specs:
+        threads[name] = rd.admit(
+            TaskDefinition(
+                name=name,
+                resource_list=ResourceList([ResourceListEntry(period, cpu, fn, name)]),
+            )
+        )
+    return rd, threads
+
+
+def _table5_box():
+    from repro.core.policy_box import PolicyBox
+
+    box = PolicyBox(capacity=0.96)
+    ids = [box.register_task(f"Task {i}") for i in range(1, 5)]
+    t1, t2, t3, t4 = ids
+    for rankings in (
+        {t1: 10, t2: 85},
+        {t1: 20, t3: 75},
+        {t1: 10, t4: 85},
+        {t1: 10, t2: 50, t3: 35},
+        {t1: 10, t2: 35, t4: 50},
+        {t1: 10, t3: 35, t4: 50},
+        {t1: 5, t2: 35, t3: 20, t4: 35},
+    ):
+        box.set_default(rankings)
+    return box
+
+
+def cmd_figure3(args) -> int:
+    rd, threads = _table4_system(args.seed)
+    rd.run_for(_ms(args.duration_ms))
+    print("Figure 3 — EDF schedule for the Table 4 grant set")
+    print(
+        render_gantt(
+            rd.trace,
+            {t.tid: name for name, t in threads.items()},
+            0,
+            min(_ms(60), _ms(args.duration_ms)),
+            width=args.width,
+        )
+    )
+    print(f"\ndeadline misses: {len(rd.trace.misses())}")
+    return 0
+
+
+def cmd_figure4(args) -> int:
+    from repro.tasks.producer_consumer import Figure4Workload
+
+    rd = ResourceDistributor(machine=MachineConfig(), sim=SimConfig(seed=args.seed))
+    server = SporadicServer(rd, greedy=True)
+    workload = Figure4Workload(fixed=False)
+    threads = dict(
+        zip(["p7", "dm8", "p9", "dm10"], (rd.admit(d) for d in workload.definitions()))
+    )
+    rd.run_for(_ms(max(args.duration_ms, 400)))
+    one_third = units.sec_to_ticks(1 / 3)
+    names = {t.tid: name for name, t in threads.items()}
+    names[server.thread.tid] = "SS"
+    print("Figure 4 — schedule one third of a second into the run")
+    print(render_gantt(rd.trace, names, one_third, one_third + 2 * 900_000, width=args.width))
+    print(f"\nspin time burned by the buggy data threads: "
+          f"{units.ticks_to_ms(workload.stats.spin_ticks):.1f} ms")
+    print(f"deadline misses: {len(rd.trace.misses())}")
+    return 0
+
+
+def cmd_figure5(args) -> int:
+    from repro.metrics import allocation_series
+
+    rd = ResourceDistributor(
+        machine=MachineConfig(switch_costs=ContextSwitchCosts.zero()),
+        sim=SimConfig(seed=args.seed),
+    )
+    SporadicServer(rd, greedy=True)
+    threads = []
+
+    def admit(name):
+        threads.append(rd.admit(busyloop_definition(name)))
+
+    admit("thread2")
+    for i in range(1, 5):
+        rd.at(_ms(20 * i), lambda n=f"thread{i + 2}": admit(n))
+    rd.run_for(_ms(max(args.duration_ms, 150)))
+
+    print("Figure 5 — thread 2's per-period allocation (ms)")
+    for start, ticks in allocation_series(rd.trace, threads[0].tid):
+        bar = "#" * round(units.ticks_to_ms(ticks))
+        print(f"  t={units.ticks_to_ms(start):6.0f}  {units.ticks_to_ms(ticks):4.1f}  {bar}")
+    print(f"\ndeadline misses: {len(rd.trace.misses())}")
+    return 0
+
+
+def cmd_faceoff(args) -> int:
+    from repro import AdmissionError
+    from repro.baselines import (
+        NaiveEdfSystem,
+        RateMonotonicSystem,
+        ReservesSystem,
+        RialtoSystem,
+        SmartSystem,
+    )
+    from repro.workloads import single_entry_definition
+
+    duration = _ms(max(args.duration_ms, 300))
+    rows = []
+
+    rd = ResourceDistributor(sim=SimConfig(seed=args.seed))
+    rd_threads = [rd.admit(busyloop_definition(f"t{i}")) for i in range(3)]
+    rd.run_for(duration)
+    useful = sum(rd.trace.busy_ticks(t.tid) for t in rd_threads) / duration
+    rows.append(["ResourceDistributor", 3, f"{miss_rate(rd.trace):.0%}", f"{useful:.0%}"])
+
+    for cls in (NaiveEdfSystem, SmartSystem, ReservesSystem, RialtoSystem, RateMonotonicSystem):
+        system = cls(sim=SimConfig(seed=args.seed))
+        threads = []
+        for i in range(3):
+            try:
+                threads.append(system.admit(single_entry_definition(f"t{i}", 10, 0.5)))
+            except AdmissionError:
+                pass
+        system.run_for(duration)
+        useful = sum(system.trace.busy_ticks(t.tid) for t in threads) / duration
+        rows.append(
+            [cls.__name__, len(threads), f"{miss_rate(system.trace):.0%}", f"{useful:.0%}"]
+        )
+
+    print("Offered load: 3 tasks x 50% @ 10 ms (150% of the machine)\n")
+    print(format_table(["scheduler", "admitted", "miss rate", "useful CPU"], rows))
+    return 0
+
+
+def cmd_settop(args) -> int:
+    from repro.tasks.ac3 import Ac3Decoder
+    from repro.tasks.graphics3d import Renderer3D
+    from repro.tasks.modem import Modem
+
+    rd = ResourceDistributor(sim=SimConfig(seed=args.seed))
+    mpeg = MpegDecoder("DVD-video")
+    rd.admit(mpeg.definition())
+    rd.admit(Ac3Decoder("DVD-audio").definition())
+    rd.admit(Renderer3D("Teleconf", use_scaler=False).definition())
+    modem = rd.admit(Modem().definition(start_quiescent=True))
+    rd.at(_ms(300), lambda: rd.wake(modem.tid), "phone rings")
+    rd.run_for(units.sec_to_ticks(1))
+    print("Section 5.3 scenario — after the phone call:")
+    print(rd.current_grant_set.describe())
+    print(f"\nI frames lost: {mpeg.stats.i_frames_lost}")
+    print(f"deadline misses: {len(rd.trace.misses())}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Run a named scenario and print the operator report."""
+    from repro import scenarios
+    from repro.metrics import run_report
+
+    builders = {
+        "table4": lambda: scenarios.table4_trio(seed=args.seed),
+        "figure4": lambda: scenarios.figure4(seed=args.seed),
+        "figure5": lambda: scenarios.figure5(seed=args.seed),
+        "settop": lambda: scenarios.settop(seed=args.seed),
+        "av": lambda: scenarios.av_pipeline(seed=args.seed),
+        "dual-stream": lambda: scenarios.dual_stream(seed=args.seed),
+    }
+    if args.scenario not in builders:
+        print(f"unknown scenario {args.scenario!r}; pick one of "
+              f"{', '.join(sorted(builders))}")
+        return 2
+    scenario = builders[args.scenario]()
+    scenario.rd.run_for(_ms(max(args.duration_ms, 200)))
+    print(run_report(scenario.rd, scenario.names()))
+    return 0
+
+
+def cmd_export(args) -> int:
+    """Run a seeded random workload and dump the trace (CSV or JSON)."""
+    from repro.metrics import deadlines_to_csv, segments_to_csv, trace_to_json
+
+    rng = random.Random(args.seed)
+    rd = ResourceDistributor(sim=SimConfig(seed=args.seed))
+    for definition in random_task_set(rng, count=4, capacity=0.9):
+        rd.admit(definition)
+    rd.run_for(_ms(max(args.duration_ms, 100)))
+    if args.format == "json":
+        print(trace_to_json(rd.trace))
+    elif args.format == "deadlines":
+        print(deadlines_to_csv(rd.trace), end="")
+    else:
+        print(segments_to_csv(rd.trace), end="")
+    return 0
+
+
+def cmd_validate(args) -> int:
+    rng = random.Random(args.seed)
+    rd = ResourceDistributor(sim=SimConfig(seed=args.seed))
+    for definition in random_task_set(rng, count=5, capacity=0.9):
+        rd.admit(definition)
+    rd.run_for(_ms(max(args.duration_ms, 200)))
+    report = validate_trace(rd.trace, end_time=rd.now)
+    print(report.summary())
+    print(f"deadline misses: {len(rd.trace.misses())}")
+    return 0 if report.ok and not rd.trace.misses() else 1
+
+
+# -- entry point ----------------------------------------------------------------
+
+COMMANDS = {
+    "tables": cmd_tables,
+    "figure3": cmd_figure3,
+    "figure4": cmd_figure4,
+    "figure5": cmd_figure5,
+    "faceoff": cmd_faceoff,
+    "settop": cmd_settop,
+    "validate": cmd_validate,
+    "export": cmd_export,
+    "report": cmd_report,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ETI Resource Distributor reproduction — regenerate the "
+        "paper's tables and figures.",
+    )
+    parser.add_argument("command", choices=sorted(COMMANDS))
+    parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    parser.add_argument(
+        "--duration-ms", type=float, default=500.0, help="simulated duration"
+    )
+    parser.add_argument("--width", type=int, default=96, help="gantt width")
+    parser.add_argument(
+        "--format",
+        choices=["segments", "deadlines", "json"],
+        default="segments",
+        help="export format (export command only)",
+    )
+    parser.add_argument(
+        "--scenario",
+        default="settop",
+        help="scenario name for the report command "
+        "(table4, figure4, figure5, settop, av, dual-stream)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,132 @@
+"""Configuration dataclasses for the simulated machine and simulation runs.
+
+``MachineConfig`` captures the MAP1000 parameters the Resource Distributor
+depends on: the interrupt reserve (the paper reserves 4 % of the processor
+for interrupt handling), the context-switch cost model calibration, the
+small-overlap override threshold, and the set of exclusive functional
+units (FFU sub-units, Data Streamer channels).
+
+``SimConfig`` captures per-run simulation parameters (seed, horizon).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import units
+
+
+@dataclass(frozen=True)
+class ContextSwitchCosts:
+    """Calibration for the stochastic context-switch cost model.
+
+    The paper (section 6.1) reports, for a 200 MHz MAP1000:
+
+    * voluntary (synchronous) switch: min 11.5, median 18.3, mean 20.7 us
+    * involuntary switch: min 16.9, median 28.2, mean 35.0 us
+
+    We model each cost as ``min + LogNormal(mu, sigma)`` in microseconds,
+    with ``mu``/``sigma`` chosen so the median and mean of the shifted
+    distribution match the paper.  ``zero()`` disables costs entirely for
+    algorithm-invariant tests.
+    """
+
+    voluntary_min_us: float = 11.5
+    voluntary_median_us: float = 18.3
+    voluntary_mean_us: float = 20.7
+    involuntary_min_us: float = 16.9
+    involuntary_median_us: float = 28.2
+    involuntary_mean_us: float = 35.0
+
+    @classmethod
+    def zero(cls) -> "ContextSwitchCosts":
+        """A cost model in which every context switch is free."""
+        return cls(0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+    @property
+    def is_zero(self) -> bool:
+        return self.voluntary_mean_us == 0.0 and self.involuntary_mean_us == 0.0
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Static parameters of the simulated MAP1000-like machine."""
+
+    #: Fraction of the CPU reserved for interrupt handling (paper: 4 %).
+    #: Admission control admits against ``1 - interrupt_reserve``.
+    interrupt_reserve: float = 0.04
+
+    #: Context-switch cost calibration.
+    switch_costs: ContextSwitchCosts = field(default_factory=ContextSwitchCosts)
+
+    #: Small-overlap override threshold, in ticks: if the running thread
+    #: has at most this much grant left when a preemption would occur, it
+    #: is allowed to finish instead ("a function of the context-switch
+    #: time"; default: twice the mean involuntary switch cost).
+    overlap_override_ticks: int = units.us_to_ticks(70.0)
+
+    #: Grace period for controlled preemptions (paper: "on the order of a
+    #: couple hundred microseconds").
+    grace_period_ticks: int = units.us_to_ticks(200.0)
+
+    #: Simulated cost of the admission-control computation, charged to the
+    #: requesting task (paper section 6.2: 150-200 us; we use the middle).
+    admission_cost_ticks: int = units.us_to_ticks(175.0)
+
+    #: Names of exclusive functional units available on the machine.
+    #: Resource-list entries may require exclusive access to these.
+    exclusive_units: tuple[str, ...] = ("ffu.video_scaler", "data_streamer")
+
+    #: Fraction of Data Streamer bandwidth available to admitted tasks
+    #: (a second managed resource; the paper's §7 future work).
+    bandwidth_capacity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.interrupt_reserve < 1.0:
+            raise ValueError(
+                f"interrupt_reserve must be in [0, 1), got {self.interrupt_reserve}"
+            )
+        if self.overlap_override_ticks < 0:
+            raise ValueError("overlap_override_ticks must be non-negative")
+        if self.grace_period_ticks < 0:
+            raise ValueError("grace_period_ticks must be non-negative")
+        if not 0.0 < self.bandwidth_capacity <= 1.0:
+            raise ValueError(
+                f"bandwidth_capacity must be in (0, 1], got {self.bandwidth_capacity}"
+            )
+
+    @property
+    def schedulable_capacity(self) -> float:
+        """Fraction of the CPU available to admitted tasks."""
+        return 1.0 - self.interrupt_reserve
+
+    @classmethod
+    def ideal(cls) -> "MachineConfig":
+        """A frictionless machine: no switch costs, no interrupt reserve.
+
+        Used by algorithm-invariant tests (EDF optimality, admission
+        arithmetic) where hardware overheads would only obscure the
+        property under test.
+        """
+        return cls(
+            interrupt_reserve=0.0,
+            switch_costs=ContextSwitchCosts.zero(),
+            overlap_override_ticks=0,
+            admission_cost_ticks=0,
+        )
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Per-run simulation parameters."""
+
+    #: Simulation horizon in 27 MHz ticks.
+    horizon: int = units.sec_to_ticks(1.0)
+
+    #: Seed for all stochastic elements (context-switch costs, workload
+    #: jitter).  The same seed always reproduces the same run.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {self.horizon}")

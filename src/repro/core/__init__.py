@@ -1,0 +1,58 @@
+"""The ETI Resource Distributor: the paper's primary contribution.
+
+Components (Figure 2):
+
+* :class:`~repro.core.resource_manager.ResourceManager` — admission
+  control and grant control;
+* :class:`~repro.core.scheduler.RDScheduler` — the policy-free EDF
+  scheduler with grant enforcement;
+* :class:`~repro.core.policy_box.PolicyBox` — the repository of global
+  QOS tradeoff information;
+* :class:`~repro.core.distributor.ResourceDistributor` — the facade
+  wiring all three over a simulated machine.
+"""
+
+from repro.core.admission import AdmissionController
+from repro.core.clock_sync import (
+    SkewEstimator,
+    conservative_period,
+    postpone_for_period,
+    ticks_per_external_period,
+)
+from repro.core.distributor import ResourceDistributor
+from repro.core.grant_control import GrantController, GrantRequest, GrantSetResult
+from repro.core.grants import Grant, GrantDelivery, GrantSet
+from repro.core.kernel import Kernel, SliceEnd
+from repro.core.policy_box import Policy, PolicyBox
+from repro.core.resource_list import ResourceList, ResourceListEntry
+from repro.core.resource_manager import ResourceManager
+from repro.core.scheduler import RDScheduler
+from repro.core.sporadic import SporadicServer
+from repro.core.threads import SimThread, ThreadKind, ThreadState
+
+__all__ = [
+    "AdmissionController",
+    "Grant",
+    "GrantController",
+    "GrantDelivery",
+    "GrantRequest",
+    "GrantSet",
+    "GrantSetResult",
+    "Kernel",
+    "Policy",
+    "PolicyBox",
+    "RDScheduler",
+    "ResourceDistributor",
+    "ResourceList",
+    "ResourceListEntry",
+    "ResourceManager",
+    "SimThread",
+    "SkewEstimator",
+    "SliceEnd",
+    "SporadicServer",
+    "ThreadKind",
+    "ThreadState",
+    "conservative_period",
+    "postpone_for_period",
+    "ticks_per_external_period",
+]

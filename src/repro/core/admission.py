@@ -1,0 +1,167 @@
+"""Constant-time admission control.
+
+"A new thread is allowed to enter the system if and only if the sum of
+the minimal grants for all threads (runnable and quiescent) in the
+system can be simultaneously accommodated if the new thread is
+admitted."  (Section 4.1.)
+
+Section 6.2 explains the implementation: a running sum of each admitted
+thread's *minimum* resource-list rate is maintained, so the admission
+test is a single add-and-compare — O(1) no matter how many threads are
+admitted.  The §6.2 bench verifies the constant-time behaviour.
+
+Quiescent threads are included in the running sum: they may not be
+denied resources when they wake, so their minimum is pre-committed even
+while they consume nothing (section 5.3).
+
+Beyond the paper: a second running sum covers Data Streamer *bandwidth*
+(the paper's §7 future work).  A task is admitted iff the minimum
+entries fit in **both** resources, so the wake-up guarantee — at worst,
+everyone drops to their minimum entry — stays feasible in both.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AdmissionError
+
+_EPS = 1e-9
+
+
+class AdmissionController:
+    """Maintains running sums of admitted minimum CPU and bandwidth."""
+
+    def __init__(self, capacity: float, bandwidth_capacity: float = 1.0) -> None:
+        if not 0.0 < capacity <= 1.0:
+            raise AdmissionError(f"capacity must be in (0, 1], got {capacity}")
+        if not 0.0 < bandwidth_capacity <= 1.0:
+            raise AdmissionError(
+                f"bandwidth capacity must be in (0, 1], got {bandwidth_capacity}"
+            )
+        self._capacity = capacity
+        self._bandwidth_capacity = bandwidth_capacity
+        #: thread id -> (min cpu rate, min bandwidth fraction)
+        self._minima: dict[int, tuple[float, float]] = {}
+        self._running_sum = 0.0
+        self._running_bandwidth = 0.0
+
+    @property
+    def capacity(self) -> float:
+        """Schedulable CPU capacity (1 minus the interrupt reserve)."""
+        return self._capacity
+
+    @property
+    def bandwidth_capacity(self) -> float:
+        """Data Streamer bandwidth available to admitted tasks."""
+        return self._bandwidth_capacity
+
+    @property
+    def committed(self) -> float:
+        """Sum of admitted minimum CPU rates (runnable and quiescent)."""
+        return self._running_sum
+
+    @property
+    def committed_bandwidth(self) -> float:
+        """Sum of admitted minimum bandwidth fractions."""
+        return self._running_bandwidth
+
+    @property
+    def headroom(self) -> float:
+        """CPU capacity not yet committed to minimum grants."""
+        return self._capacity - self._running_sum
+
+    def __len__(self) -> int:
+        return len(self._minima)
+
+    def __contains__(self, thread_id: int) -> bool:
+        return thread_id in self._minima
+
+    def can_admit(self, min_rate: float, min_bandwidth: float = 0.0) -> bool:
+        """The O(1) admission test: two adds and two compares."""
+        return (
+            self._running_sum + min_rate <= self._capacity + _EPS
+            and self._running_bandwidth + min_bandwidth
+            <= self._bandwidth_capacity + _EPS
+        )
+
+    def admit(self, thread_id: int, min_rate: float, min_bandwidth: float = 0.0) -> None:
+        """Admit a thread, committing its minimum entry's resources.
+
+        Raises:
+            AdmissionError: if the thread is already admitted, a rate is
+                invalid, or the minimum grants would no longer fit.
+        """
+        if thread_id in self._minima:
+            raise AdmissionError(f"thread {thread_id} is already admitted")
+        self._validate(thread_id, min_rate, min_bandwidth)
+        if not self.can_admit(min_rate, min_bandwidth):
+            raise AdmissionError(
+                f"admitting thread {thread_id} (minimum {min_rate:.1%} CPU, "
+                f"{min_bandwidth:.1%} bandwidth) would commit "
+                f"{self._running_sum + min_rate:.1%} CPU / "
+                f"{self._running_bandwidth + min_bandwidth:.1%} bandwidth, "
+                f"over the capacities {self._capacity:.1%} / "
+                f"{self._bandwidth_capacity:.1%}"
+            )
+        self._minima[thread_id] = (min_rate, min_bandwidth)
+        self._running_sum += min_rate
+        self._running_bandwidth += min_bandwidth
+
+    def release(self, thread_id: int) -> None:
+        """Release a thread's commitment (thread exit)."""
+        try:
+            rate, bandwidth = self._minima.pop(thread_id)
+        except KeyError:
+            raise AdmissionError(f"thread {thread_id} is not admitted") from None
+        self._running_sum = max(0.0, self._running_sum - rate)
+        self._running_bandwidth = max(0.0, self._running_bandwidth - bandwidth)
+
+    def change_min_rate(
+        self, thread_id: int, new_min_rate: float, new_min_bandwidth: float = 0.0
+    ) -> None:
+        """Re-admit under a changed resource list.
+
+        A thread may replace its resource list while running; the change
+        is only allowed if the new minimum still fits alongside everyone
+        else's commitments.
+        """
+        if thread_id not in self._minima:
+            raise AdmissionError(f"thread {thread_id} is not admitted")
+        self._validate(thread_id, new_min_rate, new_min_bandwidth)
+        old_rate, old_bandwidth = self._minima[thread_id]
+        new_sum = self._running_sum - old_rate + new_min_rate
+        new_bw = self._running_bandwidth - old_bandwidth + new_min_bandwidth
+        if new_sum > self._capacity + _EPS or new_bw > self._bandwidth_capacity + _EPS:
+            raise AdmissionError(
+                f"thread {thread_id} cannot grow its minimum from "
+                f"({old_rate:.1%}, {old_bandwidth:.1%}) to "
+                f"({new_min_rate:.1%}, {new_min_bandwidth:.1%}): the minimum "
+                f"grants would no longer fit"
+            )
+        self._minima[thread_id] = (new_min_rate, new_min_bandwidth)
+        self._running_sum = new_sum
+        self._running_bandwidth = new_bw
+
+    def min_rate(self, thread_id: int) -> float:
+        try:
+            return self._minima[thread_id][0]
+        except KeyError:
+            raise AdmissionError(f"thread {thread_id} is not admitted") from None
+
+    def min_bandwidth(self, thread_id: int) -> float:
+        try:
+            return self._minima[thread_id][1]
+        except KeyError:
+            raise AdmissionError(f"thread {thread_id} is not admitted") from None
+
+    @staticmethod
+    def _validate(thread_id: int, min_rate: float, min_bandwidth: float) -> None:
+        if not 0.0 < min_rate <= 1.0:
+            raise AdmissionError(
+                f"minimum rate must be in (0, 1], got {min_rate} for "
+                f"thread {thread_id}"
+            )
+        if not 0.0 <= min_bandwidth <= 1.0:
+            raise AdmissionError(
+                f"minimum bandwidth must be in [0, 1], got {min_bandwidth} for "
+                f"thread {thread_id}"
+            )

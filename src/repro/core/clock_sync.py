@@ -1,0 +1,105 @@
+"""Clock-synchronization support (section 5.4).
+
+The scheduling timebase is the first MPEG transport stream's 27 MHz TCI
+clock.  Any task paced by a *different* clock — a second transport
+stream, a display refresh controller — must stay synchronized in
+software:
+
+1. read both the TCI clock and the external clock at some interval;
+2. from the difference between external readings, compute the expected
+   TCI difference; the actual TCI difference gives the skew;
+3. use ``InsertIdleCycles`` to postpone period starts and absorb the
+   drift.
+
+``InsertIdleCycles`` can only *postpone* (pulling a period in would
+jeopardize other tasks' guarantees), so a task that must track a
+possibly-fast external clock declares a period slightly shorter than
+nominal and postpones every period by the measured difference;
+:func:`conservative_period` computes that shortened period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ClockError
+from repro.sim.clock import DriftingClock
+
+
+@dataclass
+class SkewEstimator:
+    """Estimates an external clock's skew from paired readings."""
+
+    external: DriftingClock
+    #: (tci_reading, external_reading) pairs, oldest first.
+    samples: list[tuple[int, float]] = field(default_factory=list)
+    max_samples: int = 64
+
+    def sample(self, tci_now: int) -> None:
+        """Record a paired reading at TCI time ``tci_now``."""
+        if self.samples and tci_now < self.samples[-1][0]:
+            raise ClockError(
+                f"samples must be taken in TCI order: {tci_now} after "
+                f"{self.samples[-1][0]}"
+            )
+        self.samples.append((tci_now, self.external.read(tci_now)))
+        if len(self.samples) > self.max_samples:
+            del self.samples[0]
+
+    @property
+    def ready(self) -> bool:
+        """Two samples spanning nonzero TCI time are required."""
+        return len(self.samples) >= 2 and self.samples[-1][0] > self.samples[0][0]
+
+    def estimate_ppm(self) -> float:
+        """Estimated skew of the external clock, in parts per million.
+
+        Positive means the external clock runs fast relative to TCI.
+        """
+        if not self.ready:
+            raise ClockError("need at least two samples spanning nonzero time")
+        tci0, ext0 = self.samples[0]
+        tci1, ext1 = self.samples[-1]
+        tci_delta = tci1 - tci0
+        ext_delta = ext1 - ext0
+        return (ext_delta / tci_delta - 1.0) * 1e6
+
+
+def ticks_per_external_period(period_external: int, skew_ppm: float) -> float:
+    """TCI ticks elapsing per ``period_external`` external-clock ticks.
+
+    The external clock advances ``1 + skew/1e6`` per TCI tick, so one
+    external period spans ``period / (1 + skew/1e6)`` TCI ticks.
+    """
+    rate = 1.0 + skew_ppm / 1e6
+    if rate <= 0:
+        raise ClockError(f"skew {skew_ppm} ppm implies a stopped clock")
+    return period_external / rate
+
+
+def postpone_for_period(scheduled_period: int, period_external: int, skew_ppm: float) -> int:
+    """How many idle cycles to insert after a period to stay in phase.
+
+    ``scheduled_period`` is the TCI period the task declared in its
+    resource list; ``period_external`` is the nominal period measured on
+    the external clock.  Returns the (non-negative) number of TCI ticks
+    the next period start should be postponed so that, on average,
+    period starts track the external clock.  Returns 0 when the external
+    clock is running ahead of the declared period — the lost phase can
+    only be recovered by declaring a shorter period (see
+    :func:`conservative_period`), never by pulling a period in.
+    """
+    true_ticks = ticks_per_external_period(period_external, skew_ppm)
+    return max(0, round(true_ticks - scheduled_period))
+
+
+def conservative_period(period_external: int, max_skew_ppm: float) -> int:
+    """A declared TCI period short enough for the worst expected skew.
+
+    A task tracking an external clock that may run up to ``max_skew_ppm``
+    fast should declare this period, then use ``InsertIdleCycles`` each
+    period to stretch back into phase with the *measured* skew.
+    """
+    if max_skew_ppm < 0:
+        raise ClockError("max_skew_ppm is a magnitude; it cannot be negative")
+    return int(ticks_per_external_period(period_external, max_skew_ppm))

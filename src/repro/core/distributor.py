@@ -1,0 +1,120 @@
+"""The ETI Resource Distributor: the library's main entry point.
+
+Wires together the three components of Figure 2 — the Resource Manager,
+the Scheduler, and the Policy Box — over a simulated MAP1000 and exposes
+a compact public API::
+
+    rd = ResourceDistributor()
+    mpeg = rd.admit(mpeg_definition)
+    rd.at(ms_to_ticks(100), lambda: rd.wake(modem.tid), "phone rings")
+    rd.run_for(sec_to_ticks(1))
+    print(rd.trace.misses())
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.config import MachineConfig, SimConfig
+from repro.core.grants import GrantSet
+from repro.core.kernel import Kernel
+from repro.core.policy_box import PolicyBox
+from repro.core.resource_manager import ResourceManager
+from repro.core.scheduler import RDScheduler
+from repro.core.threads import SimThread
+from repro.sim.trace import TraceRecorder
+from repro.tasks.base import TaskDefinition
+
+
+class ResourceDistributor:
+    """Resource Manager + Scheduler + Policy Box over a simulated machine."""
+
+    def __init__(
+        self,
+        machine: MachineConfig | None = None,
+        sim: SimConfig | None = None,
+    ) -> None:
+        self.machine = machine or MachineConfig()
+        self.sim = sim or SimConfig()
+        self.kernel = Kernel(self.machine, self.sim)
+        self.policy_box = PolicyBox(capacity=self.machine.schedulable_capacity)
+        self.scheduler = RDScheduler(self.kernel)
+        self.resource_manager = ResourceManager(
+            self.kernel, self.scheduler, self.policy_box
+        )
+        self.kernel.crash_handler = self._on_crash
+
+    def _on_crash(self, thread: SimThread, exc: Exception) -> None:
+        """A task raised: release its admission so its capacity flows
+        back to the survivors.  Sporadic tasks just exit."""
+        if thread.tid in self.resource_manager.admitted_ids():
+            self.resource_manager.exit_thread(thread.tid)
+        else:
+            from repro.core.threads import ThreadState
+
+            thread.state = ThreadState.EXITED
+
+    # -- task lifecycle -------------------------------------------------------
+
+    def admit(self, definition: TaskDefinition) -> SimThread:
+        """Request admittance for a task (raises AdmissionError on denial)."""
+        return self.resource_manager.request_admittance(definition)
+
+    def exit_thread(self, tid: int) -> None:
+        self.resource_manager.exit_thread(tid)
+
+    def enter_quiescent(self, tid: int) -> None:
+        self.resource_manager.enter_quiescent(tid)
+
+    def wake(self, tid: int) -> None:
+        self.resource_manager.wake(tid)
+
+    def spawn_sporadic(self, name: str, function) -> SimThread:
+        """Create a sporadic task (runs only via Sporadic Server grants)."""
+        return self.kernel.create_sporadic(name, function)
+
+    # -- runtime policy changes --------------------------------------------------
+
+    def set_policy_override(self, rankings: dict[int, float]) -> None:
+        """Install a user policy override and re-apply it immediately.
+
+        Grants change only at period boundaries / unallocated time, so
+        the override never disturbs a grant already promised.
+        """
+        self.policy_box.set_override(rankings)
+        self.resource_manager.policy_changed()
+
+    def clear_policy_override(self, policy_ids) -> None:
+        """Remove an override, restoring the designer default."""
+        self.policy_box.clear_override(policy_ids)
+        self.resource_manager.policy_changed()
+
+    # -- running -----------------------------------------------------------------
+
+    def run_for(self, ticks: int) -> None:
+        self.kernel.run_for(ticks)
+
+    def run_until(self, time: int) -> None:
+        self.kernel.run_until(time)
+
+    def at(self, time: int, action: Callable[[], None], label: str = "") -> None:
+        """Schedule an external event (user input, phone call, arrival)."""
+        self.kernel.at(time, action, label)
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        return self.kernel.now
+
+    @property
+    def trace(self) -> TraceRecorder:
+        return self.kernel.trace
+
+    @property
+    def current_grant_set(self) -> GrantSet | None:
+        result = self.resource_manager.last_result
+        return result.grant_set if result is not None else None
+
+    def thread(self, tid: int) -> SimThread:
+        return self.kernel.thread(tid)

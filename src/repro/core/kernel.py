@@ -1,0 +1,781 @@
+"""The simulation kernel: dispatching, accounting, and period rollover.
+
+The kernel plays the role of MMLite's low-level thread machinery: it
+drives task generators, charges consumed CPU against grants, applies
+context-switch costs, performs period rollover, and delivers grants with
+callback/return semantics.  *Which* thread runs and *when* the timer
+interrupt fires are delegated to a scheduler policy object — the ETI
+Resource Distributor's EDF scheduler (``repro.core.scheduler``) or one
+of the baseline schedulers (``repro.baselines``).
+
+The policy interface (duck-typed) is::
+
+    pick(now) -> SimThread                 # never None; idle thread at worst
+    timer_for(thread, now) -> int          # absolute tick of next interrupt
+    preemption_imminent(thread, now) -> bool   # for grace-period decisions
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Iterable
+
+from repro.config import MachineConfig, SimConfig
+from repro.core.grants import Grant, GrantDelivery
+from repro.core.threads import SimThread, ThreadKind, ThreadState
+from repro.errors import SchedulerError, SimulationError, TaskError
+from repro.machine.cpu import ContextSwitchModel
+from repro.machine.exclusive import ExclusiveUnitRegistry
+from repro.machine.interrupts import InterruptReserve
+from repro.sim.clock import SimClock
+from repro.sim.events import EventQueue
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import (
+    BlockRecord,
+    ContextSwitchRecord,
+    DeadlineRecord,
+    GrantChangeRecord,
+    RunSegment,
+    SegmentKind,
+    SwitchKind,
+    TraceRecorder,
+)
+from repro.tasks.base import (
+    AssignGrant,
+    Block,
+    Compute,
+    DonePeriod,
+    InsertIdleCycles,
+    Semantics,
+    TaskDefinition,
+)
+
+
+class SliceEnd(enum.Enum):
+    """How a dispatch slice ended."""
+
+    FORCED = "forced"  # ran to the stop time (timer interrupt)
+    DONE = "done"  # thread declared itself done for the period
+    BLOCKED = "blocked"  # thread blocked on a channel
+    INTERRUPTED = "interrupted"  # a wake/notification requires a re-pick
+
+
+class Kernel:
+    """Owns simulated time, threads, and the dispatch loop."""
+
+    IDLE_TID = 0
+
+    def __init__(self, machine: MachineConfig, sim: SimConfig) -> None:
+        self.machine = machine
+        self.sim = sim
+        self.clock = SimClock()
+        self.events = EventQueue()
+        self.trace = TraceRecorder()
+        self.rngs = RngRegistry(sim.seed)
+        self.switch_model = ContextSwitchModel(
+            machine.switch_costs, self.rngs.stream("context-switch")
+        )
+        self.reserve = InterruptReserve(machine.interrupt_reserve)
+        self.exclusive = ExclusiveUnitRegistry(machine.exclusive_units)
+
+        self.threads: dict[int, SimThread] = {}
+        self._next_tid = self.IDLE_TID + 1
+        self.idle = SimThread(self.IDLE_TID, "Idle", ThreadKind.IDLE)
+        self.policy = None  # bound by the scheduler policy
+
+        self._current: SimThread | None = None
+        self._pending_switch_kind = SwitchKind.VOLUNTARY
+        self._reschedule = False
+        self._no_progress = 0
+        #: Thread ids in the order they blocked (FIFO wake fairness).
+        self._block_order: list[int] = []
+        #: Called when application code raises: (thread, exception).
+        #: The distributor wires this to Resource Manager cleanup so a
+        #: crashing task releases its admission instead of wedging the
+        #: machine.  Crashes never propagate out of the dispatch loop.
+        self.crash_handler = None
+        self.crashes: list[tuple[int, int, str]] = []  # (time, tid, repr)
+
+    # -- properties ----------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        return self.clock.now
+
+    def bind_policy(self, policy) -> None:
+        if self.policy is not None:
+            raise SimulationError("kernel already has a scheduler policy")
+        self.policy = policy
+
+    # -- thread management ---------------------------------------------------
+
+    def create_periodic(self, definition: TaskDefinition, policy_id: int) -> SimThread:
+        """Register a periodic thread (no grant yet; the Resource Manager
+        supplies the first grant via the scheduler's activation path)."""
+        thread = SimThread(
+            tid=self._alloc_tid(),
+            name=definition.name,
+            kind=ThreadKind.PERIODIC,
+            definition=definition,
+            policy_id=policy_id,
+        )
+        thread.ctx._kernel = self
+        thread.state = (
+            ThreadState.QUIESCENT if definition.start_quiescent else ThreadState.ACTIVE
+        )
+        self.threads[thread.tid] = thread
+        return thread
+
+    def create_sporadic(self, name: str, function) -> SimThread:
+        """Register a sporadic task; it only runs via grant assignment."""
+        definition = TaskDefinition(name=name, resource_list=None)  # type: ignore[arg-type]
+        thread = SimThread(
+            tid=self._alloc_tid(),
+            name=name,
+            kind=ThreadKind.SPORADIC,
+            definition=definition,
+        )
+        thread.ctx._kernel = self
+        thread.gen = function(thread.ctx)
+        thread.gen_exhausted = False
+        thread.restart_pending = False
+        self.threads[thread.tid] = thread
+        return thread
+
+    def _alloc_tid(self) -> int:
+        tid = self._next_tid
+        self._next_tid += 1
+        return tid
+
+    def periodic_threads(self) -> Iterable[SimThread]:
+        return (t for t in self.threads.values() if t.kind is ThreadKind.PERIODIC)
+
+    def thread(self, tid: int) -> SimThread:
+        try:
+            return self.threads[tid]
+        except KeyError:
+            raise SchedulerError(f"no thread with id {tid}") from None
+
+    # -- external events ------------------------------------------------------
+
+    def at(self, time: int, action: Callable[[], None], label: str = "") -> None:
+        """Schedule an external action (arrival, phone call, skew change)."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule an event at {time}, before now ({self.now})"
+            )
+        self.events.schedule(time, action, label)
+
+    def request_reschedule(self) -> None:
+        """Ask the kernel to re-run the scheduler at the next opportunity."""
+        self._reschedule = True
+
+    # -- grant plumbing (called by the scheduler policy / RM) -----------------
+
+    def start_first_period(self, thread: SimThread, grant: Grant, now: int) -> None:
+        """Begin a thread's first period under ``grant`` at time ``now``.
+
+        Used for newly admitted threads and for quiescent threads waking
+        up; the initial grant is always delivered with callback
+        semantics ("this is how the initial grant for an admitted task
+        is always delivered").
+        """
+        if thread.kind is not ThreadKind.PERIODIC:
+            raise SchedulerError(f"thread {thread.tid} is not periodic")
+        thread.state = ThreadState.ACTIVE
+        thread.grant = grant
+        thread.pending_grant = None
+        thread.has_pending_change = False
+        thread.period_index += 1
+        thread.period_start = now
+        thread.deadline = now + grant.period
+        thread.remaining = grant.cpu_ticks
+        thread.used = 0
+        thread.overtime_used = 0
+        thread.declared_done = False
+        thread.wants_overtime = False
+        thread.blocked_this_period = False
+        thread.restart_pending = True
+        thread.pending_compute = 0
+        thread.next_delivery = GrantDelivery(
+            previous_completed=thread.last_completed,
+            previous_used=thread.last_used,
+            grant=grant,
+            period_start=now,
+        )
+        self.trace.record_grant_change(
+            GrantChangeRecord(
+                time=now,
+                thread_id=thread.tid,
+                period=grant.period,
+                cpu_ticks=grant.cpu_ticks,
+                entry_index=grant.entry_index,
+                reason="first grant",
+            )
+        )
+        self._notify_period_open(thread)
+        self._reschedule = True
+
+    def _notify_period_open(self, thread: SimThread) -> None:
+        """Give the policy a chance to act at a period boundary (used by
+        the Rialto baseline's per-period constraint requests)."""
+        hook = getattr(self.policy, "on_period_open", None)
+        if hook is not None:
+            hook(thread)
+
+    # -- the main loop ----------------------------------------------------------
+
+    def run_for(self, ticks: int) -> None:
+        self.run_until(self.now + ticks)
+
+    def run_until(self, horizon: int) -> None:
+        """Advance the simulation to absolute time ``horizon``."""
+        if self.policy is None:
+            raise SimulationError("no scheduler policy bound to the kernel")
+        while self.now < horizon:
+            before = self.now
+            # Bring period accounting current *before* firing events:
+            # an event handler (e.g. a wake -> grant recomputation) must
+            # see boundaries that have already passed as processed, or
+            # it can cancel a pending change retroactively.  A boundary
+            # at exactly `now` is left for after the events, so a grant
+            # change requested at instant t applies to the period
+            # beginning at t ("the decrease occurs in the next period").
+            self._rollover_all(strict=True)
+            self._fire_due_events()
+            self._scan_wakes()
+            self._rollover_all()
+            self._reschedule = False
+            thread = self.policy.pick(self.now)
+            self._switch_to(thread)
+            # The switch cost may have carried the clock across period
+            # boundaries; bring accounting current before setting the timer.
+            self._rollover_all()
+            stop, preemptive = self._compute_stop(thread, horizon)
+            self._dispatch(thread, stop, preemptive)
+            self._guard_progress(before)
+        # Close any period ending exactly at the horizon so trace
+        # accounting covers the whole run.
+        self._rollover_all()
+
+    def _guard_progress(self, before: int) -> None:
+        if self.now == before:
+            self._no_progress += 1
+            if self._no_progress > 10_000:
+                raise SchedulerError(
+                    f"scheduler made no progress at t={self.now}; likely a "
+                    f"policy/task livelock"
+                )
+        else:
+            self._no_progress = 0
+
+    def _fire_due_events(self) -> None:
+        for event in self.events.pop_due(self.now):
+            event.action()
+            self._reschedule = True
+
+    def _compute_stop(self, thread: SimThread, horizon: int) -> tuple[int, bool]:
+        stop = horizon
+        preemptive = False
+        next_event = self.events.next_time()
+        if next_event is not None and next_event < stop:
+            stop = next_event
+        policy_stop = self.policy.timer_for(thread, self.now)
+        if policy_stop < stop:
+            stop = policy_stop
+            preemptive = True
+        # A switch cost can land the clock just past a timer target; a
+        # zero-length slice then lets the scheduler re-evaluate.  The
+        # progress guard in run_until catches genuine livelocks.
+        return max(stop, self.now), preemptive
+
+    # -- context switching -------------------------------------------------------
+
+    def _switch_to(self, thread: SimThread) -> None:
+        prev = self._current
+        if prev is thread:
+            return
+        if prev is not None:
+            kind = self._pending_switch_kind
+            cost = self.switch_model.sample_ticks(kind)
+            if cost:
+                start = self.now
+                self.clock.advance(cost)
+                self.reserve.charge(cost)
+                self.trace.record_segment(
+                    RunSegment(
+                        thread_id=-1, start=start, end=self.now, kind=SegmentKind.SYSTEM
+                    )
+                )
+            self.trace.record_switch(
+                ContextSwitchRecord(
+                    time=self.now,
+                    from_thread=prev.tid,
+                    to_thread=thread.tid,
+                    kind=kind,
+                    cost_ticks=cost,
+                )
+            )
+        self._current = thread
+        self._pending_switch_kind = SwitchKind.VOLUNTARY
+
+    # -- dispatching ------------------------------------------------------------
+
+    def _dispatch(self, thread: SimThread, stop: int, preemptive: bool) -> None:
+        if thread.is_idle:
+            start = self.now
+            if stop > start:
+                self.clock.advance_to(stop)
+                self.trace.record_segment(
+                    RunSegment(
+                        thread_id=thread.tid,
+                        start=start,
+                        end=stop,
+                        kind=SegmentKind.IDLE,
+                    )
+                )
+            self._pending_switch_kind = SwitchKind.VOLUNTARY
+            return
+
+        outcome = self._execute(thread, stop)
+        if outcome in (SliceEnd.DONE, SliceEnd.BLOCKED):
+            self._pending_switch_kind = SwitchKind.VOLUNTARY
+        elif outcome is SliceEnd.INTERRUPTED:
+            self._pending_switch_kind = SwitchKind.INVOLUNTARY
+        else:  # FORCED: timer interrupt
+            self._pending_switch_kind = self._handle_forced_stop(
+                thread, stop, preemptive
+            )
+
+    def _handle_forced_stop(
+        self, thread: SimThread, stop: int, preemptive: bool
+    ) -> SwitchKind:
+        """Apply controlled-preemption grace periods (section 5.6)."""
+        definition = thread.definition
+        if (
+            not preemptive
+            or definition is None
+            or definition.preemption is None
+            or not thread.has_pending_work()
+        ):
+            return SwitchKind.INVOLUNTARY
+        self._rollover_all()
+        if not self.policy.preemption_imminent(thread, self.now):
+            return SwitchKind.INVOLUNTARY
+        grace = self.machine.grace_period_ticks
+        notice = definition.preemption.check_interval
+        thread.grace_pending = True
+        try:
+            if notice <= grace:
+                # The task's next preemption check falls inside the grace
+                # period; it yields voluntarily once it notices.
+                self._execute(thread, self.now + notice)
+                return SwitchKind.VOLUNTARY
+            # The task cannot notice in time: it burns the whole grace
+            # period and is involuntarily preempted, with an exception
+            # callback so it can clean up when next run.
+            self._execute(thread, self.now + grace)
+            thread.missed_grace_count += 1
+            thread.ctx.missed_grace = True
+            if definition.exception_callback is not None:
+                definition.exception_callback(self.now)
+            return SwitchKind.INVOLUNTARY
+        finally:
+            thread.grace_pending = False
+
+    def _current_runner(self, thread: SimThread) -> tuple[SimThread, bool]:
+        """The generator actually running: the thread itself, or the
+        sporadic task its grant is assigned to."""
+        target = thread.assignment_target
+        if target is None:
+            return thread, False
+        if target.state is not ThreadState.ACTIVE or target.gen_exhausted:
+            thread.clear_assignment()
+            return thread, False
+        return target, True
+
+    def _execute(self, thread: SimThread, stop: int) -> SliceEnd:
+        """Run ``thread`` (or its assignee) until ``stop`` or a yield.
+
+        When the clock reaches ``stop`` with no compute in flight we
+        still fetch a bounded number of ops: a task whose work completes
+        exactly as the timer fires yields (DonePeriod/Block) in the same
+        instant, and treating that as a forced preemption would strand
+        it on the wrong queue.  A Compute op ends the indulgence.
+        """
+        ops_at_stop = 0
+        while True:
+            if self.now >= stop:
+                runner, assigned = self._current_runner(thread)
+                if runner.pending_compute > 0 or ops_at_stop >= 8:
+                    return SliceEnd.FORCED
+                ops_at_stop += 1
+            runner, assigned = self._current_runner(thread)
+
+            if runner.pending_compute > 0:
+                cap = stop
+                if assigned:
+                    cap = min(cap, self.now + thread.assignment_remaining)
+                run = min(runner.pending_compute, cap - self.now)
+                if run > 0:
+                    self._consume(thread, runner, run, assigned)
+                if assigned:
+                    thread.assignment_remaining -= run
+                    if thread.assignment_remaining <= 0:
+                        # Assigned time consumed: return to the periodic task.
+                        thread.clear_assignment()
+                        continue
+                if runner.pending_compute > 0:
+                    # Still computing: we must have hit the cap.
+                    continue
+                continue
+
+            # Need the next op from the runner's generator.
+            if not assigned:
+                self._ensure_generator(thread)
+            if runner.gen is None or runner.gen_exhausted:
+                if assigned:
+                    thread.clear_assignment()
+                    continue
+                thread.declared_done = True
+                thread.wants_overtime = False
+                return SliceEnd.DONE
+            try:
+                op = runner.gen.send(None)
+            except StopIteration:
+                runner.gen_exhausted = True
+                self._scan_wakes()
+                if assigned:
+                    runner.state = ThreadState.EXITED
+                    thread.clear_assignment()
+                    continue
+                thread.declared_done = True
+                thread.wants_overtime = False
+                return SliceEnd.DONE
+            except Exception as exc:  # noqa: BLE001 - fault isolation boundary
+                outcome = self._crash(thread, runner, assigned, exc)
+                if outcome is not None:
+                    return outcome
+                continue
+            self._scan_wakes()  # the generator body may have posted channels
+
+            try:
+                result = self._apply_op(thread, runner, assigned, op)
+            except Exception as exc:  # noqa: BLE001 - protocol misuse etc.
+                outcome = self._crash(thread, runner, assigned, exc)
+                if outcome is not None:
+                    return outcome
+                continue
+            if result is not None:
+                return result
+            if self._reschedule:
+                return SliceEnd.INTERRUPTED
+
+    def _crash(
+        self, thread: SimThread, runner: SimThread, assigned: bool, exc: Exception
+    ) -> SliceEnd | None:
+        """Contain an application fault: retire the faulting thread.
+
+        A crash is the task "terminating naturally" in the ugliest way;
+        the scheduler and every other admitted task keep their
+        guarantees.  Returns the slice outcome, or None when only an
+        assignee died and the assigning thread continues.
+        """
+        self.crashes.append((self.now, runner.tid, repr(exc)))
+        self.trace.note(self.now, f"thread {runner.tid} crashed: {exc!r}")
+        runner.gen = None
+        runner.gen_exhausted = True
+        runner.pending_compute = 0
+        if self.crash_handler is not None:
+            self.crash_handler(runner, exc)
+        else:
+            runner.state = ThreadState.EXITED
+        if assigned:
+            thread.clear_assignment()
+            return None
+        thread.declared_done = True
+        thread.wants_overtime = False
+        return SliceEnd.DONE
+
+    def _apply_op(
+        self, thread: SimThread, runner: SimThread, assigned: bool, op
+    ) -> SliceEnd | None:
+        """Process one yielded op; returns a SliceEnd to stop the slice."""
+        if isinstance(op, Compute):
+            runner.pending_compute = op.ticks
+            return None
+        if isinstance(op, DonePeriod):
+            if assigned:
+                # A sporadic task pausing: end the assignment early.
+                thread.clear_assignment()
+                return None
+            thread.declared_done = True
+            thread.wants_overtime = op.overtime
+            return SliceEnd.DONE
+        if isinstance(op, Block):
+            if op.channel.try_take():
+                return None
+            runner.state = ThreadState.BLOCKED
+            runner.blocked_channel = op.channel
+            self._block_order.append(runner.tid)
+            self.trace.record_block(
+                BlockRecord(
+                    time=self.now,
+                    thread_id=runner.tid,
+                    blocked=True,
+                    channel=op.channel.name,
+                )
+            )
+            if assigned:
+                # "when the sporadic thread blocks, the Scheduler returns
+                # to the periodic task."
+                thread.clear_assignment()
+                return None
+            thread.blocked_this_period = True
+            return SliceEnd.BLOCKED
+        if isinstance(op, AssignGrant):
+            if assigned:
+                raise TaskError("a sporadic task cannot re-assign a grant")
+            target = self.threads.get(op.task_id)
+            if (
+                target is not None
+                and target.kind is ThreadKind.SPORADIC
+                and target.state is ThreadState.ACTIVE
+                and not target.gen_exhausted
+            ):
+                thread.assignment_target = target
+                thread.assignment_remaining = op.ticks
+            return None
+        if isinstance(op, InsertIdleCycles):
+            if assigned:
+                raise TaskError("a sporadic task has no period to postpone")
+            thread.postpone_next += op.ticks
+            return None
+        raise TaskError(f"thread {runner.tid} yielded an unknown op {op!r}")
+
+    def _consume(
+        self, thread: SimThread, runner: SimThread, run: int, assigned: bool
+    ) -> None:
+        start = self.now
+        self.clock.advance(run)
+        runner.pending_compute -= run
+        granted_mode = thread.remaining > 0 and not thread.declared_done
+        if granted_mode:
+            thread.remaining -= run
+            thread.used += run
+        else:
+            thread.overtime_used += run
+        if assigned:
+            kind = SegmentKind.ASSIGNED
+        elif granted_mode:
+            kind = SegmentKind.GRANTED
+        else:
+            kind = SegmentKind.OVERTIME
+        self.trace.record_segment(
+            RunSegment(
+                thread_id=runner.tid,
+                start=start,
+                end=self.now,
+                kind=kind,
+                period_index=thread.period_index,
+                charged_to=thread.tid if assigned else None,
+            )
+        )
+
+    def _ensure_generator(self, thread: SimThread) -> None:
+        """Deliver the period's grant: callback (fresh call, cleared
+        stack) or return semantics (resume where it left off)."""
+        thread.ctx.delivery = thread.next_delivery
+        if thread.gen is not None and not thread.gen_exhausted and not thread.restart_pending:
+            return
+        if thread.grant is None:
+            raise SchedulerError(
+                f"thread {thread.tid} dispatched without a grant"
+            )
+        thread.gen = thread.grant.entry.function(thread.ctx)
+        thread.gen_exhausted = False
+        thread.restart_pending = False
+        thread.pending_compute = 0
+
+    # -- wakes -------------------------------------------------------------------
+
+    def _scan_wakes(self) -> None:
+        """Wake blocked threads whose channels have pending posts.
+
+        Waiters are served in the order they blocked (FIFO), so a
+        frequently re-blocking thread cannot starve a peer waiting on
+        the same channel.
+        """
+        still_blocked: list[int] = []
+        for tid in self._block_order:
+            candidate = self.threads.get(tid)
+            if candidate is None or candidate.state is not ThreadState.BLOCKED:
+                continue  # exited or already woken: drop from the queue
+            channel = candidate.blocked_channel
+            if channel is not None and channel.try_take():
+                candidate.state = ThreadState.ACTIVE
+                candidate.blocked_channel = None
+                self.trace.record_block(
+                    BlockRecord(
+                        time=self.now,
+                        thread_id=candidate.tid,
+                        blocked=False,
+                        channel=channel.name,
+                    )
+                )
+                self._reschedule = True
+            else:
+                still_blocked.append(tid)
+        self._block_order = still_blocked
+
+    # -- period rollover ------------------------------------------------------------
+
+    def _rollover_all(self, strict: bool = False) -> None:
+        """Process every period boundary at or before the current time
+        (strictly before it when ``strict``)."""
+        for thread in list(self.threads.values()):
+            if thread.kind is not ThreadKind.PERIODIC:
+                continue
+            while thread.in_period and (
+                thread.deadline < self.now
+                or (not strict and thread.deadline == self.now)
+            ):
+                self._close_period(thread)
+                self._open_next_period(thread)
+
+    def _close_period(self, thread: SimThread) -> None:
+        grant = thread.grant
+        assert grant is not None
+        delivered = min(thread.used, grant.cpu_ticks)
+        voided = thread.blocked_this_period or thread.state is ThreadState.BLOCKED
+        missed = (
+            not voided
+            and not thread.declared_done
+            and delivered < grant.cpu_ticks
+            and thread.state is ThreadState.ACTIVE
+        )
+        self.trace.record_deadline(
+            DeadlineRecord(
+                thread_id=thread.tid,
+                period_index=thread.period_index,
+                period_start=thread.period_start,
+                deadline=thread.deadline,
+                granted=grant.cpu_ticks,
+                delivered=delivered,
+                missed=missed,
+                voided=voided,
+            )
+        )
+        thread.periods_completed += 1
+        thread.total_granted_ticks += grant.cpu_ticks
+        thread.total_used_ticks += thread.used
+        thread.total_overtime_ticks += thread.overtime_used
+        thread.last_completed = thread.completed_call()
+        thread.last_used = thread.used + thread.overtime_used
+
+    def _open_next_period(self, thread: SimThread) -> None:
+        old_grant = thread.grant
+        assert old_grant is not None
+        new_grant = old_grant
+        if thread.has_pending_change:
+            new_grant = thread.pending_grant
+            thread.pending_grant = None
+            thread.has_pending_change = False
+        if new_grant is None:
+            self._retire_grant(thread)
+            return
+
+        start = thread.deadline + thread.postpone_next
+        thread.postpone_next = 0
+        thread.period_index += 1
+        thread.period_start = start
+        thread.deadline = start + new_grant.period
+        thread.remaining = new_grant.cpu_ticks
+        thread.used = 0
+        thread.overtime_used = 0
+        thread.declared_done = False
+        thread.wants_overtime = False
+        thread.blocked_this_period = thread.state is ThreadState.BLOCKED
+
+        changed = new_grant.entry is not old_grant.entry
+        if changed:
+            self.trace.record_grant_change(
+                GrantChangeRecord(
+                    time=start,
+                    thread_id=thread.tid,
+                    period=new_grant.period,
+                    cpu_ticks=new_grant.cpu_ticks,
+                    entry_index=new_grant.entry_index,
+                    reason="grant change",
+                )
+            )
+        thread.grant = new_grant
+        thread.next_delivery = GrantDelivery(
+            previous_completed=thread.last_completed,
+            previous_used=thread.last_used,
+            grant=new_grant,
+            period_start=start,
+        )
+        thread.restart_pending = self._needs_restart(thread, old_grant, new_grant, changed)
+        if thread.restart_pending:
+            thread.pending_compute = 0
+        self._notify_period_open(thread)
+
+    def _needs_restart(
+        self, thread: SimThread, old: Grant, new: Grant, changed: bool
+    ) -> bool:
+        # A blocked thread's call is suspended mid-Block; restarting it
+        # would discard the continuation its wake must resume ("they
+        # will resume in the first full period in which the thread is
+        # not blocked").  Fresh callbacks wait until it unblocks.
+        if (
+            thread.state is ThreadState.BLOCKED
+            and thread.gen is not None
+            and not thread.gen_exhausted
+        ):
+            return False
+        if thread.gen is None or thread.gen_exhausted or thread.restart_pending:
+            return True
+        definition = thread.definition
+        assert definition is not None
+        if definition.semantics is Semantics.CALLBACK:
+            return True
+        if not changed:
+            return False
+        # RETURN-semantics task whose grant changed: the filter callback
+        # (if registered) chooses; otherwise clean up with a fresh call.
+        # A faulting filter gets the safe default (fresh call) rather
+        # than taking the machine down.
+        if definition.filter_callback is not None:
+            try:
+                return definition.filter_callback(old, new) is Semantics.CALLBACK
+            except Exception as exc:  # noqa: BLE001 - fault isolation
+                self.trace.note(
+                    self.now, f"thread {thread.tid} filter callback crashed: {exc!r}"
+                )
+                return True
+        return True
+
+    def _retire_grant(self, thread: SimThread) -> None:
+        """A pending removal took effect at the period boundary."""
+        thread.grant = None
+        thread.remaining = 0
+        thread.pending_compute = 0
+        thread.gen = None
+        thread.gen_exhausted = False
+        thread.restart_pending = True
+        new_state = thread.pending_state or ThreadState.QUIESCENT
+        thread.pending_state = None
+        if thread.state is not ThreadState.BLOCKED or new_state is ThreadState.EXITED:
+            thread.state = new_state
+        self.exclusive.release_thread(thread.tid)
+        self.trace.record_grant_change(
+            GrantChangeRecord(
+                time=self.now,
+                thread_id=thread.tid,
+                period=0,
+                cpu_ticks=0,
+                entry_index=-1,
+                reason=f"grant removed ({new_state.value})",
+            )
+        )

@@ -1,0 +1,256 @@
+"""The Resource Manager: admission control and grant control.
+
+An application seeking real-time guarantees "requests admittance" with a
+resource list.  The Resource Manager:
+
+* runs the O(1) admission test over *minimum* entries (runnable and
+  quiescent threads both count — section 4.1);
+* computes a new grant set whenever a thread enters or leaves the
+  system, changes its resource list, or changes quiescent state;
+* consults the Policy Box when not every thread can have its maximum;
+* communicates grant changes to the Scheduler in the coordinated way
+  that preserves the scheduling guarantees (decreases now, increases at
+  unallocated time).
+
+All of this work happens in the context of the requesting application —
+never in interrupt mode, never when a deadline is in jeopardy — so the
+cost of computing a grant set is never paid with cycles already
+committed to an admitted task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.admission import AdmissionController
+from repro.core.grant_control import GrantController, GrantRequest, GrantSetResult
+from repro.core.kernel import Kernel
+from repro.core.policy_box import PolicyBox
+from repro.core.scheduler import RDScheduler
+from repro.core.threads import SimThread, ThreadState
+from repro.errors import AdmissionError, ResourceListError
+from repro.tasks.base import TaskDefinition
+
+
+@dataclass
+class _AdmittedRecord:
+    thread: SimThread
+    definition: TaskDefinition
+    quiescent: bool
+
+
+@dataclass(frozen=True)
+class UsageRecord:
+    """Per-thread accounting the Resource Manager reports."""
+
+    thread_id: int
+    name: str
+    periods: int
+    granted_ticks: int
+    used_ticks: int
+    overtime_ticks: int
+    quiescent: bool
+
+    @property
+    def grant_utilization(self) -> float:
+        """Fraction of granted time the thread actually consumed."""
+        if self.granted_ticks == 0:
+            return 0.0
+        return self.used_ticks / self.granted_ticks
+
+
+class ResourceManager:
+    """Owns the admitted-task population and its grants."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        scheduler: RDScheduler,
+        policy_box: PolicyBox,
+    ) -> None:
+        self.kernel = kernel
+        self.scheduler = scheduler
+        self.policy_box = policy_box
+        capacity = kernel.machine.schedulable_capacity
+        bandwidth = kernel.machine.bandwidth_capacity
+        self.admission = AdmissionController(capacity, bandwidth)
+        self.grant_control = GrantController(capacity, policy_box, bandwidth)
+        self._records: dict[int, _AdmittedRecord] = {}
+        self.last_result: GrantSetResult | None = None
+
+    # -- admission ---------------------------------------------------------
+
+    def request_admittance(self, definition: TaskDefinition) -> SimThread:
+        """Admit a task, or raise :class:`AdmissionError`.
+
+        The task is admitted iff the sum of minimum entries of every
+        admitted thread (runnable and quiescent), plus this task's
+        minimum, fits in the schedulable capacity.  On success the grant
+        set is recomputed; the new thread's first grant is delivered the
+        next time there is unallocated CPU time.
+        """
+        self._validate_definition(definition)
+        minimum = definition.resource_list.minimum
+        if not self.admission.can_admit(minimum.rate, minimum.bandwidth):
+            raise AdmissionError(
+                f"cannot admit {definition.name!r}: minimum "
+                f"({minimum.rate:.1%} CPU, {minimum.bandwidth:.1%} bandwidth) "
+                f"does not fit beside the committed "
+                f"{self.admission.committed:.1%} CPU / "
+                f"{self.admission.committed_bandwidth:.1%} bandwidth "
+                f"(capacities {self.admission.capacity:.1%} / "
+                f"{self.admission.bandwidth_capacity:.1%})"
+            )
+        policy_id = self.policy_box.register_task(definition.name)
+        thread = self.kernel.create_periodic(definition, policy_id)
+        self.admission.admit(thread.tid, minimum.rate, minimum.bandwidth)
+        self._records[thread.tid] = _AdmittedRecord(
+            thread=thread,
+            definition=definition,
+            quiescent=definition.start_quiescent,
+        )
+        self._recompute()
+        return thread
+
+    def _validate_definition(self, definition: TaskDefinition) -> None:
+        resource_list = definition.resource_list
+        if resource_list is None:
+            raise ResourceListError(f"task {definition.name!r} has no resource list")
+        if resource_list.minimum.exclusive:
+            raise ResourceListError(
+                f"task {definition.name!r}: the minimum resource-list entry "
+                f"must not require exclusive units, or the admission "
+                f"guarantee could not be honoured"
+            )
+        for entry in resource_list:
+            self.kernel.exclusive.validate_units(entry.exclusive)
+
+    # -- lifecycle changes -------------------------------------------------
+
+    def exit_thread(self, tid: int) -> None:
+        """A task terminated (naturally or by the user)."""
+        record = self._record(tid)
+        thread = record.thread
+        del self._records[tid]
+        self.admission.release(tid)
+        if thread.in_period:
+            # The grant is guaranteed through the current period; removal
+            # takes effect at the boundary.
+            thread.pending_state = ThreadState.EXITED
+        else:
+            thread.state = ThreadState.EXITED
+            self.kernel.exclusive.release_thread(tid)
+        self._recompute()
+
+    def enter_quiescent(self, tid: int) -> None:
+        """The task stops using resources but keeps its admission.
+
+        Its minimum stays committed in admission control, so it can
+        never be denied when it wakes; its grant is released so other
+        threads can deliver a higher QOS meanwhile (section 5.3).
+        """
+        record = self._record(tid)
+        if record.quiescent:
+            return
+        record.quiescent = True
+        if record.thread.in_period:
+            record.thread.pending_state = ThreadState.QUIESCENT
+        else:
+            record.thread.state = ThreadState.QUIESCENT
+        self._recompute()
+
+    def wake(self, tid: int) -> None:
+        """A quiescent task is ready to run again.
+
+        Guaranteed to succeed: at worst, every thread drops to its
+        minimum entry, which admission control has already reserved.
+        """
+        record = self._record(tid)
+        if not record.quiescent:
+            return
+        record.quiescent = False
+        record.thread.pending_state = None
+        self._recompute()
+
+    def change_resource_list(self, tid: int, definition: TaskDefinition) -> None:
+        """Replace a task's resource list (re-running admission)."""
+        record = self._record(tid)
+        self._validate_definition(definition)
+        minimum = definition.resource_list.minimum
+        self.admission.change_min_rate(tid, minimum.rate, minimum.bandwidth)
+        record.definition = definition
+        record.thread.definition = definition
+        self._recompute()
+
+    def policy_changed(self) -> None:
+        """The Policy Box was modified; recompute grants under it.
+
+        The paper leaves "when should the modification(s) occur to avoid
+        affecting current scheduling guarantees?" as an open issue (§7).
+        The answer already latent in its own machinery: recomputation
+        costs are paid here, in the modifier's context; the Scheduler
+        applies decreases at the affected threads' next period
+        boundaries and increases at unallocated time — so a policy
+        change can never break a guarantee mid-period.
+        """
+        if self._records:
+            self._recompute()
+
+    # -- grant recomputation -------------------------------------------------
+
+    def _recompute(self) -> None:
+        requests = [
+            GrantRequest(
+                thread_id=tid,
+                policy_id=record.thread.policy_id,
+                resource_list=record.definition.resource_list,
+                quiescent=record.quiescent,
+            )
+            for tid, record in sorted(self._records.items())
+        ]
+        result = self.grant_control.compute(requests)
+        self.last_result = result
+        assignment: dict[str, int | None] = {
+            unit: None for unit in self.kernel.exclusive.unit_names
+        }
+        assignment.update(result.exclusive_assignment)
+        self.kernel.exclusive.assign(assignment)
+        self.scheduler.notify_grant_set(result)
+
+    def _record(self, tid: int) -> _AdmittedRecord:
+        try:
+            return self._records[tid]
+        except KeyError:
+            raise AdmissionError(f"thread {tid} is not admitted") from None
+
+    # -- introspection ------------------------------------------------------
+
+    def admitted_ids(self) -> tuple[int, ...]:
+        return tuple(self._records)
+
+    def is_quiescent(self, tid: int) -> bool:
+        return self._record(tid).quiescent
+
+    def usage(self, tid: int) -> "UsageRecord":
+        """Accounting for one admitted thread.
+
+        The paper's Scheduler "passes accounting information to the
+        Resource Manager"; here the kernel maintains the counters and
+        the RM exposes them — the application-visible answer to "what
+        did my grants actually deliver?"
+        """
+        record = self._record(tid)
+        thread = record.thread
+        return UsageRecord(
+            thread_id=tid,
+            name=thread.name,
+            periods=thread.periods_completed,
+            granted_ticks=thread.total_granted_ticks,
+            used_ticks=thread.total_used_ticks,
+            overtime_ticks=thread.total_overtime_ticks,
+            quiescent=record.quiescent,
+        )
+
+    def usage_summary(self) -> list["UsageRecord"]:
+        """Accounting for the whole admitted population."""
+        return [self.usage(tid) for tid in sorted(self._records)]

@@ -1,0 +1,251 @@
+"""The ETI Resource Distributor's Scheduler.
+
+A policy-free Earliest Deadline First enforcer (section 4.2):
+
+* Threads with unused granted CPU this period form the **TimeRemaining**
+  queue; threads that used their allocation or declared themselves done
+  form the **TimeExpired** queue, a subset of which — those that ran out
+  of time with work left, or explicitly asked — is **OvertimeRequested**.
+  All queues are deadline-ordered.  The Idle thread is always on
+  OvertimeRequested.
+* On a context switch the Scheduler takes the head of TimeRemaining; if
+  that queue is empty and new grants are pending it calls back to the
+  Resource Manager for them (so adding a task can never disturb an
+  admitted task); finally it takes the head of OvertimeRequested.
+* The timer interrupt is set for the earlier of (1) the end of the
+  running thread's grant for this period and (2) the beginning of a new
+  period for another thread whose next-period end precedes the running
+  thread's period end.
+* Small-overlap override: when the remaining allocation past such a
+  boundary is smaller than a context-switch-scale threshold, the thread
+  is allowed to finish rather than being preempted twice.
+* Grant decreases/removals are applied at the affected thread's next
+  period boundary immediately; increases and new threads wait for
+  unallocated CPU time.
+
+The Scheduler communicates only with the Resource Manager — never with
+the Policy Box, users, or applications.
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.core.grant_control import GrantSetResult
+from repro.core.grants import Grant
+from repro.core.kernel import Kernel
+from repro.core.threads import SimThread, ThreadState
+
+
+def _edf_key(thread: SimThread) -> tuple[int, int]:
+    """Deadline order with a stable tid tie-break."""
+    return (thread.deadline, thread.tid)
+
+
+class RDScheduler:
+    """The Resource Distributor's EDF scheduler policy."""
+
+    def __init__(self, kernel: Kernel, overlap_override_ticks: int | None = None) -> None:
+        self.kernel = kernel
+        self.overlap_override_ticks = (
+            kernel.machine.overlap_override_ticks
+            if overlap_override_ticks is None
+            else overlap_override_ticks
+        )
+        #: Grants awaiting unallocated CPU time: tid -> Grant.
+        self._pending_activation: dict[int, Grant] = {}
+        #: Count of Resource Manager callbacks taken at unallocated time.
+        self.activation_count = 0
+        kernel.bind_policy(self)
+
+    # -- Resource Manager interface ------------------------------------------
+
+    def notify_grant_set(self, result: GrantSetResult) -> None:
+        """Receive a new grant set from the Resource Manager.
+
+        Decreases and removals take effect at each affected thread's
+        next period boundary, immediately; increases and first grants
+        wait for unallocated time ("the next time there is unallocated
+        CPU time, the Scheduler makes a callback to the Resource Manager
+        to get the new grant information").
+        """
+        grant_set = result.grant_set
+        pending: dict[int, Grant] = {}
+        for thread in self.kernel.periodic_threads():
+            if thread.state is ThreadState.EXITED:
+                continue
+            new = grant_set.get(thread.tid)
+            if thread.in_period:
+                assert thread.grant is not None
+                if new is None:
+                    thread.pending_grant = None
+                    thread.has_pending_change = True
+                elif new.entry is thread.grant.entry:
+                    thread.pending_grant = None
+                    thread.has_pending_change = False
+                elif new.rate <= thread.grant.rate:
+                    thread.pending_grant = new
+                    thread.has_pending_change = True
+                else:
+                    pending[thread.tid] = new
+            elif new is not None:
+                pending[thread.tid] = new
+        self._pending_activation = pending
+        self.kernel.request_reschedule()
+
+    @property
+    def has_pending_activation(self) -> bool:
+        return bool(self._pending_activation)
+
+    def _activate(self, now: int) -> None:
+        """The unallocated-time callback: start new grants."""
+        self.activation_count += 1
+        pending, self._pending_activation = self._pending_activation, {}
+        for tid, grant in pending.items():
+            thread = self.kernel.threads.get(tid)
+            if thread is None or thread.state is ThreadState.EXITED:
+                continue
+            if thread.in_period:
+                # An increase for a running thread: applies at its next
+                # period boundary, so the grant never changes mid-period.
+                thread.pending_grant = grant
+                thread.has_pending_change = True
+            else:
+                # A new thread or a quiescent thread waking up: its first
+                # period starts now, in time that would otherwise have
+                # been unallocated.
+                self.kernel.start_first_period(thread, grant, now)
+
+    # -- queue views -----------------------------------------------------------
+
+    def time_remaining_queue(self, now: int) -> list[SimThread]:
+        return sorted(
+            (
+                t
+                for t in self.kernel.periodic_threads()
+                if t.eligible_time_remaining(now)
+            ),
+            key=_edf_key,
+        )
+
+    def overtime_queue(self, now: int) -> list[SimThread]:
+        return sorted(
+            (t for t in self.kernel.periodic_threads() if t.eligible_overtime(now)),
+            key=_edf_key,
+        )
+
+    # -- kernel policy interface ---------------------------------------------------
+
+    def pick(self, now: int) -> SimThread:
+        remaining = self.time_remaining_queue(now)
+        if not remaining and self._pending_activation:
+            self._activate(now)
+            remaining = self.time_remaining_queue(now)
+        if remaining:
+            return remaining[0]
+        overtime = self.overtime_queue(now)
+        if overtime:
+            return overtime[0]
+        return self.kernel.idle
+
+    def timer_for(self, thread: SimThread, now: int) -> int:
+        if thread.is_idle or not thread.eligible_time_remaining(now):
+            return self._unallocated_timer(thread, now)
+        assert thread.grant is not None
+        grant_end = now + thread.remaining
+        limit = min(grant_end, thread.deadline)
+        boundary = self._earliest_preempting_boundary(thread, now, limit)
+        if boundary is not None:
+            if grant_end - boundary <= self.overlap_override_ticks:
+                # Small-overlap override: finish the nearly-done grant
+                # instead of paying two context switches.
+                return limit
+            return boundary
+        return limit
+
+    def _unallocated_timer(self, thread: SimThread, now: int) -> int:
+        """Timer while running on unallocated time (overtime or idle):
+        any thread's fresh allocation preempts."""
+        stop = units.INFINITE
+        if not thread.is_idle and thread.in_period:
+            stop = thread.deadline
+        for other in self.kernel.periodic_threads():
+            boundary = self._fresh_allocation_time(other, now)
+            if boundary is not None and boundary < stop:
+                stop = boundary
+        return stop
+
+    def _fresh_allocation_time(self, thread: SimThread, now: int) -> int | None:
+        """When ``thread`` next receives a fresh allocation, if ever."""
+        if thread.state is not ThreadState.ACTIVE or not thread.in_period:
+            return None
+        if thread.period_start > now:
+            return thread.period_start  # postponed period about to begin
+        if thread.has_pending_change and thread.pending_grant is None:
+            return None  # grant being removed at the boundary
+        return thread.deadline
+
+    def _next_deadline_after(self, thread: SimThread, now: int) -> int:
+        """The deadline the thread will have after its next boundary."""
+        if thread.period_start > now:
+            return thread.deadline
+        period = thread.grant.period if thread.grant is not None else units.INFINITE
+        if thread.has_pending_change and thread.pending_grant is not None:
+            period = thread.pending_grant.period
+        return thread.deadline + thread.postpone_next + period
+
+    def _earliest_preempting_boundary(
+        self, thread: SimThread, now: int, limit: int
+    ) -> int | None:
+        """Rule (2): the beginning of a new period for another thread
+        whose next-period end precedes the running thread's period end."""
+        best: int | None = None
+        for other in self.kernel.periodic_threads():
+            if other is thread:
+                continue
+            boundary = self._fresh_allocation_time(other, now)
+            if boundary is None or boundary <= now or boundary >= limit:
+                continue
+            if self._next_deadline_after(other, now) >= thread.deadline:
+                continue
+            if best is None or boundary < best:
+                best = boundary
+        return best
+
+    def snapshot(self, now: int) -> dict:
+        """Debug view of the scheduler's queues at ``now``.
+
+        Mirrors the paper's description: the deadline-ordered
+        TimeRemaining queue, the TimeExpired set, the OvertimeRequested
+        subset, and any grants awaiting unallocated time.
+        """
+        remaining = self.time_remaining_queue(now)
+        overtime = self.overtime_queue(now)
+        expired = [
+            t
+            for t in self.kernel.periodic_threads()
+            if t.state is ThreadState.ACTIVE
+            and t.period_started(now)
+            and not t.eligible_time_remaining(now)
+        ]
+        return {
+            "now": now,
+            "time_remaining": [(t.tid, t.name, t.deadline, t.remaining) for t in remaining],
+            "time_expired": [(t.tid, t.name, t.deadline) for t in expired],
+            "overtime_requested": [(t.tid, t.name, t.deadline) for t in overtime],
+            "pending_activation": sorted(self._pending_activation),
+        }
+
+    def preemption_imminent(self, thread: SimThread, now: int) -> bool:
+        """Would the scheduler hand the CPU to a different thread now?
+        Used only to decide whether a grace period is worth starting."""
+        if self._pending_activation:
+            return True
+        for other in self.kernel.periodic_threads():
+            if other is thread:
+                continue
+            if other.eligible_time_remaining(now):
+                if not thread.eligible_time_remaining(now):
+                    return True
+                if _edf_key(other) < _edf_key(thread):
+                    return True
+        return False

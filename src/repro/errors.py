@@ -1,0 +1,43 @@
+"""Exception hierarchy for the ETI Resource Distributor reproduction."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ResourceListError(ReproError):
+    """A resource list is malformed (empty, bad ordering, bad units)."""
+
+
+class AdmissionError(ReproError):
+    """A task could not be admitted: the sum of minimum grants would
+    exceed the resources available on the machine."""
+
+
+class GrantError(ReproError):
+    """Grant-set computation failed or a grant was used inconsistently."""
+
+
+class PolicyError(ReproError):
+    """The Policy Box was given an invalid policy (bad rankings, unknown
+    task ids, rankings that cannot fit)."""
+
+
+class SchedulerError(ReproError):
+    """Internal scheduler invariant violated (a bug, not a user error)."""
+
+
+class TaskError(ReproError):
+    """An application task misused the kernel protocol (e.g. yielded an
+    unknown op, computed after declaring itself done)."""
+
+
+class ClockError(ReproError):
+    """Clock misuse: reading a clock backwards in time, invalid skew."""
+
+
+class SimulationError(ReproError):
+    """Simulation harness misuse (running past horizon, re-running a
+    finished simulation, scheduling events in the past)."""

@@ -1,0 +1,48 @@
+"""Metrics derived from simulation traces.
+
+Everything here is computed from :class:`repro.sim.trace.TraceRecorder`
+records only — never from scheduler internals — so the same functions
+apply to the Resource Distributor and to every baseline scheduler.
+"""
+
+from repro.metrics.accounting import (
+    PeriodOutcome,
+    allocation_series,
+    delivered_per_period,
+    miss_rate,
+    qos_timeline,
+    utilization,
+)
+from repro.metrics.analysis import (
+    SwitchStats,
+    overhead_fraction,
+    preemptions_per_thread,
+    summarize_switches,
+)
+from repro.metrics.export import deadlines_to_csv, segments_to_csv, trace_to_json
+from repro.metrics.latency import LatencyStats, completion_times, latency_stats
+from repro.metrics.report import run_report
+from repro.metrics.validate import TraceValidator, ValidationReport, validate_trace
+
+__all__ = [
+    "LatencyStats",
+    "PeriodOutcome",
+    "SwitchStats",
+    "TraceValidator",
+    "ValidationReport",
+    "completion_times",
+    "deadlines_to_csv",
+    "latency_stats",
+    "segments_to_csv",
+    "trace_to_json",
+    "validate_trace",
+    "allocation_series",
+    "delivered_per_period",
+    "miss_rate",
+    "overhead_fraction",
+    "preemptions_per_thread",
+    "qos_timeline",
+    "run_report",
+    "summarize_switches",
+    "utilization",
+]

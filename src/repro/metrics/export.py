@@ -1,0 +1,128 @@
+"""Trace export: CSV and JSON serializations of a run.
+
+Lets downstream tooling (spreadsheets, notebooks, external plotters)
+consume simulation results without importing this library.  Exports are
+plain data derived from the trace — nothing about scheduler internals
+leaks, so the format is stable across scheduler implementations.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from repro.sim.trace import TraceRecorder
+
+
+def segments_to_csv(trace: TraceRecorder) -> str:
+    """Run segments as CSV: thread, start, end, kind, period, charged_to."""
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(["thread_id", "start", "end", "kind", "period_index", "charged_to"])
+    for seg in trace.segments:
+        writer.writerow(
+            [
+                seg.thread_id,
+                seg.start,
+                seg.end,
+                seg.kind.value,
+                seg.period_index,
+                "" if seg.charged_to is None else seg.charged_to,
+            ]
+        )
+    return out.getvalue()
+
+
+def deadlines_to_csv(trace: TraceRecorder) -> str:
+    """Per-period outcomes as CSV."""
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(
+        [
+            "thread_id",
+            "period_index",
+            "period_start",
+            "deadline",
+            "granted",
+            "delivered",
+            "missed",
+            "voided",
+        ]
+    )
+    for d in trace.deadlines:
+        writer.writerow(
+            [
+                d.thread_id,
+                d.period_index,
+                d.period_start,
+                d.deadline,
+                d.granted,
+                d.delivered,
+                int(d.missed),
+                int(d.voided),
+            ]
+        )
+    return out.getvalue()
+
+
+def trace_to_json(trace: TraceRecorder) -> str:
+    """The whole trace as one JSON document."""
+    payload = {
+        "segments": [
+            {
+                "thread_id": s.thread_id,
+                "start": s.start,
+                "end": s.end,
+                "kind": s.kind.value,
+                "period_index": s.period_index,
+                "charged_to": s.charged_to,
+            }
+            for s in trace.segments
+        ],
+        "switches": [
+            {
+                "time": s.time,
+                "from": s.from_thread,
+                "to": s.to_thread,
+                "kind": s.kind.value,
+                "cost_ticks": s.cost_ticks,
+            }
+            for s in trace.switches
+        ],
+        "deadlines": [
+            {
+                "thread_id": d.thread_id,
+                "period_index": d.period_index,
+                "period_start": d.period_start,
+                "deadline": d.deadline,
+                "granted": d.granted,
+                "delivered": d.delivered,
+                "missed": d.missed,
+                "voided": d.voided,
+            }
+            for d in trace.deadlines
+        ],
+        "grant_changes": [
+            {
+                "time": g.time,
+                "thread_id": g.thread_id,
+                "period": g.period,
+                "cpu_ticks": g.cpu_ticks,
+                "entry_index": g.entry_index,
+                "reason": g.reason,
+            }
+            for g in trace.grant_changes
+        ],
+        "blocks": [
+            {
+                "time": b.time,
+                "thread_id": b.thread_id,
+                "blocked": b.blocked,
+                "channel": b.channel,
+            }
+            for b in trace.blocks
+        ],
+        "notes": [{"time": t, "text": text} for t, text in trace.notes],
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,89 @@
+"""Grant-completion latency analysis.
+
+Section 4.2: "One implication of EDF is that the maximum guaranteed
+latency for a task is twice its period minus twice its CPU requirement.
+This occurs when the grant is delivered to an application at the
+beginning of one period and at the end of the subsequent period."
+
+These helpers measure, per thread, when each period's grant finished
+being delivered, the gaps between consecutive completions (the latency
+a frame consumer actually experiences), and check them against the
+paper's 2P - 2C bound.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from repro.sim.trace import SegmentKind, TraceRecorder
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Completion-gap statistics for one thread."""
+
+    thread_id: int
+    completions: int
+    min_gap: int
+    mean_gap: float
+    max_gap: int
+    #: The paper's worst-case bound 2*period - 2*cpu for this thread.
+    bound: int
+
+    @property
+    def within_bound(self) -> bool:
+        return self.max_gap <= self.bound
+
+    @property
+    def bound_utilization(self) -> float:
+        """How much of the theoretical worst case was observed."""
+        return self.max_gap / self.bound if self.bound else 0.0
+
+
+def completion_times(trace: TraceRecorder, thread_id: int) -> list[int]:
+    """The instant each period's full grant had been delivered.
+
+    Periods that were voided (blocked) or missed have no completion and
+    are skipped.
+    """
+    deadlines = {
+        d.period_index: d
+        for d in trace.deadlines_for(thread_id)
+        if not d.voided and not d.missed
+    }
+    progress: dict[int, int] = {}
+    completions: dict[int, int] = {}
+    for seg in trace.segments:
+        if seg.thread_id != thread_id or seg.kind is not SegmentKind.GRANTED:
+            continue
+        d = deadlines.get(seg.period_index)
+        if d is None or seg.period_index in completions:
+            continue
+        got = progress.get(seg.period_index, 0)
+        need = d.granted - got
+        if seg.length >= need:
+            completions[seg.period_index] = seg.start + need
+        progress[seg.period_index] = got + seg.length
+    return [completions[k] for k in sorted(completions)]
+
+
+def latency_stats(
+    trace: TraceRecorder, thread_id: int, period: int, cpu: int
+) -> LatencyStats | None:
+    """Completion-gap stats for a thread with a fixed (period, cpu).
+
+    Returns None when fewer than two completions exist.
+    """
+    times = completion_times(trace, thread_id)
+    if len(times) < 2:
+        return None
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    return LatencyStats(
+        thread_id=thread_id,
+        completions=len(times),
+        min_gap=min(gaps),
+        mean_gap=statistics.fmean(gaps),
+        max_gap=max(gaps),
+        bound=2 * period - 2 * cpu,
+    )

@@ -1,0 +1,95 @@
+"""Human-readable run reports.
+
+``run_report`` turns a finished run into the summary an operator would
+want: per-thread grant/delivery/miss accounting, switch overhead, QOS
+changes, and the trace audit — all derived from the trace.
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.core.distributor import ResourceDistributor
+from repro.metrics.accounting import miss_rate, utilization
+from repro.metrics.analysis import overhead_fraction, summarize_switches, switches_per_second
+from repro.metrics.validate import validate_trace
+from repro.sim.trace import SwitchKind
+from repro.viz.tables import format_table
+
+
+def run_report(rd: ResourceDistributor, names: dict[int, str] | None = None) -> str:
+    """Summarize a finished :class:`ResourceDistributor` run."""
+    trace = rd.trace
+    now = rd.now
+    names = names or {}
+    lines = [
+        f"run report — {units.ticks_to_ms(now):,.1f} ms simulated "
+        f"({now:,d} ticks at 27 MHz)"
+    ]
+
+    # -- per-thread accounting ---------------------------------------------
+    rows = []
+    tids = sorted({d.thread_id for d in trace.deadlines})
+    for tid in tids:
+        outcomes = trace.deadlines_for(tid)
+        granted = sum(d.granted for d in outcomes)
+        delivered = sum(d.delivered for d in outcomes)
+        missed = sum(1 for d in outcomes if d.missed)
+        voided = sum(1 for d in outcomes if d.voided)
+        busy = trace.busy_ticks(tid, 0, now)
+        thread = rd.kernel.threads.get(tid)
+        name = names.get(tid) or (thread.name if thread else f"thread{tid}")
+        rows.append(
+            [
+                f"{name} ({tid})",
+                len(outcomes),
+                f"{units.ticks_to_ms(granted):,.1f}",
+                f"{units.ticks_to_ms(delivered):,.1f}",
+                missed,
+                voided,
+                f"{busy / now:.1%}" if now else "-",
+            ]
+        )
+    if rows:
+        lines.append("")
+        lines.append(
+            format_table(
+                ["thread", "periods", "granted ms", "delivered ms", "missed", "voided", "CPU"],
+                rows,
+            )
+        )
+
+    # -- QOS changes ------------------------------------------------------------
+    changes = [g for g in trace.grant_changes if g.reason == "grant change"]
+    if changes:
+        lines.append("")
+        lines.append(f"grant changes ({len(changes)}):")
+        for g in changes[:20]:
+            name = names.get(g.thread_id, f"thread{g.thread_id}")
+            lines.append(
+                f"  t={units.ticks_to_ms(g.time):8.1f} ms  {name}: "
+                f"entry #{g.entry_index} ({g.rate:.1%})"
+            )
+        if len(changes) > 20:
+            lines.append(f"  ... and {len(changes) - 20} more")
+
+    # -- system overhead -----------------------------------------------------------
+    lines.append("")
+    vol = summarize_switches(trace, SwitchKind.VOLUNTARY)
+    invol = summarize_switches(trace, SwitchKind.INVOLUNTARY)
+    lines.append(
+        f"context switches: {vol.count} voluntary + {invol.count} involuntary "
+        f"({switches_per_second(trace, 0, now):.0f}/s), "
+        f"overhead {overhead_fraction(trace, 0, now):.2%} of the CPU"
+    )
+    shares = utilization(trace, 0, now)
+    idle = shares.get(0, 0.0)
+    system = shares.get(-1, 0.0)
+    lines.append(f"idle: {idle:.1%}   system/interrupt: {system:.1%}")
+    lines.append(f"overall miss rate: {miss_rate(trace):.2%}")
+    if rd.kernel.crashes:
+        lines.append(f"task crashes: {len(rd.kernel.crashes)}")
+
+    # -- audit -------------------------------------------------------------------
+    lines.append("")
+    lines.append(validate_trace(trace, end_time=now).summary().splitlines()[0])
+    return "\n".join(lines)

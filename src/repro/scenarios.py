@@ -1,0 +1,179 @@
+"""Canonical scenarios: the paper's experiments as one-call builders.
+
+Each builder wires a ready-to-run :class:`ResourceDistributor` with the
+exact task population of one of the paper's experiments (or a composite
+like the set-top box).  They are the shared vocabulary between the CLI,
+the examples, and downstream users who want a known-good starting
+point::
+
+    from repro.scenarios import figure5
+    scenario = figure5()
+    scenario.rd.run_for(units.ms_to_ticks(150))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import units
+from repro.config import ContextSwitchCosts, MachineConfig, SimConfig
+from repro.core.distributor import ResourceDistributor
+from repro.core.resource_list import ResourceList, ResourceListEntry
+from repro.core.sporadic import SporadicServer
+from repro.core.threads import SimThread
+from repro.tasks.base import TaskDefinition
+from repro.tasks.busyloop import busyloop_definition
+from repro.workloads import grant_follower, greedy_worker
+
+
+@dataclass
+class Scenario:
+    """A wired distributor plus the named threads and helper objects."""
+
+    rd: ResourceDistributor
+    threads: dict[str, SimThread] = field(default_factory=dict)
+    extras: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def trace(self):
+        return self.rd.trace
+
+    def run_for(self, ticks: int) -> "Scenario":
+        self.rd.run_for(ticks)
+        return self
+
+    def names(self) -> dict[int, str]:
+        """tid -> name map, for Gantt rendering."""
+        return {t.tid: name for name, t in self.threads.items()}
+
+
+def _machine(kind: str) -> MachineConfig:
+    if kind == "ideal":
+        return MachineConfig.ideal()
+    if kind == "quiet":  # paper reserve, deterministic switches
+        return MachineConfig(switch_costs=ContextSwitchCosts.zero())
+    return MachineConfig()
+
+
+def table4_trio(seed: int = 0, machine: str = "ideal") -> Scenario:
+    """Table 4 / Figure 3: modem + 3D graphics + MPEG decompression."""
+    rd = ResourceDistributor(machine=_machine(machine), sim=SimConfig(seed=seed))
+    specs = [
+        ("Modem", 270_000, 27_000, grant_follower),
+        ("3D", 275_300, 143_156, greedy_worker),
+        ("MPEG", 810_000, 270_000, grant_follower),
+    ]
+    threads = {}
+    for name, period, cpu, fn in specs:
+        threads[name] = rd.admit(
+            TaskDefinition(
+                name=name,
+                resource_list=ResourceList([ResourceListEntry(period, cpu, fn, name)]),
+            )
+        )
+    return Scenario(rd=rd, threads=threads)
+
+
+def figure4(seed: int = 0, fixed: bool = False, machine: str = "calibrated") -> Scenario:
+    """Figure 4: two producers, two data-management threads, a greedy
+    Sporadic Server.  ``fixed=True`` applies the paper's suggested fix
+    (block on an event instead of spinning)."""
+    from repro.tasks.producer_consumer import Figure4Workload
+
+    rd = ResourceDistributor(machine=_machine(machine), sim=SimConfig(seed=seed))
+    server = SporadicServer(rd, greedy=True)
+    workload = Figure4Workload(fixed=fixed)
+    threads = dict(
+        zip(["p7", "dm8", "p9", "dm10"], (rd.admit(d) for d in workload.definitions()))
+    )
+    threads["SporadicServer"] = server.thread
+    return Scenario(rd=rd, threads=threads, extras={"workload": workload, "server": server})
+
+
+def figure5(seed: int = 0, stagger_ms: float = 20.0) -> Scenario:
+    """Table 6 / Figure 5: five BusyLoop threads admitted 20 ms apart."""
+    rd = ResourceDistributor(machine=_machine("quiet"), sim=SimConfig(seed=seed))
+    server = SporadicServer(rd, greedy=True)
+    scenario = Scenario(rd=rd, threads={"SporadicServer": server.thread})
+    scenario.extras["server"] = server
+
+    def admit(name: str) -> None:
+        scenario.threads[name] = rd.admit(busyloop_definition(name))
+
+    admit("thread2")
+    for i in range(1, 5):
+        rd.at(units.ms_to_ticks(stagger_ms * i), lambda n=f"thread{i + 2}": admit(n))
+    return scenario
+
+
+def settop(seed: int = 0, ring_ms: float = 300.0, machine: str = "calibrated") -> Scenario:
+    """Section 5.3: DVD video+audio, teleconference renderer, and a
+    quiescent modem that answers the phone at ``ring_ms``."""
+    from repro.tasks.ac3 import Ac3Decoder
+    from repro.tasks.graphics3d import Renderer3D
+    from repro.tasks.modem import Modem
+    from repro.tasks.mpeg import MpegDecoder
+
+    rd = ResourceDistributor(machine=_machine(machine), sim=SimConfig(seed=seed))
+    mpeg = MpegDecoder("DVD-video")
+    ac3 = Ac3Decoder("DVD-audio")
+    renderer = Renderer3D("Teleconf", use_scaler=False)
+    modem = Modem("Modem")
+    threads = {
+        "DVD-video": rd.admit(mpeg.definition()),
+        "DVD-audio": rd.admit(ac3.definition()),
+        "Teleconf": rd.admit(renderer.definition()),
+        "Modem": rd.admit(modem.definition(start_quiescent=True)),
+    }
+    rd.at(units.ms_to_ticks(ring_ms), lambda: rd.wake(threads["Modem"].tid), "ring")
+    return Scenario(
+        rd=rd,
+        threads=threads,
+        extras={"mpeg": mpeg, "ac3": ac3, "renderer": renderer, "modem": modem},
+    )
+
+
+def av_pipeline(seed: int = 61, fixed: bool = True) -> Scenario:
+    """The §6.1 overhead scenario: MPEG + AC3 + data threads + server."""
+    from repro.tasks.ac3 import Ac3Decoder
+    from repro.tasks.mpeg import MpegDecoder
+    from repro.tasks.producer_consumer import Figure4Workload
+
+    rd = ResourceDistributor(machine=_machine("calibrated"), sim=SimConfig(seed=seed))
+    server = SporadicServer(rd, greedy=True)
+    mpeg = MpegDecoder()
+    ac3 = Ac3Decoder()
+    workload = Figure4Workload(fixed=fixed)
+    defs = workload.definitions()
+    threads = {
+        "MPEG": rd.admit(mpeg.definition()),
+        "AC3": rd.admit(ac3.definition()),
+        "data8": rd.admit(defs[1]),
+        "data10": rd.admit(defs[3]),
+        "SporadicServer": server.thread,
+    }
+    return Scenario(
+        rd=rd, threads=threads, extras={"mpeg": mpeg, "ac3": ac3, "workload": workload}
+    )
+
+
+def dual_stream(seed: int = 0, skew_ppm: float = 2_000.0, horizon_sec: float = 10.0) -> Scenario:
+    """Two live MPEG transport streams: the first defines the timebase,
+    the second drifts and must phase-lock in software (§5.4)."""
+    from repro.tasks.mpeg import MpegDecoder
+    from repro.tasks.stream import LiveMpegDecoder, TransportStream
+
+    rd = ResourceDistributor(machine=_machine("ideal"), sim=SimConfig(seed=seed))
+    primary = MpegDecoder("stream1")
+    stream2 = TransportStream("stream2", skew_ppm=skew_ppm)
+    decoder2 = LiveMpegDecoder(stream2, synchronize=True)
+    threads = {
+        "stream1": rd.admit(primary.definition()),
+        "stream2": rd.admit(decoder2.definition()),
+    }
+    stream2.attach(rd.kernel, units.sec_to_ticks(horizon_sec))
+    return Scenario(
+        rd=rd,
+        threads=threads,
+        extras={"primary": primary, "stream2": stream2, "decoder2": decoder2},
+    )

@@ -1,0 +1,37 @@
+"""Discrete-event simulation substrate.
+
+This package provides the deterministic foundation every experiment runs
+on: an event queue with stable ordering, simulated clocks (including
+drifting external clocks for the clock-synchronization experiments), a
+seeded RNG registry, and a trace recorder that captures everything the
+metrics and visualization layers need.
+"""
+
+from repro.sim.clock import DriftingClock, SimClock, TCIClock
+from repro.sim.events import EventQueue, ScheduledEvent
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import (
+    BlockRecord,
+    ContextSwitchRecord,
+    DeadlineRecord,
+    GrantChangeRecord,
+    RunSegment,
+    SwitchKind,
+    TraceRecorder,
+)
+
+__all__ = [
+    "BlockRecord",
+    "ContextSwitchRecord",
+    "DeadlineRecord",
+    "DriftingClock",
+    "EventQueue",
+    "GrantChangeRecord",
+    "RngRegistry",
+    "RunSegment",
+    "ScheduledEvent",
+    "SimClock",
+    "SwitchKind",
+    "TCIClock",
+    "TraceRecorder",
+]

@@ -1,0 +1,31 @@
+"""Seeded random-number streams, one per subsystem.
+
+Each subsystem (context-switch cost model, each workload model, ...)
+draws from its own named stream derived from the run seed.  This keeps
+runs reproducible *and* insensitive to unrelated changes: adding a draw
+in one subsystem cannot perturb another subsystem's sequence.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+class RngRegistry:
+    """Factory of independent, deterministic ``random.Random`` streams."""
+
+    def __init__(self, seed: int) -> None:
+        self._seed = seed
+        self._streams: dict[str, random.Random] = {}
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it on first use."""
+        if name not in self._streams:
+            digest = hashlib.sha256(f"{self._seed}:{name}".encode()).digest()
+            self._streams[name] = random.Random(int.from_bytes(digest[:8], "big"))
+        return self._streams[name]

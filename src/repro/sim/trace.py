@@ -1,0 +1,210 @@
+"""Execution trace recording.
+
+The trace is the single source of truth for every experiment: metrics
+(delivered CPU per period, deadline misses, switch overhead) and the
+ASCII Gantt charts that regenerate the paper's Figures 3-5 are both
+computed from it, never from scheduler internals.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class SwitchKind(enum.Enum):
+    """How a context switch happened (paper section 5.6)."""
+
+    #: The outgoing thread yielded: finished its work, blocked, or noticed
+    #: a grace-period notification and yielded in time.
+    VOLUNTARY = "voluntary"
+    #: The outgoing thread was preempted by the timer interrupt.
+    INVOLUNTARY = "involuntary"
+
+
+class SegmentKind(enum.Enum):
+    """What kind of time a run segment represents."""
+
+    #: Execution charged against the thread's grant for the period.
+    GRANTED = "granted"
+    #: Execution past the grant, on unallocated time (OvertimeRequested).
+    OVERTIME = "overtime"
+    #: Execution by a sporadic task on an assigned grant; charged to the
+    #: assigning periodic thread.
+    ASSIGNED = "assigned"
+    #: Context-switch / kernel overhead (covered by the interrupt reserve).
+    SYSTEM = "system"
+    #: The idle thread.
+    IDLE = "idle"
+
+
+@dataclass(frozen=True)
+class RunSegment:
+    """A contiguous interval during which one thread held the CPU."""
+
+    thread_id: int
+    start: int
+    end: int
+    kind: SegmentKind
+    #: Index of the period the time was charged to (grant accounting), or
+    #: -1 for system/idle segments.
+    period_index: int = -1
+    #: For ASSIGNED segments: the periodic thread whose grant paid for it.
+    charged_to: int | None = None
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class ContextSwitchRecord:
+    """One context switch, with its sampled cost."""
+
+    time: int
+    from_thread: int | None
+    to_thread: int | None
+    kind: SwitchKind
+    cost_ticks: int
+
+
+@dataclass(frozen=True)
+class DeadlineRecord:
+    """Outcome of one period of one thread.
+
+    ``missed`` is True when the scheduler failed to deliver the full
+    grant by the period end even though the thread was eligible for it
+    the whole period.  Periods in which the thread was blocked void the
+    guarantee (paper section 4.2) and are flagged ``voided`` instead.
+    """
+
+    thread_id: int
+    period_index: int
+    period_start: int
+    deadline: int
+    granted: int
+    delivered: int
+    missed: bool
+    voided: bool = False
+
+    @property
+    def met(self) -> bool:
+        return not self.missed
+
+
+@dataclass(frozen=True)
+class GrantChangeRecord:
+    """A thread's grant changed (new grant set activated)."""
+
+    time: int
+    thread_id: int
+    period: int
+    cpu_ticks: int
+    entry_index: int
+    reason: str = ""
+
+    @property
+    def rate(self) -> float:
+        return self.cpu_ticks / self.period if self.period else 0.0
+
+
+@dataclass(frozen=True)
+class BlockRecord:
+    """A thread blocked on, or was woken from, a channel."""
+
+    time: int
+    thread_id: int
+    blocked: bool
+    channel: str = ""
+
+
+@dataclass
+class TraceRecorder:
+    """Accumulates trace records during a simulation run."""
+
+    segments: list[RunSegment] = field(default_factory=list)
+    switches: list[ContextSwitchRecord] = field(default_factory=list)
+    deadlines: list[DeadlineRecord] = field(default_factory=list)
+    grant_changes: list[GrantChangeRecord] = field(default_factory=list)
+    blocks: list[BlockRecord] = field(default_factory=list)
+    #: Free-form annotations (time, text) for experiment narration.
+    notes: list[tuple[int, str]] = field(default_factory=list)
+
+    def record_segment(self, segment: RunSegment) -> None:
+        if segment.end < segment.start:
+            raise ValueError(f"segment ends before it starts: {segment}")
+        if segment.length == 0:
+            return
+        # Coalesce with the previous segment when execution is
+        # contiguous — a thread computing in many small chunks is one
+        # run on the CPU, not many.
+        if self.segments:
+            last = self.segments[-1]
+            if (
+                last.thread_id == segment.thread_id
+                and last.kind == segment.kind
+                and last.period_index == segment.period_index
+                and last.charged_to == segment.charged_to
+                and last.end == segment.start
+            ):
+                self.segments[-1] = RunSegment(
+                    thread_id=last.thread_id,
+                    start=last.start,
+                    end=segment.end,
+                    kind=last.kind,
+                    period_index=last.period_index,
+                    charged_to=last.charged_to,
+                )
+                return
+        self.segments.append(segment)
+
+    def record_switch(self, record: ContextSwitchRecord) -> None:
+        self.switches.append(record)
+
+    def record_deadline(self, record: DeadlineRecord) -> None:
+        self.deadlines.append(record)
+
+    def record_grant_change(self, record: GrantChangeRecord) -> None:
+        self.grant_changes.append(record)
+
+    def record_block(self, record: BlockRecord) -> None:
+        self.blocks.append(record)
+
+    def note(self, time: int, text: str) -> None:
+        self.notes.append((time, text))
+
+    # -- convenience queries used by metrics and tests ------------------
+
+    def segments_for(self, thread_id: int) -> list[RunSegment]:
+        """All run segments of one thread, in time order."""
+        return [s for s in self.segments if s.thread_id == thread_id]
+
+    def busy_ticks(self, thread_id: int, start: int = 0, end: int | None = None) -> int:
+        """Total CPU ticks ``thread_id`` held within ``[start, end)``."""
+        total = 0
+        for seg in self.segments:
+            if seg.thread_id != thread_id:
+                continue
+            lo = max(seg.start, start)
+            hi = seg.end if end is None else min(seg.end, end)
+            if hi > lo:
+                total += hi - lo
+        return total
+
+    def switch_count(self, kind: SwitchKind | None = None) -> int:
+        if kind is None:
+            return len(self.switches)
+        return sum(1 for s in self.switches if s.kind == kind)
+
+    def switch_cost_ticks(self, kind: SwitchKind | None = None) -> int:
+        return sum(s.cost_ticks for s in self.switches if kind is None or s.kind == kind)
+
+    def misses(self, thread_id: int | None = None) -> list[DeadlineRecord]:
+        return [
+            d
+            for d in self.deadlines
+            if d.missed and (thread_id is None or d.thread_id == thread_id)
+        ]
+
+    def deadlines_for(self, thread_id: int) -> list[DeadlineRecord]:
+        return [d for d in self.deadlines if d.thread_id == thread_id]

@@ -1,0 +1,125 @@
+"""Display Refresh Controller model (section 5.4).
+
+The DRC picks up a frame every refresh period, paced by its *own*
+crystal, which drifts relative to the clock pacing the image-generating
+application.  In time one gets a whole frame ahead of or behind the
+other, and "either an entire frame is dropped, or a frame is displayed
+in duplicate" — which the paper argues the DRC can tolerate cheaply,
+*except* for tearing: displaying half of one frame and half of the
+next.  Tearing is avoided by flipping the frame pointer only when a
+frame is complete (double buffering).
+
+The model exposes exactly those quantities: duplicates, drops, and
+tears (zero when the producer flips atomically), so the paper's
+"relatively easy to manage" claim is checkable against a renderer that
+does or does not double-buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import units
+from repro.sim.clock import DriftingClock
+
+
+@dataclass
+class FrameBuffer:
+    """A display surface the renderer publishes frames into."""
+
+    #: Sequence number of the frame currently scanned out.
+    front: int = 0
+    #: Sequence number being drawn (only valid while drawing).
+    back: int = 0
+    #: True while the renderer is mid-frame (no atomic flip yet).
+    drawing: bool = False
+    double_buffered: bool = True
+
+    def begin_frame(self, seq: int) -> None:
+        self.back = seq
+        self.drawing = True
+        if not self.double_buffered:
+            # Single-buffered rendering scribbles over the visible frame.
+            self.front = seq
+
+    def finish_frame(self) -> None:
+        self.drawing = False
+        self.front = self.back
+
+
+@dataclass
+class DrcStats:
+    refreshes: int = 0
+    duplicates: int = 0
+    drops: int = 0
+    tears: int = 0
+    frames_shown: set = field(default_factory=set)
+
+
+class DisplayRefreshController:
+    """Scans out the frame buffer at its own (drifting) refresh rate."""
+
+    def __init__(
+        self,
+        buffer: FrameBuffer,
+        refresh_hz: float = 72.0,
+        skew_ppm: float = 0.0,
+        name: str = "drc",
+    ) -> None:
+        self.buffer = buffer
+        self.clock = DriftingClock(name, skew_ppm=skew_ppm)
+        #: Refresh period measured on the DRC's own clock.
+        self.period = units.hz_to_period_ticks(refresh_hz)
+        self.stats = DrcStats()
+        self._last_front: int | None = None
+        self._next_refresh_reading = float(self.period)
+
+    def next_refresh_master_time(self, master_now: int) -> int:
+        """Master-clock time of the next scan-out at or after ``now``.
+
+        Readings within half a tick of the target count as reached, so
+        integer rounding of the master schedule can never double-fire a
+        refresh.
+        """
+        reading = self.clock.read(master_now)
+        while self._next_refresh_reading <= reading + 0.5:
+            self._next_refresh_reading += self.period
+        # Invert: master ticks needed for the DRC clock to reach target.
+        rate = 1.0 + self.clock.skew_ppm / 1e6
+        remaining = (self._next_refresh_reading - reading) / rate
+        return master_now + max(1, round(remaining))
+
+    def refresh(self, master_now: int) -> None:
+        """One scan-out: observe the frame buffer and account QOS."""
+        self.stats.refreshes += 1
+        if self.buffer.drawing and not self.buffer.double_buffered:
+            # Half old frame, half new: the user can see the boundary.
+            self.stats.tears += 1
+        frame = self.buffer.front
+        if self._last_front is not None:
+            if frame == self._last_front:
+                self.stats.duplicates += 1
+            elif frame > self._last_front + 1:
+                self.stats.drops += frame - self._last_front - 1
+        self.stats.frames_shown.add(frame)
+        self._last_front = frame
+
+
+def attach_drc(kernel, drc: DisplayRefreshController, horizon: int) -> None:
+    """Schedule the DRC's scan-outs as external events up to ``horizon``.
+
+    The DRC lives outside the Resource Distributor (it is dedicated
+    hardware); its refreshes are interrupt-like events on the master
+    timeline, paced by the DRC's own drifting crystal.
+    """
+
+    def schedule_next() -> None:
+        when = drc.next_refresh_master_time(kernel.now)
+        if when < horizon:
+            def fire() -> None:
+                drc.refresh(kernel.now)
+                schedule_next()
+
+            kernel.at(when, fire, label=f"{drc.clock.name} refresh")
+
+    schedule_next()

@@ -1,0 +1,84 @@
+"""2D graphics model (section 3.1).
+
+2D graphics output "is paced by the screen refresh rate set by the
+user": the period comes from the refresh rate (e.g. 72 Hz -> 375,000
+ticks).  Like 3D, the work is a function of scene complexity that is
+not known far in advance, so the task uses return semantics and simply
+makes as much progress as its grant allows.  Scene complexity varies
+between frames; the task model draws it from the task's deterministic
+RNG stream so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro import units
+from repro.core.resource_list import ResourceList, ResourceListEntry
+from repro.tasks.base import Compute, Op, Semantics, TaskContext, TaskDefinition
+
+
+@dataclass
+class Render2DStats:
+    frames_completed: int = 0
+    work_done: int = 0
+
+
+class Renderer2D:
+    """Refresh-paced 2D renderer with proportional QOS levels."""
+
+    def __init__(
+        self,
+        name: str = "2D",
+        refresh_hz: float = 72.0,
+        mean_frame_cost_fraction: float = 0.25,
+        complexity_jitter: float = 0.3,
+        levels: tuple[float, ...] = (0.35, 0.25, 0.15, 0.08),
+    ) -> None:
+        """``levels`` are the QOS rates offered (fractions of the CPU);
+        ``mean_frame_cost_fraction`` is the average scene cost as a
+        fraction of the period, jittered by ``complexity_jitter``."""
+        self.name = name
+        self.period = units.hz_to_period_ticks(refresh_hz)
+        self.mean_frame_cost = round(self.period * mean_frame_cost_fraction)
+        self.complexity_jitter = complexity_jitter
+        self.levels = levels
+        self.stats = Render2DStats()
+
+    def _next_frame_cost(self, ctx: TaskContext) -> int:
+        jitter = 1.0 + ctx.rng.uniform(-self.complexity_jitter, self.complexity_jitter)
+        return max(1, round(self.mean_frame_cost * jitter))
+
+    def render(self, ctx: TaskContext) -> Generator[Op, None, None]:
+        """Render frames of varying complexity, forever."""
+        step = units.us_to_ticks(200)
+        while True:
+            cost = self._next_frame_cost(ctx)
+            spent = 0
+            while spent < cost:
+                chunk = min(step, cost - spent)
+                yield Compute(chunk)
+                spent += chunk
+                self.stats.work_done += chunk
+            self.stats.frames_completed += 1
+
+    def resource_list(self) -> ResourceList:
+        return ResourceList(
+            [
+                ResourceListEntry(
+                    period=self.period,
+                    cpu_ticks=max(1, round(self.period * rate)),
+                    function=self.render,
+                    label="Render2D",
+                )
+                for rate in self.levels
+            ]
+        )
+
+    def definition(self) -> TaskDefinition:
+        return TaskDefinition(
+            name=self.name,
+            resource_list=self.resource_list(),
+            semantics=Semantics.RETURN,
+        )

@@ -1,0 +1,90 @@
+"""Time units and hardware constants for the ETI Resource Distributor.
+
+The paper expresses every period and CPU requirement in ticks of the
+27 MHz TCI clock (ISO 13818-1 system clock), because MPEG transport
+streams are timed against it.  The MAP1000 core runs at 200 MHz; core
+cycle counts only matter for context-switch cost accounting, which we
+also express in 27 MHz ticks.
+
+All simulation time in this library is an ``int`` number of 27 MHz
+ticks.  Helper functions convert to and from human units.
+"""
+
+from __future__ import annotations
+
+#: Frequency of the TCI/MPEG system clock used as the scheduling timebase.
+TCI_HZ = 27_000_000
+
+#: Frequency of the MAP1000 VLIW core clock.
+CORE_HZ = 200_000_000
+
+#: Ticks per microsecond / millisecond / second on the 27 MHz timebase.
+TICKS_PER_US = 27
+TICKS_PER_MS = 27_000
+TICKS_PER_SEC = TCI_HZ
+
+#: The paper's supported period range: 500 microseconds to 159 seconds.
+MIN_PERIOD_TICKS = 500 * TICKS_PER_US
+MAX_PERIOD_TICKS = 159 * TICKS_PER_SEC
+
+#: Sentinel for "compute forever" workloads (3D graphics, BusyLoop, Idle).
+INFINITE = 1 << 62
+
+
+def us_to_ticks(us: float) -> int:
+    """Convert microseconds to 27 MHz ticks (rounded to nearest tick)."""
+    return round(us * TICKS_PER_US)
+
+
+def ms_to_ticks(ms: float) -> int:
+    """Convert milliseconds to 27 MHz ticks (rounded to nearest tick)."""
+    return round(ms * TICKS_PER_MS)
+
+
+def sec_to_ticks(sec: float) -> int:
+    """Convert seconds to 27 MHz ticks (rounded to nearest tick)."""
+    return round(sec * TICKS_PER_SEC)
+
+
+def ticks_to_us(ticks: int) -> float:
+    """Convert 27 MHz ticks to microseconds."""
+    return ticks / TICKS_PER_US
+
+
+def ticks_to_ms(ticks: int) -> float:
+    """Convert 27 MHz ticks to milliseconds."""
+    return ticks / TICKS_PER_MS
+
+
+def ticks_to_sec(ticks: int) -> float:
+    """Convert 27 MHz ticks to seconds."""
+    return ticks / TICKS_PER_SEC
+
+
+def hz_to_period_ticks(hz: float) -> int:
+    """Period in ticks for a rate in Hz (e.g. 30 fps -> 900_000 ticks)."""
+    if hz <= 0:
+        raise ValueError(f"rate must be positive, got {hz}")
+    return round(TCI_HZ / hz)
+
+
+def core_cycles_to_ticks(cycles: int) -> int:
+    """Convert 200 MHz core cycles to 27 MHz ticks (rounded)."""
+    return round(cycles * TCI_HZ / CORE_HZ)
+
+
+def validate_period(period: int) -> int:
+    """Return ``period`` if it lies in the paper's supported range.
+
+    Raises:
+        ValueError: if the period is outside [500 us, 159 s].
+    """
+    if not isinstance(period, int):
+        raise TypeError(f"period must be an int tick count, got {type(period).__name__}")
+    if not MIN_PERIOD_TICKS <= period <= MAX_PERIOD_TICKS:
+        raise ValueError(
+            f"period {period} ticks ({ticks_to_ms(period):.3f} ms) outside the "
+            f"supported range [{MIN_PERIOD_TICKS}, {MAX_PERIOD_TICKS}] "
+            f"(500 us to 159 s)"
+        )
+    return period

@@ -1,0 +1,79 @@
+"""ASCII Gantt charts of execution traces.
+
+Regenerates the shape of the paper's schedule figures: one row per
+thread, time running left to right, with distinct glyphs for guaranteed
+(granted) time, overtime/unallocated time, assigned (sporadic) time,
+context-switch overhead, and idle.  Figure 4's caption distinguishes
+"lighter lines" (unused time received) from "darker lines" (guaranteed
+allocation); we render granted time as ``#`` and overtime as ``-``.
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.sim.trace import SegmentKind, TraceRecorder
+
+_GLYPHS = {
+    SegmentKind.GRANTED: "#",
+    SegmentKind.ASSIGNED: "a",
+    SegmentKind.OVERTIME: "-",
+    SegmentKind.SYSTEM: "x",
+    SegmentKind.IDLE: ".",
+}
+
+#: Priority when several kinds fall in one column (most interesting wins).
+_PRIORITY = {
+    SegmentKind.GRANTED: 4,
+    SegmentKind.ASSIGNED: 3,
+    SegmentKind.OVERTIME: 2,
+    SegmentKind.SYSTEM: 1,
+    SegmentKind.IDLE: 0,
+}
+
+
+def render_gantt(
+    trace: TraceRecorder,
+    names: dict[int, str],
+    start: int,
+    end: int,
+    width: int = 100,
+    show_axis: bool = True,
+) -> str:
+    """Render the threads in ``names`` over ``[start, end)``.
+
+    Each column covers ``(end - start) / width`` ticks; within a column
+    the highest-priority segment kind that ran there is drawn.
+    """
+    if end <= start:
+        raise ValueError(f"empty window [{start}, {end})")
+    span = end - start
+    rows: dict[int, list[str]] = {tid: [" "] * width for tid in names}
+    priority: dict[int, list[int]] = {tid: [-1] * width for tid in names}
+
+    for seg in trace.segments:
+        if seg.thread_id not in rows or seg.end <= start or seg.start >= end:
+            continue
+        col_lo = max(0, (seg.start - start) * width // span)
+        col_hi = min(width - 1, (seg.end - 1 - start) * width // span)
+        glyph = _GLYPHS[seg.kind]
+        prio = _PRIORITY[seg.kind]
+        for col in range(col_lo, col_hi + 1):
+            if prio > priority[seg.thread_id][col]:
+                rows[seg.thread_id][col] = glyph
+                priority[seg.thread_id][col] = prio
+
+    label_width = max((len(n) for n in names.values()), default=0) + 2
+    lines = []
+    for tid in sorted(names):
+        label = f"{names[tid]} ({tid})".rjust(label_width + 5)
+        lines.append(f"{label} |{''.join(rows[tid])}|")
+    if show_axis:
+        start_ms = units.ticks_to_ms(start)
+        end_ms = units.ticks_to_ms(end)
+        axis = f"{start_ms:.1f} ms".ljust(width // 2) + f"{end_ms:.1f} ms".rjust(width - width // 2)
+        lines.append(" " * (label_width + 6) + " " + axis)
+        lines.append(
+            " " * (label_width + 6)
+            + "  legend: #=granted  -=overtime  a=assigned  x=switch  .=idle"
+        )
+    return "\n".join(lines)

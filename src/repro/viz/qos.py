@@ -1,0 +1,61 @@
+"""QOS staircase rendering: a thread's grant level over time.
+
+Renders each thread's resource-list entry index as a text staircase —
+the visual of Figure 5's allocation curve, but for any run.  Level 0
+(maximum QOS) is the top row.
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.sim.trace import TraceRecorder
+
+
+def render_qos_staircase(
+    trace: TraceRecorder,
+    thread_id: int,
+    levels: int,
+    start: int,
+    end: int,
+    width: int = 80,
+    name: str = "",
+) -> str:
+    """Render one thread's QOS level across ``[start, end)``.
+
+    ``levels`` is the length of the thread's resource list; rows are
+    entry indices (0 at the top).  Grant removals (quiescence/exit) show
+    as gaps.
+    """
+    if end <= start:
+        raise ValueError(f"empty window [{start}, {end})")
+    if levels < 1:
+        raise ValueError("levels must be >= 1")
+    span = end - start
+    # Level in effect per column, None = no grant.
+    columns: list[int | None] = [None] * width
+    changes = sorted(
+        (g for g in trace.grant_changes if g.thread_id == thread_id),
+        key=lambda g: g.time,
+    )
+    for i, change in enumerate(changes):
+        next_time = changes[i + 1].time if i + 1 < len(changes) else end
+        lo = max(start, change.time)
+        hi = min(end, next_time)
+        if hi <= lo:
+            continue
+        level = change.entry_index if change.entry_index >= 0 else None
+        col_lo = (lo - start) * width // span
+        col_hi = min(width - 1, (hi - 1 - start) * width // span)
+        for col in range(col_lo, col_hi + 1):
+            columns[col] = level
+
+    label = name or f"thread {thread_id}"
+    lines = [f"QOS level of {label} ({units.ticks_to_ms(start):.0f}-"
+             f"{units.ticks_to_ms(end):.0f} ms; level 0 = best):"]
+    for level in range(levels):
+        row = "".join(
+            "#" if col == level else ("." if col is None else " ")
+            for col in columns
+        )
+        lines.append(f"  #{level} |{row}|")
+    return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""Plain-text table formatting in the paper's style."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render a right-aligned text table (first column left-aligned)."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def fmt(row: Sequence[str]) -> str:
+        parts = [row[0].ljust(widths[0])]
+        parts += [row[i].rjust(widths[i]) for i in range(1, len(widths))]
+        return "  ".join(parts)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(r) for r in cells)
+    return "\n".join(lines)

@@ -1,0 +1,17 @@
+"""Synthetic workload generation for tests and benchmarks."""
+
+from repro.workloads.generators import (
+    grant_follower,
+    greedy_worker,
+    random_resource_list,
+    random_task_set,
+    single_entry_definition,
+)
+
+__all__ = [
+    "grant_follower",
+    "greedy_worker",
+    "random_resource_list",
+    "random_task_set",
+    "single_entry_definition",
+]

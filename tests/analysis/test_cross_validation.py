@@ -1,0 +1,92 @@
+"""Cross-validation: the analysis predicts what the simulator does.
+
+For random task sets, the offline schedulability verdict must agree
+with an actual simulation: EDF-feasible sets run without misses on the
+Resource Distributor's enforcing EDF core; RM-feasible-by-analysis sets
+run without misses under the Rate-Monotonic baseline; sets the analysis
+rejects produce misses.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import MachineConfig, SimConfig, units
+from repro.analysis import PeriodicTask, edf_feasible, rm_feasible_exact, utilization_of
+from repro.baselines import NaiveEdfSystem
+from repro.baselines.rate_monotonic import RateMonotonicSystem
+from repro.workloads import single_entry_definition
+
+PERIOD_CHOICES_MS = [4, 5, 8, 10, 16, 20, 25, 40]
+
+
+@st.composite
+def task_sets(draw):
+    count = draw(st.integers(min_value=2, max_value=5))
+    tasks = []
+    for _ in range(count):
+        period_ms = draw(st.sampled_from(PERIOD_CHOICES_MS))
+        rate = draw(st.floats(min_value=0.05, max_value=0.5))
+        tasks.append((period_ms, rate))
+    return tasks
+
+
+def to_analysis(tasks):
+    out = []
+    for period_ms, rate in tasks:
+        period = units.ms_to_ticks(period_ms)
+        out.append(PeriodicTask(period=period, cpu=max(1, round(period * rate))))
+    return out
+
+
+def simulate(system_cls, tasks, duration_ms=400):
+    system = system_cls(machine=MachineConfig.ideal(), sim=SimConfig(seed=3))
+    for i, (period_ms, rate) in enumerate(tasks):
+        system.admit(single_entry_definition(f"t{i}", period_ms, rate))
+    system.run_for(units.ms_to_ticks(duration_ms))
+    return system
+
+
+class RmNoAdmission(RateMonotonicSystem):
+    """RM scheduling without the utilization-bound gate, so the exact
+    analysis (not the bound) is what gets cross-validated."""
+
+    def _admission_check(self, thread, grant):
+        return
+
+
+class TestEdfCrossValidation:
+    @given(task_sets())
+    @settings(
+        max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    def test_edf_verdict_matches_simulation(self, tasks):
+        analysis = to_analysis(tasks)
+        feasible = edf_feasible(analysis)
+        system = simulate(NaiveEdfSystem, tasks)
+        missed = bool(system.trace.misses())
+        if feasible:
+            assert not missed, "analysis said feasible but the sim missed"
+        else:
+            assert missed, "analysis said infeasible but the sim ran clean"
+
+
+class TestRmCrossValidation:
+    @given(task_sets())
+    @settings(
+        max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    def test_rm_exact_analysis_matches_simulation(self, tasks):
+        analysis = to_analysis(tasks)
+        if utilization_of(analysis) > 1.0:
+            return  # response-time analysis assumes U <= 1 to terminate
+        feasible = rm_feasible_exact(analysis)
+        system = simulate(RmNoAdmission, tasks)
+        missed = bool(system.trace.misses())
+        if feasible:
+            assert not missed, "RM analysis said feasible but the sim missed"
+        else:
+            assert missed, "RM analysis said infeasible but the sim ran clean"

@@ -1,0 +1,115 @@
+"""Schedulability analysis: known results and edge cases."""
+
+import pytest
+
+from repro.analysis import (
+    PeriodicTask,
+    demand_bound,
+    edf_feasible,
+    edf_processor_demand_feasible,
+    hyperperiod,
+    rm_feasible_exact,
+    rm_response_times,
+    utilization_of,
+)
+
+
+def task(period, cpu, deadline=None):
+    return PeriodicTask(period=period, cpu=cpu, deadline=deadline)
+
+
+class TestBasics:
+    def test_utilization(self):
+        tasks = [task(10, 5), task(20, 5)]
+        assert utilization_of(tasks) == pytest.approx(0.75)
+
+    def test_hyperperiod(self):
+        assert hyperperiod([task(10, 1), task(15, 1), task(6, 1)]) == 30
+        assert hyperperiod([]) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            task(0, 1)
+        with pytest.raises(ValueError):
+            task(10, 0)
+        with pytest.raises(ValueError):
+            PeriodicTask(period=10, cpu=1, deadline=0)
+
+
+class TestEdf:
+    def test_full_utilization_is_feasible(self):
+        assert edf_feasible([task(10, 5), task(20, 10)])
+
+    def test_over_unity_is_not(self):
+        assert not edf_feasible([task(10, 6), task(20, 10)])
+
+    def test_capacity_parameter(self):
+        tasks = [task(10, 5)]
+        assert edf_feasible(tasks, capacity=0.5)
+        assert not edf_feasible(tasks, capacity=0.49)
+
+    def test_rejects_constrained_deadlines(self):
+        with pytest.raises(ValueError):
+            edf_feasible([task(10, 2, deadline=5)])
+
+
+class TestProcessorDemand:
+    def test_dbf_counts_whole_jobs(self):
+        tasks = [task(10, 3)]
+        assert demand_bound(tasks, 9) == 0
+        assert demand_bound(tasks, 10) == 3
+        assert demand_bound(tasks, 20) == 6
+
+    def test_constrained_deadline_infeasible_set_detected(self):
+        # Two tasks fine on utilization (0.8) but impossible by t=5:
+        # both must finish 4 units within 5.
+        tasks = [task(10, 4, deadline=5), task(10, 4, deadline=5)]
+        assert not edf_processor_demand_feasible(tasks)
+
+    def test_constrained_feasible_set(self):
+        tasks = [task(10, 2, deadline=5), task(10, 3, deadline=9)]
+        assert edf_processor_demand_feasible(tasks)
+
+    def test_implicit_deadline_agrees_with_utilization_test(self):
+        tasks = [task(12, 4), task(8, 4)]
+        assert edf_processor_demand_feasible(tasks) == edf_feasible(tasks)
+
+    def test_empty_set(self):
+        assert edf_processor_demand_feasible([])
+
+    def test_rejects_deadline_beyond_period(self):
+        with pytest.raises(ValueError):
+            edf_processor_demand_feasible([task(10, 1, deadline=12)])
+
+
+class TestResponseTime:
+    def test_textbook_example(self):
+        # T=(7,2), (12,3), (20,5): iterate R3 = 5 + ceil(R/7)*2 +
+        # ceil(R/12)*3: 5 -> 10 -> 12 -> 12 (fixed point).
+        tasks = [task(7, 2), task(12, 3), task(20, 5)]
+        r = rm_response_times(tasks)
+        assert r[0] == 2
+        assert r[1] == 5
+        assert r[2] == 12
+        assert rm_feasible_exact(tasks)
+
+    def test_divergent_set_reports_infinity(self):
+        tasks = [task(10, 6), task(14, 7)]
+        r = rm_response_times(tasks)
+        assert r[1] == float("inf")
+        assert not rm_feasible_exact(tasks)
+
+    def test_order_of_input_preserved(self):
+        tasks = [task(20, 5), task(7, 2)]  # lower priority listed first
+        r = rm_response_times(tasks)
+        assert r[1] == 2  # the 7-period task's response
+        assert r[0] >= 5
+
+    def test_harmonic_set_feasible_to_full_utilization(self):
+        # Harmonic periods are RM-schedulable at 100 % — exactly what
+        # the Liu-Layland *bound* (82.8 % for n=2) cannot see.
+        tasks = [task(10, 5), task(20, 10)]
+        assert rm_feasible_exact(tasks)
+        from repro.baselines import liu_layland_bound
+
+        assert utilization_of(tasks) > liu_layland_bound(2)

@@ -1,0 +1,70 @@
+"""Naive EDF baseline: optimal in underload, domino misses in overload."""
+
+import pytest
+
+from repro import MachineConfig, SimConfig, units
+from repro.baselines import NaiveEdfSystem
+from repro.metrics import miss_rate
+from repro.workloads import single_entry_definition
+
+
+def ms(x):
+    return units.ms_to_ticks(x)
+
+
+def make_system():
+    return NaiveEdfSystem(machine=MachineConfig.ideal(), sim=SimConfig(seed=7))
+
+
+class TestUnderload:
+    def test_edf_is_optimal_under_100_percent(self):
+        system = make_system()
+        for i, (period, rate) in enumerate([(10, 0.4), (20, 0.3), (40, 0.25)]):
+            system.admit(single_entry_definition(f"t{i}", period, rate))
+        system.run_for(ms(400))
+        assert not system.trace.misses()
+
+    def test_full_utilization_schedulable(self):
+        system = make_system()
+        system.admit(single_entry_definition("a", 10, 0.5))
+        system.admit(single_entry_definition("b", 20, 0.5))
+        system.run_for(ms(200))
+        assert not system.trace.misses()
+
+
+class TestOverload:
+    def test_overload_cascades_misses(self):
+        system = make_system()
+        threads = [
+            system.admit(single_entry_definition(f"t{i}", 10, 0.4)) for i in range(3)
+        ]
+        system.run_for(ms(200))
+        # 120 % demand: at least one task misses persistently, and the
+        # system as a whole cannot protect anyone by shedding load.
+        rates = [miss_rate(system.trace, t.tid) for t in threads]
+        assert any(r > 0.5 for r in rates)
+
+    def test_no_admission_control(self):
+        system = make_system()
+        for i in range(6):
+            system.admit(single_entry_definition(f"t{i}", 10, 0.5))
+        system.run_for(ms(50))
+        assert len(list(system.kernel.periodic_threads())) == 6
+
+    def test_rd_zero_misses_on_same_offered_load(self):
+        """Head-to-head on the load shape naive EDF trips over."""
+        from repro.core.distributor import ResourceDistributor
+        from repro.tasks.busyloop import busyloop_definition
+
+        system = make_system()
+        for i in range(3):
+            system.admit(single_entry_definition(f"t{i}", 10, 0.4))
+        system.run_for(ms(200))
+        naive_misses = len(system.trace.misses())
+
+        rd = ResourceDistributor(machine=MachineConfig.ideal(), sim=SimConfig(seed=7))
+        for i in range(3):
+            rd.admit(busyloop_definition(f"t{i}", steps=9))
+        rd.run_for(ms(200))
+        assert naive_misses > 0
+        assert len(rd.trace.misses()) == 0

@@ -1,0 +1,101 @@
+"""Rate-Monotonic baseline: fixed priorities and the Liu-Layland bound."""
+
+import pytest
+
+from repro import AdmissionError, MachineConfig, SimConfig, units
+from repro.baselines import RateMonotonicSystem, liu_layland_bound
+from repro.sim.trace import SegmentKind
+from repro.workloads import single_entry_definition
+
+
+def ms(x):
+    return units.ms_to_ticks(x)
+
+
+def make_system():
+    return RateMonotonicSystem(machine=MachineConfig.ideal(), sim=SimConfig(seed=7))
+
+
+class TestBound:
+    def test_known_values(self):
+        assert liu_layland_bound(1) == pytest.approx(1.0)
+        assert liu_layland_bound(2) == pytest.approx(0.8284, abs=1e-3)
+        assert liu_layland_bound(3) == pytest.approx(0.7798, abs=1e-3)
+
+    def test_bound_decreases_toward_ln2(self):
+        import math
+
+        assert liu_layland_bound(100) == pytest.approx(math.log(2), abs=0.01)
+
+    def test_zero_tasks(self):
+        assert liu_layland_bound(0) == 0.0
+
+
+class TestScheduling:
+    def test_admitted_set_meets_deadlines(self):
+        system = make_system()
+        system.admit(single_entry_definition("fast", 10, 0.3))
+        system.admit(single_entry_definition("slow", 40, 0.4))
+        system.run_for(ms(400))
+        assert not system.trace.misses()
+
+    def test_shorter_period_always_preempts(self):
+        system = make_system()
+        slow = system.admit(single_entry_definition("slow", 50, 0.5, greedy=True))
+        fast = system.admit(single_entry_definition("fast", 10, 0.2))
+        system.run_for(ms(200))
+        # The fast task's granted work is never split: it always runs
+        # at top priority from its period start.
+        for outcome in system.trace.deadlines_for(fast.tid):
+            assert outcome.delivered == outcome.granted
+        assert not system.trace.misses(fast.tid)
+
+    def test_fixed_priorities_ignore_deadlines(self):
+        # The classic RM-vs-EDF case: a long-period task whose deadline
+        # is imminent still loses the CPU to a short-period task.
+        system = make_system()
+        long = system.admit(single_entry_definition("long", 100, 0.4, greedy=True))
+        short = system.admit(single_entry_definition("short", 10, 0.3))
+        system.run_for(ms(100))
+        short_segments = [
+            s
+            for s in system.trace.segments_for(short.tid)
+            if s.kind is SegmentKind.GRANTED
+        ]
+        # Short ran at the head of each of its periods despite long's
+        # single approaching deadline.
+        assert len(short_segments) >= 9
+
+
+class TestAdmission:
+    def test_bound_denies_what_edf_accepts(self):
+        """Three 30 % tasks: 90 % > LL bound (78 %) -> RM denies the
+        third; the Resource Distributor (EDF) runs all three clean."""
+        system = make_system()
+        system.admit(single_entry_definition("a", 10, 0.3))
+        system.admit(single_entry_definition("b", 17, 0.3))
+        with pytest.raises(AdmissionError):
+            system.admit(single_entry_definition("c", 31, 0.3))
+
+        from repro.core.distributor import ResourceDistributor
+
+        rd = ResourceDistributor(machine=MachineConfig.ideal(), sim=SimConfig(seed=7))
+        for name, period in (("a", 10), ("b", 17), ("c", 31)):
+            rd.admit(single_entry_definition(name, period, 0.3))
+        rd.run_for(ms(400))
+        assert not rd.trace.misses()
+
+    def test_single_task_up_to_full_utilization(self):
+        system = make_system()
+        system.admit(single_entry_definition("solo", 10, 0.95))
+        system.run_for(ms(100))
+        assert not system.trace.misses()
+
+    def test_harmonic_sets_blocked_by_bound_anyway(self):
+        # Harmonic periods are actually schedulable to 100 % under RM,
+        # but the utilization-bound test can't see that — the
+        # conservatism the RD avoids by using EDF.
+        system = make_system()
+        system.admit(single_entry_definition("a", 10, 0.45))
+        with pytest.raises(AdmissionError):
+            system.admit(single_entry_definition("b", 20, 0.45))

@@ -1,0 +1,69 @@
+"""SMART baseline: EDF in underload, fair share (and misses) in overload."""
+
+import pytest
+
+from repro import MachineConfig, SimConfig, units
+from repro.baselines import SmartSystem
+from repro.metrics import miss_rate
+from repro.workloads import single_entry_definition
+
+
+def ms(x):
+    return units.ms_to_ticks(x)
+
+
+def make_system():
+    return SmartSystem(machine=MachineConfig.ideal(), sim=SimConfig(seed=7))
+
+
+class TestUnderload:
+    def test_all_constraints_met(self):
+        system = make_system()
+        threads = [
+            system.admit(single_entry_definition(f"t{i}", 10 * (i + 1), 0.25))
+            for i in range(3)
+        ]
+        system.run_for(ms(200))
+        assert not system.trace.misses()
+
+
+class TestOverload:
+    def test_fair_share_spreads_misses_across_all_tasks(self):
+        system = make_system()
+        threads = [
+            system.admit(single_entry_definition(f"t{i}", 10, 0.5)) for i in range(3)
+        ]
+        system.run_for(ms(200))
+        # 150 % demand: every task gets ~1/3 of the CPU, which is less
+        # than any task's discrete requirement -> everyone misses.
+        for t in threads:
+            assert miss_rate(system.trace, t.tid) > 0.8
+
+    def test_shares_bias_who_survives_overload(self):
+        system = make_system()
+        heavy = system.admit(single_entry_definition("heavy", 10, 0.6), share=2.0)
+        light = system.admit(single_entry_definition("light", 10, 0.6), share=1.0)
+        system.run_for(ms(200))
+        heavy_cpu = system.trace.busy_ticks(heavy.tid)
+        light_cpu = system.trace.busy_ticks(light.tid)
+        # The double share gets up to its full 60 % demand; the single
+        # share absorbs the shortfall.
+        assert heavy_cpu > light_cpu
+        assert miss_rate(system.trace, heavy.tid) < miss_rate(system.trace, light.tid)
+
+    def test_no_admission_control(self):
+        system = make_system()
+        for i in range(5):
+            system.admit(single_entry_definition(f"t{i}", 10, 0.5))
+        # 250 % demand accepted without error: best-effort semantics.
+        system.run_for(ms(50))
+        assert len(list(system.kernel.periodic_threads())) == 5
+
+
+class TestModeSwitch:
+    def test_overload_flag_tracks_demand(self):
+        system = make_system()
+        system.admit(single_entry_definition("a", 10, 0.5))
+        assert not system.policy.overloaded(system.now)
+        system.admit(single_entry_definition("b", 10, 0.6))
+        assert system.policy.overloaded(system.now)

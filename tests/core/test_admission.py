@@ -1,0 +1,103 @@
+"""Admission control: the O(1) running-sum test."""
+
+import pytest
+
+from repro.core.admission import AdmissionController
+from repro.errors import AdmissionError
+
+
+@pytest.fixture
+def ac():
+    return AdmissionController(capacity=0.96)
+
+
+class TestAdmission:
+    def test_admits_within_capacity(self, ac):
+        ac.admit(1, 0.5)
+        ac.admit(2, 0.4)
+        assert ac.committed == pytest.approx(0.9)
+
+    def test_denies_over_capacity(self, ac):
+        ac.admit(1, 0.9)
+        assert not ac.can_admit(0.1)
+        with pytest.raises(AdmissionError):
+            ac.admit(2, 0.1)
+
+    def test_admits_exactly_to_capacity(self, ac):
+        ac.admit(1, 0.96)
+        assert ac.headroom == pytest.approx(0.0)
+
+    def test_rejects_double_admit(self, ac):
+        ac.admit(1, 0.1)
+        with pytest.raises(AdmissionError):
+            ac.admit(1, 0.1)
+
+    def test_rejects_bad_rate(self, ac):
+        with pytest.raises(AdmissionError):
+            ac.admit(1, 0.0)
+        with pytest.raises(AdmissionError):
+            ac.admit(2, 1.5)
+
+    def test_denial_leaves_state_unchanged(self, ac):
+        ac.admit(1, 0.9)
+        before = ac.committed
+        with pytest.raises(AdmissionError):
+            ac.admit(2, 0.2)
+        assert ac.committed == before
+        assert 2 not in ac
+
+
+class TestRelease:
+    def test_release_frees_capacity(self, ac):
+        ac.admit(1, 0.9)
+        ac.release(1)
+        assert ac.can_admit(0.9)
+
+    def test_release_unknown_raises(self, ac):
+        with pytest.raises(AdmissionError):
+            ac.release(42)
+
+    def test_admit_release_cycle_does_not_drift(self, ac):
+        # Repeated float adds/subtracts must not leak capacity.
+        for _ in range(10_000):
+            ac.admit(1, 0.7)
+            ac.release(1)
+        assert ac.committed == pytest.approx(0.0, abs=1e-6)
+        ac.admit(1, 0.96)  # still fits
+
+
+class TestChangeMinRate:
+    def test_shrink_always_allowed(self, ac):
+        ac.admit(1, 0.5)
+        ac.change_min_rate(1, 0.1)
+        assert ac.min_rate(1) == 0.1
+        assert ac.can_admit(0.8)
+
+    def test_grow_checked(self, ac):
+        ac.admit(1, 0.5)
+        ac.admit(2, 0.4)
+        with pytest.raises(AdmissionError):
+            ac.change_min_rate(1, 0.6)
+        # Failed change leaves the old commitment.
+        assert ac.min_rate(1) == 0.5
+
+    def test_change_unknown_raises(self, ac):
+        with pytest.raises(AdmissionError):
+            ac.change_min_rate(9, 0.1)
+
+
+class TestQueries:
+    def test_len_and_contains(self, ac):
+        ac.admit(1, 0.1)
+        assert len(ac) == 1
+        assert 1 in ac
+
+    def test_min_rate_unknown(self, ac):
+        with pytest.raises(AdmissionError):
+            ac.min_rate(5)
+
+    def test_capacity_validation(self):
+        with pytest.raises(AdmissionError):
+            AdmissionController(0.0)
+        with pytest.raises(AdmissionError):
+            AdmissionController(1.5)

@@ -1,0 +1,178 @@
+"""Data Streamer bandwidth as a second managed resource (§7 extension).
+
+The paper: "we do not specifically manage bandwidth as a resource, but
+we will need to do so when the number of applications using the Data
+Streamer increases."  These tests cover the extension: admission over
+two running sums, grant control honouring both budgets, and the
+wake-up guarantee holding in both dimensions.
+"""
+
+import pytest
+
+from repro import AdmissionError, MachineConfig, SimConfig, TaskDefinition, units
+from repro.core.admission import AdmissionController
+from repro.core.distributor import ResourceDistributor
+from repro.core.grant_control import GrantController, GrantRequest
+from repro.core.policy_box import PolicyBox
+from repro.core.resource_list import ResourceList, ResourceListEntry
+from repro.errors import ResourceListError
+from repro.workloads import grant_follower
+
+
+def ms(x):
+    return units.ms_to_ticks(x)
+
+
+def bw_list(*levels):
+    """levels: (cpu_rate, bandwidth) tuples, best first."""
+    period = ms(10)
+    return ResourceList(
+        [
+            ResourceListEntry(
+                period,
+                max(1, round(period * rate)),
+                grant_follower,
+                bandwidth=bw,
+            )
+            for rate, bw in levels
+        ]
+    )
+
+
+def definition(name, *levels):
+    return TaskDefinition(name=name, resource_list=bw_list(*levels))
+
+
+class TestEntryValidation:
+    def test_bandwidth_must_be_fraction(self):
+        with pytest.raises(ResourceListError):
+            ResourceListEntry(ms(10), ms(1), grant_follower, bandwidth=1.5)
+        with pytest.raises(ResourceListError):
+            ResourceListEntry(ms(10), ms(1), grant_follower, bandwidth=-0.1)
+
+    def test_default_is_zero(self):
+        assert ResourceListEntry(ms(10), ms(1), grant_follower).bandwidth == 0.0
+
+
+class TestAdmissionVector:
+    def test_bandwidth_denial(self):
+        ac = AdmissionController(capacity=0.96, bandwidth_capacity=0.5)
+        ac.admit(1, 0.1, 0.4)
+        assert not ac.can_admit(0.1, 0.2)
+        with pytest.raises(AdmissionError):
+            ac.admit(2, 0.1, 0.2)
+
+    def test_cpu_and_bandwidth_tracked_independently(self):
+        ac = AdmissionController(capacity=0.96, bandwidth_capacity=1.0)
+        ac.admit(1, 0.5, 0.9)
+        assert ac.committed == pytest.approx(0.5)
+        assert ac.committed_bandwidth == pytest.approx(0.9)
+        ac.release(1)
+        assert ac.committed_bandwidth == pytest.approx(0.0)
+
+    def test_change_min_checks_bandwidth(self):
+        ac = AdmissionController(capacity=0.96, bandwidth_capacity=0.5)
+        ac.admit(1, 0.1, 0.3)
+        ac.admit(2, 0.1, 0.2)
+        with pytest.raises(AdmissionError):
+            ac.change_min_rate(1, 0.1, 0.4)
+        assert ac.min_bandwidth(1) == pytest.approx(0.3)
+
+
+class TestGrantControlBudgets:
+    @pytest.fixture
+    def box(self):
+        return PolicyBox(capacity=0.96)
+
+    def test_fast_path_blocked_by_bandwidth(self, box):
+        gc = GrantController(0.96, box, bandwidth_capacity=0.5)
+        # CPU-wise trivial (20 % total), bandwidth-wise impossible at
+        # the maxima (0.8): the policy path must shed to lower levels.
+        reqs = [
+            GrantRequest(1, box.register_task("a"), bw_list((0.1, 0.4), (0.05, 0.1))),
+            GrantRequest(2, box.register_task("b"), bw_list((0.1, 0.4), (0.05, 0.1))),
+        ]
+        result = gc.compute(reqs)
+        gs = result.grant_set
+        assert gs.total_bandwidth <= 0.5 + 1e-9
+        assert result.passes >= 1
+
+    def test_bandwidth_demotion_frees_the_streamer(self, box):
+        gc = GrantController(0.96, box, bandwidth_capacity=0.6)
+        reqs = [
+            GrantRequest(
+                1, box.register_task("a"), bw_list((0.3, 0.5), (0.2, 0.3), (0.1, 0.05))
+            ),
+            GrantRequest(
+                2, box.register_task("b"), bw_list((0.3, 0.5), (0.2, 0.3), (0.1, 0.05))
+            ),
+        ]
+        result = gc.compute(reqs)
+        gs = result.grant_set
+        assert gs.total_bandwidth <= 0.6 + 1e-9
+        assert gs.total_rate <= 0.96 + 1e-9
+        # Both threads still hold a grant (admitted => granted).
+        assert 1 in gs and 2 in gs
+
+    def test_promotion_respects_bandwidth_slack(self, box):
+        gc = GrantController(0.96, box, bandwidth_capacity=0.5)
+        # After demotion there is plenty of CPU slack but no bandwidth
+        # slack; promotion must not recreate the bandwidth overload.
+        reqs = [
+            GrantRequest(
+                1, box.register_task("a"), bw_list((0.4, 0.5), (0.3, 0.45), (0.05, 0.0))
+            ),
+            GrantRequest(
+                2, box.register_task("b"), bw_list((0.4, 0.5), (0.3, 0.45), (0.05, 0.0))
+            ),
+        ]
+        result = gc.compute(reqs)
+        assert result.grant_set.total_bandwidth <= 0.5 + 1e-9
+
+
+class TestEndToEnd:
+    def make_rd(self, bw_capacity=0.6):
+        return ResourceDistributor(
+            machine=MachineConfig(
+                interrupt_reserve=0.0,
+                switch_costs=MachineConfig.ideal().switch_costs,
+                overlap_override_ticks=0,
+                admission_cost_ticks=0,
+                bandwidth_capacity=bw_capacity,
+            ),
+            sim=SimConfig(seed=6),
+        )
+
+    def test_bandwidth_admission_denial_end_to_end(self):
+        rd = self.make_rd(bw_capacity=0.5)
+        rd.admit(definition("dma-hog", (0.1, 0.4)))
+        with pytest.raises(AdmissionError):
+            rd.admit(definition("dma-hog2", (0.1, 0.2)))
+
+    def test_bandwidth_overload_degrades_instead_of_missing(self):
+        rd = self.make_rd(bw_capacity=0.6)
+        a = rd.admit(definition("a", (0.3, 0.5), (0.2, 0.3), (0.1, 0.05)))
+        b = rd.admit(definition("b", (0.3, 0.5), (0.2, 0.3), (0.1, 0.05)))
+        rd.run_for(ms(100))
+        assert not rd.trace.misses()
+        total_bw = a.grant.entry.bandwidth + b.grant.entry.bandwidth
+        assert total_bw <= 0.6 + 1e-9
+
+    def test_quiescent_wake_guaranteed_in_both_dimensions(self):
+        rd = self.make_rd(bw_capacity=0.6)
+        sleeper_def = TaskDefinition(
+            name="sleeper",
+            resource_list=bw_list((0.2, 0.3), (0.1, 0.2)),
+            start_quiescent=True,
+        )
+        sleeper = rd.admit(sleeper_def)
+        active = rd.admit(definition("active", (0.3, 0.5), (0.2, 0.3), (0.1, 0.05)))
+        rd.run_for(ms(30))
+        # While the sleeper is quiescent the active task can hold 0.5 bw.
+        assert active.grant.entry.bandwidth == pytest.approx(0.5)
+        rd.wake(sleeper.tid)
+        rd.run_for(ms(50))
+        assert sleeper.grant is not None
+        total_bw = sleeper.grant.entry.bandwidth + active.grant.entry.bandwidth
+        assert total_bw <= 0.6 + 1e-9
+        assert not rd.trace.misses()

@@ -1,0 +1,163 @@
+"""Clock synchronization (section 5.4): skew estimation and
+InsertIdleCycles pacing."""
+
+import pytest
+
+from repro import TaskDefinition, units
+from repro.core.clock_sync import (
+    SkewEstimator,
+    conservative_period,
+    postpone_for_period,
+    ticks_per_external_period,
+)
+from repro.core.resource_list import ResourceList, ResourceListEntry
+from repro.errors import ClockError
+from repro.sim.clock import DriftingClock
+from repro.tasks.base import Compute, DonePeriod, InsertIdleCycles
+
+
+def ms(x):
+    return units.ms_to_ticks(x)
+
+
+class TestSkewEstimator:
+    def test_estimates_known_skew(self):
+        clock = DriftingClock("ext", skew_ppm=120.0)
+        est = SkewEstimator(clock)
+        est.sample(0)
+        est.sample(27_000_000)  # one second later
+        assert est.estimate_ppm() == pytest.approx(120.0, abs=0.01)
+
+    def test_estimates_negative_skew(self):
+        clock = DriftingClock("ext", skew_ppm=-80.0)
+        est = SkewEstimator(clock)
+        est.sample(1_000)
+        est.sample(54_000_000)
+        assert est.estimate_ppm() == pytest.approx(-80.0, abs=0.01)
+
+    def test_needs_two_spanning_samples(self):
+        est = SkewEstimator(DriftingClock("ext"))
+        assert not est.ready
+        est.sample(5)
+        est.sample(5)
+        assert not est.ready
+        with pytest.raises(ClockError):
+            est.estimate_ppm()
+
+    def test_rejects_out_of_order_samples(self):
+        est = SkewEstimator(DriftingClock("ext"))
+        est.sample(100)
+        with pytest.raises(ClockError):
+            est.sample(50)
+
+    def test_window_is_bounded(self):
+        est = SkewEstimator(DriftingClock("ext"), max_samples=4)
+        for i in range(10):
+            est.sample(i * 1000)
+        assert len(est.samples) == 4
+
+    def test_tracks_skew_changes(self):
+        clock = DriftingClock("ext", skew_ppm=50.0)
+        est = SkewEstimator(clock, max_samples=2)
+        est.sample(0)
+        est.sample(27_000_000)
+        clock.set_skew_ppm(-50.0, master_now=27_000_000)
+        est.sample(27_000_000)
+        est.sample(54_000_000)
+        assert est.estimate_ppm() == pytest.approx(-50.0, abs=0.01)
+
+
+class TestPeriodArithmetic:
+    def test_zero_skew_is_identity(self):
+        assert ticks_per_external_period(900_000, 0.0) == pytest.approx(900_000)
+
+    def test_slow_external_clock_stretches_period(self):
+        # External clock 100 ppm slow: its "900,000 ticks" take longer
+        # in TCI ticks.
+        assert ticks_per_external_period(900_000, -100.0) > 900_000
+
+    def test_postpone_for_slow_clock(self):
+        post = postpone_for_period(900_000, 900_000, skew_ppm=-100.0)
+        assert post == pytest.approx(90, abs=1)  # 900_000 * 100e-6
+
+    def test_no_postpone_for_fast_clock_at_nominal_period(self):
+        assert postpone_for_period(900_000, 900_000, skew_ppm=100.0) == 0
+
+    def test_conservative_period_shorter_than_nominal(self):
+        period = conservative_period(900_000, max_skew_ppm=200.0)
+        assert period < 900_000
+        # With the conservative period, even the fastest skew needs a
+        # non-negative postponement.
+        for skew in (-200.0, 0.0, 200.0):
+            assert postpone_for_period(period, 900_000, skew) >= 0
+
+    def test_conservative_rejects_negative_magnitude(self):
+        with pytest.raises(ClockError):
+            conservative_period(900_000, -5.0)
+
+    def test_stopped_clock_rejected(self):
+        with pytest.raises(ClockError):
+            ticks_per_external_period(900_000, -1e6)
+
+
+class TestInsertIdleCyclesEndToEnd:
+    def test_postponed_periods_track_slow_external_clock(self, ideal_rd):
+        """A task paced by a 1000 ppm-slow external clock postpones each
+        period start so its phase error stays bounded."""
+        external = DriftingClock("stream2", skew_ppm=-1000.0)
+        period = ms(10)
+        starts = []
+
+        def synced(ctx):
+            starts.append(ctx.delivery.period_start)
+            yield Compute(ms(1))
+            # Estimate the drift (here: exact) and stretch the period.
+            post = postpone_for_period(period, period, skew_ppm=-1000.0)
+            yield InsertIdleCycles(post)
+            yield DonePeriod()
+
+        ideal_rd.admit(
+            TaskDefinition(
+                name="synced",
+                resource_list=ResourceList(
+                    [ResourceListEntry(period, ms(2), synced, "synced")]
+                ),
+            )
+        )
+        ideal_rd.run_for(ms(500))
+        assert len(starts) >= 40
+        # Phase error vs. the external clock's frame times stays within
+        # one postponement quantum.
+        for k, start in enumerate(starts):
+            ideal_frame = k * ticks_per_external_period(period, -1000.0)
+            assert abs(start - ideal_frame) <= 2 * 270 + 1  # 2 quanta
+
+    def test_unsynced_task_accumulates_phase_error(self, ideal_rd):
+        period = ms(10)
+        starts = []
+
+        def unsynced(ctx):
+            starts.append(ctx.delivery.period_start)
+            yield Compute(ms(1))
+            yield DonePeriod()
+
+        ideal_rd.admit(
+            TaskDefinition(
+                name="unsynced",
+                resource_list=ResourceList(
+                    [ResourceListEntry(period, ms(2), unsynced, "u")]
+                ),
+            )
+        )
+        ideal_rd.run_for(ms(500))
+        last = len(starts) - 1
+        ideal_frame = last * ticks_per_external_period(period, -1000.0)
+        # Without InsertIdleCycles the drift has accumulated to many
+        # postponement quanta by the end of the run.
+        assert abs(starts[last] - ideal_frame) > 10 * 270
+
+    def test_negative_insert_idle_rejected(self):
+        from repro.errors import TaskError
+
+        with pytest.raises(TaskError):
+            InsertIdleCycles(-1)

@@ -1,0 +1,170 @@
+"""Grant delivery semantics (section 5.5): callback, return, filter."""
+
+import pytest
+
+from repro import Semantics, TaskDefinition, units
+from repro.core.resource_list import ResourceList, ResourceListEntry
+from repro.tasks.base import Compute, DonePeriod
+
+from tests.conftest import admit_simple
+
+
+def ms(x):
+    return units.ms_to_ticks(x)
+
+
+class TestCallbackSemantics:
+    def test_function_restarts_every_period(self, ideal_rd):
+        starts = []
+
+        def task(ctx):
+            starts.append(ctx.now)
+            yield Compute(ms(2))
+
+        definition = TaskDefinition(
+            name="cb",
+            resource_list=ResourceList([ResourceListEntry(ms(10), ms(3), task)]),
+            semantics=Semantics.CALLBACK,
+        )
+        ideal_rd.admit(definition)
+        ideal_rd.run_for(ms(50))
+        assert len(starts) == 5  # one fresh call per period
+
+    def test_delivery_reports_previous_completion(self, ideal_rd):
+        reports = []
+
+        def task(ctx):
+            reports.append(
+                (ctx.delivery.previous_completed, ctx.delivery.previous_used)
+            )
+            yield Compute(ms(2))
+
+        definition = TaskDefinition(
+            name="cb",
+            resource_list=ResourceList([ResourceListEntry(ms(10), ms(3), task)]),
+        )
+        ideal_rd.admit(definition)
+        ideal_rd.run_for(ms(30))
+        # First delivery: vacuous previous call, counted as completed.
+        assert reports[0] == (True, 0)
+        # Later deliveries: completed, having used 2 ms.
+        assert reports[1] == (True, ms(2))
+        assert reports[2] == (True, ms(2))
+
+    def test_incomplete_previous_call_reported(self, ideal_rd):
+        reports = []
+
+        def task(ctx):
+            reports.append(ctx.delivery.previous_completed)
+            yield Compute(ms(100))  # can never finish in one grant
+
+        definition = TaskDefinition(
+            name="cb",
+            resource_list=ResourceList([ResourceListEntry(ms(10), ms(3), task)]),
+        )
+        ideal_rd.admit(definition)
+        ideal_rd.run_for(ms(30))
+        assert reports[0] is True
+        assert reports[1] is False  # previous call was cut off
+
+
+class TestReturnSemantics:
+    def test_generator_resumes_across_periods(self, ideal_rd):
+        starts = []
+
+        def task(ctx):
+            starts.append(ctx.now)
+            while True:
+                yield Compute(ms(1))
+
+        definition = TaskDefinition(
+            name="ret",
+            resource_list=ResourceList([ResourceListEntry(ms(10), ms(3), task)]),
+            semantics=Semantics.RETURN,
+        )
+        ideal_rd.admit(definition)
+        ideal_rd.run_for(ms(50))
+        assert len(starts) == 1  # never restarted
+
+    def test_exhausted_generator_restarts_even_with_return_semantics(self, ideal_rd):
+        starts = []
+
+        def task(ctx):
+            starts.append(ctx.now)
+            yield Compute(ms(1))  # finishes well inside the grant
+
+        definition = TaskDefinition(
+            name="ret",
+            resource_list=ResourceList([ResourceListEntry(ms(10), ms(3), task)]),
+            semantics=Semantics.RETURN,
+        )
+        ideal_rd.admit(definition)
+        ideal_rd.run_for(ms(30))
+        assert len(starts) == 3
+
+
+class TestGrantChangeSemantics:
+    def _two_level_definition(self, fn, semantics, filter_callback=None):
+        return TaskDefinition(
+            name="task",
+            resource_list=ResourceList(
+                [
+                    ResourceListEntry(ms(10), ms(8), fn, "high"),
+                    ResourceListEntry(ms(10), ms(1), fn, "low"),
+                ]
+            ),
+            semantics=semantics,
+            filter_callback=filter_callback,
+        )
+
+    def test_return_task_restarts_on_grant_change_by_default(self, ideal_rd):
+        starts = []
+
+        def task(ctx):
+            starts.append(ctx.grant.entry_index)
+            while True:
+                yield Compute(ms(1))
+
+        ideal_rd.admit(self._two_level_definition(task, Semantics.RETURN))
+        # Force a degradation by admitting a competitor.
+        ideal_rd.at(ms(25), lambda: admit_simple(ideal_rd, "rival", 10, 0.5))
+        ideal_rd.run_for(ms(80))
+        # Started once at high QOS, restarted once when the grant changed.
+        assert starts[0] == 0
+        assert 1 in starts[1:]
+
+    def test_filter_callback_chooses_return(self, ideal_rd):
+        starts = []
+        filtered = []
+
+        def task(ctx):
+            starts.append(ctx.now)
+            while True:
+                yield Compute(ms(1))
+
+        def keep_going(old, new):
+            filtered.append((old.entry_index, new.entry_index))
+            return Semantics.RETURN
+
+        ideal_rd.admit(
+            self._two_level_definition(task, Semantics.RETURN, keep_going)
+        )
+        ideal_rd.at(ms(25), lambda: admit_simple(ideal_rd, "rival", 10, 0.5))
+        ideal_rd.run_for(ms(80))
+        assert len(starts) == 1  # filter elected to continue
+        assert filtered  # and it was actually consulted
+
+    def test_filter_not_consulted_when_grant_unchanged(self, ideal_rd):
+        filtered = []
+
+        def task(ctx):
+            while True:
+                yield Compute(ms(1))
+
+        def spy(old, new):
+            filtered.append(1)
+            return Semantics.RETURN
+
+        ideal_rd.admit(self._two_level_definition(task, Semantics.RETURN, spy))
+        ideal_rd.run_for(ms(50))
+        assert not filtered

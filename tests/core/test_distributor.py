@@ -1,0 +1,143 @@
+"""Resource Manager + Distributor: admission, exit, grant activation."""
+
+import pytest
+
+from repro import AdmissionError, ResourceListError, units
+from repro.core.threads import ThreadState
+from repro.sim.trace import SegmentKind
+from repro.tasks.base import TaskDefinition
+from repro.core.resource_list import ResourceList, ResourceListEntry
+from repro.tasks.busyloop import busyloop_definition
+from repro.workloads import grant_follower, single_entry_definition
+
+from tests.conftest import admit_simple
+
+
+def ms(x):
+    return units.ms_to_ticks(x)
+
+
+class TestAdmission:
+    def test_admit_denies_when_minima_do_not_fit(self, ideal_rd):
+        admit_simple(ideal_rd, "big", period_ms=10, rate=0.8)
+        with pytest.raises(AdmissionError):
+            admit_simple(ideal_rd, "too-much", period_ms=10, rate=0.3)
+
+    def test_denial_leaves_system_intact(self, ideal_rd):
+        t = admit_simple(ideal_rd, "big", period_ms=10, rate=0.8)
+        try:
+            admit_simple(ideal_rd, "too-much", period_ms=10, rate=0.3)
+        except AdmissionError:
+            pass
+        ideal_rd.run_for(ms(30))
+        assert not ideal_rd.trace.misses()
+        assert t.state is ThreadState.ACTIVE
+
+    def test_admission_considers_minimum_not_maximum(self, ideal_rd):
+        # Maxima are 90 % each but minima are 10 %: all five admit.
+        threads = [ideal_rd.admit(busyloop_definition(f"t{i}")) for i in range(5)]
+        assert len(threads) == 5
+
+    def test_minimum_entry_with_exclusive_units_rejected(self, ideal_rd):
+        entry = ResourceListEntry(
+            ms(10), ms(1), grant_follower, exclusive=frozenset({"data_streamer"})
+        )
+        with pytest.raises(ResourceListError):
+            ideal_rd.admit(TaskDefinition(name="bad", resource_list=ResourceList([entry])))
+
+    def test_unknown_exclusive_unit_rejected(self, ideal_rd):
+        entries = [
+            ResourceListEntry(
+                ms(10), ms(2), grant_follower, exclusive=frozenset({"quantum-fpu"})
+            ),
+            ResourceListEntry(ms(10), ms(1), grant_follower),
+        ]
+        with pytest.raises(Exception):
+            ideal_rd.admit(TaskDefinition(name="bad", resource_list=ResourceList(entries)))
+
+
+class TestActivation:
+    def test_new_grant_starts_in_unallocated_time(self, ideal_rd):
+        # A thread admitted mid-run must not disturb the running thread's
+        # current period: its first period starts in unallocated time.
+        first = admit_simple(ideal_rd, "first", period_ms=10, rate=0.6)
+        added = {}
+        ideal_rd.at(ms(12), lambda: added.update(t=admit_simple(ideal_rd, "second", 10, 0.3)))
+        ideal_rd.run_for(ms(40))
+        second = added["t"]
+        assert not ideal_rd.trace.misses()
+        # The second thread's first period began strictly after the
+        # admission request, once the first thread's grant was satisfied.
+        first_grant = next(
+            g for g in ideal_rd.trace.grant_changes if g.thread_id == second.tid
+        )
+        assert first_grant.time >= ms(12)
+
+    def test_activation_counted(self, ideal_rd):
+        admit_simple(ideal_rd, "a", period_ms=10, rate=0.3)
+        ideal_rd.run_for(ms(5))
+        assert ideal_rd.scheduler.activation_count >= 1
+
+
+class TestExit:
+    def test_exit_releases_capacity(self, ideal_rd):
+        t = admit_simple(ideal_rd, "a", period_ms=10, rate=0.9)
+        ideal_rd.run_for(ms(15))
+        ideal_rd.exit_thread(t.tid)
+        ideal_rd.run_for(ms(15))
+        assert t.state is ThreadState.EXITED
+        # Capacity is free again.
+        admit_simple(ideal_rd, "b", period_ms=10, rate=0.9)
+
+    def test_exit_takes_effect_at_period_boundary(self, ideal_rd):
+        t = admit_simple(ideal_rd, "a", period_ms=10, rate=0.5)
+        ideal_rd.run_for(ms(2))  # mid period 0
+        ideal_rd.exit_thread(t.tid)
+        ideal_rd.run_for(ms(20))
+        # Period 0 still closed normally (grant honoured to the end).
+        outcomes = ideal_rd.trace.deadlines_for(t.tid)
+        assert outcomes and outcomes[0].delivered == outcomes[0].granted
+        assert t.state is ThreadState.EXITED
+
+    def test_exit_unknown_thread_raises(self, ideal_rd):
+        with pytest.raises(AdmissionError):
+            ideal_rd.exit_thread(99)
+
+    def test_remaining_threads_reclaim_capacity(self, ideal_rd):
+        stay = ideal_rd.admit(busyloop_definition("stay"))
+        leave = ideal_rd.admit(busyloop_definition("leave"))
+        ideal_rd.run_for(ms(30))
+        degraded_rate = stay.grant.rate
+        ideal_rd.exit_thread(leave.tid)
+        ideal_rd.run_for(ms(30))
+        assert stay.grant.rate > degraded_rate  # promoted back toward max
+
+
+class TestChangeResourceList:
+    def test_change_requires_fitting_minimum(self, ideal_rd):
+        admit_simple(ideal_rd, "other", period_ms=10, rate=0.5)
+        t = admit_simple(ideal_rd, "me", period_ms=10, rate=0.4)
+        bigger = single_entry_definition("me", period_ms=10, rate=0.6)
+        with pytest.raises(AdmissionError):
+            ideal_rd.resource_manager.change_resource_list(t.tid, bigger)
+
+    def test_change_applies_new_grants(self, ideal_rd):
+        t = admit_simple(ideal_rd, "me", period_ms=10, rate=0.4)
+        ideal_rd.run_for(ms(15))
+        smaller = single_entry_definition("me", period_ms=10, rate=0.2)
+        ideal_rd.resource_manager.change_resource_list(t.tid, smaller)
+        ideal_rd.run_for(ms(25))
+        assert t.grant.rate == pytest.approx(0.2)
+        assert not ideal_rd.trace.misses()
+
+
+class TestGrantSetView:
+    def test_current_grant_set_exposed(self, ideal_rd):
+        t = admit_simple(ideal_rd, "a", period_ms=10, rate=0.3)
+        gs = ideal_rd.current_grant_set
+        assert gs is not None
+        assert gs[t.tid].rate == pytest.approx(0.3)
+
+    def test_thread_lookup(self, ideal_rd):
+        t = admit_simple(ideal_rd, "a", period_ms=10, rate=0.3)
+        assert ideal_rd.thread(t.tid) is t

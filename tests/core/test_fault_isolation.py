@@ -1,0 +1,135 @@
+"""Fault isolation: application crashes never break the guarantees."""
+
+import pytest
+
+from repro import TaskDefinition, units
+from repro.core.threads import ThreadState
+from repro.core.resource_list import ResourceList, ResourceListEntry
+from repro.tasks.base import Compute
+
+from tests.conftest import admit_simple
+
+
+def ms(x):
+    return units.ms_to_ticks(x)
+
+
+def crasher_definition(name, crash_after_ms=5):
+    def crasher(ctx):
+        yield Compute(ms(crash_after_ms))
+        raise RuntimeError("decoder hit corrupt bitstream")
+
+    return TaskDefinition(
+        name=name,
+        resource_list=ResourceList([ResourceListEntry(ms(10), ms(6), crasher, name)]),
+    )
+
+
+def bad_protocol_definition(name):
+    def misbehaver(ctx):
+        yield Compute(ms(1))
+        yield "not an op"
+
+    return TaskDefinition(
+        name=name,
+        resource_list=ResourceList([ResourceListEntry(ms(10), ms(3), misbehaver, name)]),
+    )
+
+
+class TestPeriodicCrash:
+    def test_crash_is_contained(self, ideal_rd):
+        crasher = ideal_rd.admit(crasher_definition("crasher"))
+        healthy = admit_simple(ideal_rd, "healthy", period_ms=10, rate=0.3)
+        ideal_rd.run_for(ms(100))
+        assert crasher.state is ThreadState.EXITED
+        assert healthy.state is ThreadState.ACTIVE
+        assert not ideal_rd.trace.misses(healthy.tid)
+
+    def test_crash_is_recorded(self, ideal_rd):
+        ideal_rd.admit(crasher_definition("crasher"))
+        ideal_rd.run_for(ms(20))
+        assert len(ideal_rd.kernel.crashes) == 1
+        time, tid, message = ideal_rd.kernel.crashes[0]
+        assert "corrupt bitstream" in message
+        assert time == ms(5)
+
+    def test_crashed_capacity_is_reclaimed(self, ideal_rd):
+        ideal_rd.admit(crasher_definition("crasher"))  # 60 % commitment
+        ideal_rd.run_for(ms(30))
+        # After the crash, a 90 % task fits again.
+        admit_simple(ideal_rd, "big", period_ms=10, rate=0.9)
+        ideal_rd.run_for(ms(30))
+        assert not ideal_rd.trace.misses()
+
+    def test_crash_mid_overload_promotes_survivors(self, ideal_rd):
+        from repro.tasks.busyloop import busyloop_definition
+
+        survivor = ideal_rd.admit(busyloop_definition("survivor"))
+        ideal_rd.admit(crasher_definition("crasher"))
+        ideal_rd.run_for(ms(50))
+        # With the crasher gone, the survivor climbs back to its max.
+        assert survivor.grant.rate == pytest.approx(0.9)
+
+    def test_protocol_misuse_is_a_crash(self, ideal_rd):
+        bad = ideal_rd.admit(bad_protocol_definition("bad"))
+        good = admit_simple(ideal_rd, "good", period_ms=10, rate=0.3)
+        ideal_rd.run_for(ms(50))
+        assert bad.state is ThreadState.EXITED
+        assert ideal_rd.kernel.crashes
+        assert not ideal_rd.trace.misses(good.tid)
+
+
+class TestSporadicCrash:
+    def test_sporadic_crash_returns_cpu_to_server(self, ideal_rd):
+        from repro import SporadicServer
+
+        def boom(ctx):
+            yield Compute(ms(1))
+            raise ValueError("sporadic job failed")
+
+        def fine(ctx):
+            total = ms(2)
+            while total > 0:
+                step = min(units.us_to_ticks(100), total)
+                yield Compute(step)
+                total -= step
+
+        server = SporadicServer(ideal_rd, greedy=False)
+        bad = server.spawn("boom", boom)
+        good = server.spawn("fine", fine)
+        ideal_rd.run_for(units.sec_to_ticks(1))
+        assert bad.state is ThreadState.EXITED
+        assert good.state is ThreadState.EXITED  # ran to completion
+        assert server.thread.state is ThreadState.ACTIVE
+        assert ideal_rd.kernel.crashes
+
+
+class TestCrashDuringCallbacks:
+    def test_crash_in_filter_callback_is_contained(self, ideal_rd):
+        from repro import Semantics
+
+        def task(ctx):
+            while True:
+                yield Compute(ms(1))
+
+        def bad_filter(old, new):
+            raise RuntimeError("filter blew up")
+
+        definition = TaskDefinition(
+            name="filtered",
+            resource_list=ResourceList(
+                [
+                    ResourceListEntry(ms(10), ms(8), task, "hi"),
+                    ResourceListEntry(ms(10), ms(1), task, "lo"),
+                ]
+            ),
+            semantics=Semantics.RETURN,
+            filter_callback=bad_filter,
+        )
+        ideal_rd.admit(definition)
+        victim = admit_simple(ideal_rd, "victim", period_ms=10, rate=0.3)
+        # Force a grant change so the filter fires.
+        ideal_rd.at(ms(25), lambda: admit_simple(ideal_rd, "rival", 10, 0.5))
+        ideal_rd.run_for(ms(100))
+        # The victim and rival still never miss.
+        assert not ideal_rd.trace.misses(victim.tid)

@@ -1,0 +1,273 @@
+"""Grant control: fast path, policy correlation, exclusive arbitration."""
+
+import pytest
+
+from repro.core.grant_control import GrantController, GrantRequest
+from repro.core.policy_box import PolicyBox
+from repro.core.resource_list import ResourceList, ResourceListEntry
+from repro.errors import GrantError
+
+PERIOD = 270_000  # 10 ms
+
+
+def _fn(ctx):
+    yield  # pragma: no cover
+
+
+def make_list(*rates, exclusive_on_top=None):
+    entries = []
+    for i, rate in enumerate(rates):
+        exclusive = frozenset()
+        if exclusive_on_top and i < exclusive_on_top[0]:
+            exclusive = frozenset({exclusive_on_top[1]})
+        entries.append(
+            ResourceListEntry(
+                period=PERIOD,
+                cpu_ticks=round(PERIOD * rate),
+                function=_fn,
+                exclusive=exclusive,
+            )
+        )
+    return ResourceList(entries)
+
+
+@pytest.fixture
+def box():
+    return PolicyBox(capacity=0.96)
+
+
+def controller(box):
+    return GrantController(capacity=0.96, policy_box=box)
+
+
+def request(tid, box, *rates, name=None, quiescent=False, exclusive_on_top=None):
+    pid = box.register_task(name or f"t{tid}")
+    return GrantRequest(
+        thread_id=tid,
+        policy_id=pid,
+        resource_list=make_list(*rates, exclusive_on_top=exclusive_on_top),
+        quiescent=quiescent,
+    )
+
+
+class TestFastPath:
+    def test_underload_gives_everyone_max(self, box):
+        gc = controller(box)
+        result = gc.compute(
+            [request(1, box, 0.4, 0.1), request(2, box, 0.3, 0.1)]
+        )
+        assert result.passes == 0
+        assert result.policy is None
+        assert result.grant_set[1].rate == pytest.approx(0.4)
+        assert result.grant_set[2].rate == pytest.approx(0.3)
+
+    def test_empty_population(self, box):
+        gc = controller(box)
+        result = gc.compute([])
+        assert len(result.grant_set) == 0
+
+    def test_exact_capacity_fits(self, box):
+        gc = controller(box)
+        result = gc.compute(
+            [request(1, box, 0.5, 0.1), request(2, box, 0.46, 0.1)]
+        )
+        assert result.passes == 0
+
+    def test_duplicate_thread_ids_rejected(self, box):
+        gc = controller(box)
+        r = request(1, box, 0.4, 0.1)
+        with pytest.raises(GrantError):
+            gc.compute([r, r])
+
+
+class TestQuiescent:
+    def test_quiescent_threads_get_no_grant(self, box):
+        gc = controller(box)
+        result = gc.compute(
+            [request(1, box, 0.4, 0.1), request(2, box, 0.3, 0.1, quiescent=True)]
+        )
+        assert 1 in result.grant_set
+        assert 2 not in result.grant_set
+
+    def test_quiescent_resources_flow_to_others(self, box):
+        gc = controller(box)
+        # Two 60 %-max tasks: together they overload, but with one
+        # quiescent the other gets its maximum.
+        active = request(1, box, 0.6, 0.1)
+        sleeper = request(2, box, 0.6, 0.1, quiescent=True)
+        result = gc.compute([active, sleeper])
+        assert result.passes == 0
+        assert result.grant_set[1].rate == pytest.approx(0.6)
+
+
+class TestPolicyCorrelation:
+    def test_overload_consults_policy_box(self, box):
+        gc = controller(box)
+        result = gc.compute(
+            [request(1, box, 0.9, 0.1), request(2, box, 0.9, 0.1)]
+        )
+        assert result.policy is not None
+        assert result.policy.invented
+
+    def test_invented_policy_splits_evenly(self, box):
+        gc = controller(box)
+        # Table 6-style lists: nine 10 % steps.
+        rates = [0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1]
+        reqs = [request(i, box, *rates) for i in (1, 2, 3)]
+        result = gc.compute(reqs)
+        # 0.96 / 3 = 0.32 -> "above" entries are 40 % each, which
+        # overflow (1.2); the demotion pass settles everyone at 30 %.
+        for tid in (1, 2, 3):
+            assert result.grant_set[tid].rate == pytest.approx(0.3)
+        assert result.passes == 2
+
+    def test_figure5_three_thread_stage(self, box):
+        gc = controller(box)
+        # Two Table 6 threads plus the 1 % Sporadic Server: targets are
+        # 0.32 each, the busy threads take the 40 % entries just above,
+        # and everything fits in one pass -- the paper's "drops to 4 ms
+        # when one thread is added".
+        rates = [0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1]
+        reqs = [request(i, box, *rates) for i in (1, 2)]
+        ss = GrantRequest(
+            thread_id=3,
+            policy_id=box.register_task("SporadicServer"),
+            resource_list=ResourceList(
+                [ResourceListEntry(2_700_000, 27_000, _fn, "SS")]
+            ),
+        )
+        result = gc.compute(reqs + [ss])
+        assert result.passes == 1
+        assert result.grant_set[1].rate == pytest.approx(0.4)
+        assert result.grant_set[2].rate == pytest.approx(0.4)
+
+    def test_demotion_when_above_sum_overflows(self, box):
+        gc = controller(box)
+        rates = [0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1]
+        reqs = [request(i, box, *rates) for i in (1, 2, 3, 4, 5)]
+        result = gc.compute(reqs)
+        # 0.96 / 5 = 0.192 -> above = 20 % x 5 = 1.0 > 0.96: one thread
+        # is demoted to 10 %.
+        granted = sorted(result.grant_set[tid].rate for tid in (1, 2, 3, 4, 5))
+        assert granted == pytest.approx([0.1, 0.2, 0.2, 0.2, 0.2])
+        assert result.passes == 2
+
+    def test_explicit_policy_shapes_grants(self, box):
+        gc = controller(box)
+        important = request(1, box, 0.8, 0.6, 0.2, name="important")
+        background = request(2, box, 0.8, 0.6, 0.2, name="background")
+        box.set_default(
+            {box.policy_id("important"): 65, box.policy_id("background"): 25}
+        )
+        result = gc.compute([important, background])
+        assert not result.policy.invented
+        assert result.grant_set[1].rate > result.grant_set[2].rate
+
+    def test_deep_demotion_when_one_level_is_not_enough(self, box):
+        gc = controller(box)
+        # B's only level is 90 %, far above its invented 48 % target, so
+        # it cannot be demoted; A's "just below" entry (9 %) still
+        # overflows alongside it (0.99 > 0.96).  The second demotion
+        # sweep keeps walking A down to its minimum (1 %), which the
+        # admission invariant guarantees to fit — no blunt fallback.
+        a = request(1, box, 0.5, 0.09, 0.01, name="A")
+        b = request(2, box, 0.9, name="B")
+        result = gc.compute([a, b])
+        assert not result.minimum_fallback
+        assert result.grant_set[1].rate == pytest.approx(0.01)
+        assert result.grant_set[2].rate == pytest.approx(0.9)
+        assert result.grant_set.total_rate <= 0.96 + 1e-9
+
+    def test_promotion_restores_demotions_within_policy_ceiling(self, box):
+        gc = controller(box)
+        # Targets 0.3 / 0.12 / 0.5.  Pass 1 overshoots (0.97); pass 2
+        # demotes A (largest overshoot above target) to 0.25; pass 3
+        # restores A back to its policy level 0.333... no — the ceiling
+        # is the pass-1 selection, so A returns exactly to 0.333's
+        # sanctioned sibling.  Constructed concretely below:
+        a = request(1, box, 0.4, 0.25, 0.05, name="A")  # target 0.3 -> above 0.4
+        b = request(2, box, 0.12, 0.06, name="B")  # target 0.12 -> above 0.12
+        c = request(3, box, 0.5, 0.4, 0.1, name="C")  # target 0.5 -> above 0.5
+        box.set_default(
+            {box.policy_id("A"): 30, box.policy_id("B"): 12, box.policy_id("C"): 50}
+        )
+        result = gc.compute([a, b, c])
+        # Pass 1: 0.4 + 0.12 + 0.5 = 1.02 > 0.96.  A overshoots most
+        # (+0.10) and is demoted to 0.25 -> 0.87.  Pass 3 slack (0.09)
+        # cannot restore A's 0.4 (needs 0.15), and nobody may exceed
+        # their pass-1 ceiling.
+        assert result.passes == 3
+        assert result.grant_set[1].rate == pytest.approx(0.25)
+        assert result.grant_set[2].rate == pytest.approx(0.12)
+        assert result.grant_set[3].rate == pytest.approx(0.5)
+        assert result.grant_set.total_rate <= 0.96 + 1e-9
+
+    def test_promotion_never_exceeds_policy_level(self, box):
+        gc = controller(box)
+        # B is demoted for capacity; the leftover slack could lift A
+        # past its policy-sanctioned level, but must not: runtime
+        # overtime, not grants, distributes unallocated capacity.
+        a = request(1, box, 0.6, 0.5, 0.05, name="A")
+        b = request(2, box, 0.6, 0.05, name="B")
+        result = gc.compute([a, b])  # invented targets: 0.48 each
+        assert result.grant_set[1].rate == pytest.approx(0.5)
+        assert result.grant_set[2].rate == pytest.approx(0.05)
+
+
+class TestExclusiveUnits:
+    def test_fast_path_avoided_on_conflict(self, box):
+        gc = controller(box)
+        # Both maxima need the scaler; rates alone would fit.
+        a = request(1, box, 0.3, 0.1, exclusive_on_top=(1, "scaler"))
+        b = request(2, box, 0.3, 0.1, exclusive_on_top=(1, "scaler"))
+        result = gc.compute([a, b])
+        owners = [
+            tid
+            for tid in (1, 2)
+            if "scaler" in result.grant_set[tid].exclusive
+        ]
+        assert len(owners) <= 1
+
+    def test_preferred_thread_gets_the_unit(self, box):
+        gc = controller(box)
+        a = request(1, box, 0.5, 0.1, name="A", exclusive_on_top=(1, "scaler"))
+        b = request(2, box, 0.5, 0.1, name="B", exclusive_on_top=(1, "scaler"))
+        box.set_default({box.policy_id("A"): 20, box.policy_id("B"): 70})
+        result = gc.compute([a, b])
+        # B is ranked higher: B holds the scaler, A is pushed off it.
+        assert "scaler" in result.grant_set[2].exclusive
+        assert "scaler" not in result.grant_set[1].exclusive
+        assert result.exclusive_assignment == {"scaler": 2}
+
+    def test_minimum_requiring_exclusive_rejected(self, box):
+        gc = controller(box)
+        entries = [
+            ResourceListEntry(
+                period=PERIOD,
+                cpu_ticks=round(PERIOD * r),
+                function=_fn,
+                exclusive=frozenset({"scaler"}),
+            )
+            for r in (0.9, 0.8)
+        ]
+        bad = GrantRequest(
+            thread_id=1,
+            policy_id=box.register_task("bad"),
+            resource_list=ResourceList(entries),
+        )
+        other = request(2, box, 0.9, 0.8, exclusive_on_top=(2, "scaler"))
+        with pytest.raises(GrantError):
+            gc.compute([other, bad])
+
+
+class TestResultInvariants:
+    def test_total_never_exceeds_capacity(self, box):
+        gc = controller(box)
+        rates = [0.9, 0.5, 0.25, 0.12, 0.05]
+        reqs = [request(i, box, *rates) for i in range(1, 8)]
+        result = gc.compute(reqs)
+        assert result.grant_set.total_rate <= 0.96 + 1e-9
+
+    def test_capacity_validation(self, box):
+        with pytest.raises(GrantError):
+            GrantController(capacity=0.0, policy_box=box)

@@ -1,0 +1,150 @@
+"""Policy Box: Table 5 rankings, overrides, and invented policies."""
+
+import pytest
+
+from repro.core.policy_box import PolicyBox
+from repro.errors import PolicyError
+
+
+@pytest.fixture
+def box():
+    return PolicyBox(capacity=0.96)
+
+
+def register_four(box):
+    return [box.register_task(f"Task{i}") for i in range(1, 5)]
+
+
+class TestRegistration:
+    def test_ids_are_stable(self, box):
+        a = box.register_task("MPEG")
+        b = box.register_task("MPEG")
+        assert a == b
+
+    def test_name_round_trip(self, box):
+        pid = box.register_task("AC3")
+        assert box.task_name(pid) == "AC3"
+        assert box.policy_id("AC3") == pid
+
+    def test_unknown_lookups_raise(self, box):
+        with pytest.raises(PolicyError):
+            box.task_name(99)
+        with pytest.raises(PolicyError):
+            box.policy_id("nope")
+
+
+class TestTable5:
+    """The example Policy Box of Table 5."""
+
+    @pytest.fixture
+    def table5(self, box):
+        t1, t2, t3, t4 = register_four(box)
+        box.set_default({t1: 10, t2: 85})
+        box.set_default({t1: 20, t3: 75})
+        box.set_default({t1: 10, t4: 85})
+        box.set_default({t1: 10, t2: 50, t3: 35})
+        box.set_default({t1: 10, t2: 35, t4: 50})
+        box.set_default({t1: 10, t3: 35, t4: 50})
+        box.set_default({t1: 5, t2: 35, t3: 20, t4: 35})
+        return box, (t1, t2, t3, t4)
+
+    def test_exact_match_lookup(self, table5):
+        box, (t1, t2, t3, t4) = table5
+        policy = box.resolve({t1, t2})
+        assert policy.shares[t1] == pytest.approx(0.10)
+        assert policy.shares[t2] == pytest.approx(0.85)
+        assert not policy.invented
+
+    def test_four_way_policy(self, table5):
+        box, ids = table5
+        policy = box.resolve(set(ids))
+        assert policy.shares[ids[0]] == pytest.approx(0.05)
+        assert sum(policy.shares.values()) == pytest.approx(0.95)
+
+    def test_order_of_set_does_not_matter(self, table5):
+        box, (t1, t2, t3, t4) = table5
+        assert box.resolve({t2, t1}).shares == box.resolve({t1, t2}).shares
+
+    def test_seven_known_policies(self, table5):
+        box, _ = table5
+        assert len(box.known_policies()) == 7
+
+    def test_describe_renders_rows(self, table5):
+        box, _ = table5
+        text = box.describe()
+        assert "Task1" in text
+        assert "85" in text
+
+
+class TestInvention:
+    def test_unknown_set_invents_equal_shares(self, box):
+        ids = register_four(box)
+        policy = box.resolve({ids[0], ids[1], ids[2]})
+        assert policy.invented
+        for pid in ids[:3]:
+            assert policy.shares[pid] == pytest.approx(0.96 / 3)
+
+    def test_invented_policy_names_exclusive_preference(self, box):
+        ids = register_four(box)
+        policy = box.resolve(set(ids))
+        assert policy.exclusive_preference == min(ids)
+
+    def test_invention_counted(self, box):
+        ids = register_four(box)
+        box.resolve({ids[0]})
+        assert box.invention_count == 1
+        assert box.lookup_count == 1
+
+    def test_empty_set_raises(self, box):
+        with pytest.raises(PolicyError):
+            box.resolve(set())
+
+    def test_unregistered_ids_raise(self, box):
+        with pytest.raises(PolicyError):
+            box.resolve({42})
+
+
+class TestOverrides:
+    def test_override_wins_over_default(self, box):
+        t1 = box.register_task("video")
+        t2 = box.register_task("audio")
+        # Default: degrade video before audio.
+        box.set_default({t1: 30, t2: 60})
+        # Loud environment: the user reverses the preference.
+        box.set_override({t1: 60, t2: 30})
+        policy = box.resolve({t1, t2})
+        assert policy.shares[t1] > policy.shares[t2]
+
+    def test_clear_override_restores_default(self, box):
+        t1 = box.register_task("video")
+        t2 = box.register_task("audio")
+        box.set_default({t1: 30, t2: 60})
+        box.set_override({t1: 60, t2: 30})
+        box.clear_override({t1, t2})
+        policy = box.resolve({t1, t2})
+        assert policy.shares[t2] > policy.shares[t1]
+
+
+class TestValidation:
+    def test_rankings_must_fit_capacity(self, box):
+        t1 = box.register_task("a")
+        t2 = box.register_task("b")
+        with pytest.raises(PolicyError):
+            box.set_default({t1: 60, t2: 40})  # 100 % > 96 %
+
+    def test_rankings_must_be_positive(self, box):
+        t1 = box.register_task("a")
+        with pytest.raises(PolicyError):
+            box.set_default({t1: 0})
+
+    def test_rankings_must_reference_registered_tasks(self, box):
+        with pytest.raises(PolicyError):
+            box.set_default({77: 10})
+
+    def test_empty_policy_rejected(self, box):
+        with pytest.raises(PolicyError):
+            box.set_default({})
+
+    def test_capacity_validation(self):
+        with pytest.raises(PolicyError):
+            PolicyBox(capacity=0.0)

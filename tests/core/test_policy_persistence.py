@@ -1,0 +1,59 @@
+"""Policy Box persistence: export/load round trips."""
+
+import json
+
+import pytest
+
+from repro.core.policy_box import PolicyBox
+from repro.errors import PolicyError
+
+
+def build_box():
+    box = PolicyBox(capacity=0.96)
+    vid = box.register_task("video")
+    aud = box.register_task("audio")
+    bg = box.register_task("background")
+    box.set_default({vid: 24, aud: 12, bg: 60})
+    box.set_default({vid: 30, aud: 12})
+    box.set_override({vid: 34, aud: 6, bg: 56})
+    return box
+
+
+class TestRoundTrip:
+    def test_export_is_json_safe(self):
+        data = build_box().export_policies()
+        json.dumps(data)  # must not raise
+        assert data["tasks"] == ["video", "audio", "background"]
+        assert len(data["defaults"]) == 2
+        assert len(data["overrides"]) == 1
+
+    def test_load_reproduces_resolutions(self):
+        original = build_box()
+        restored = PolicyBox.load_policies(original.export_policies())
+        ids_o = {n: original.policy_id(n) for n in ("video", "audio", "background")}
+        ids_r = {n: restored.policy_id(n) for n in ("video", "audio", "background")}
+        pol_o = original.resolve(set(ids_o.values()))
+        pol_r = restored.resolve(set(ids_r.values()))
+        shares_o = {n: pol_o.shares[ids_o[n]] for n in ids_o}
+        shares_r = {n: pol_r.shares[ids_r[n]] for n in ids_r}
+        assert shares_o == shares_r
+
+    def test_overrides_survive_the_round_trip(self):
+        restored = PolicyBox.load_policies(build_box().export_policies())
+        vid = restored.policy_id("video")
+        aud = restored.policy_id("audio")
+        bg = restored.policy_id("background")
+        policy = restored.resolve({vid, aud, bg})
+        # The override (34/6/56), not the default (24/12/60), applies.
+        assert policy.shares[aud] == pytest.approx(0.06)
+
+    def test_loaded_box_validates_like_a_fresh_one(self):
+        restored = PolicyBox.load_policies(build_box().export_policies())
+        with pytest.raises(PolicyError):
+            restored.set_default({restored.policy_id("video"): 200})
+
+    def test_empty_export(self):
+        box = PolicyBox(capacity=0.9)
+        data = box.export_policies()
+        restored = PolicyBox.load_policies(data)
+        assert restored.known_policies() == []

@@ -1,0 +1,84 @@
+"""Runtime Policy Box modification (the paper's §7 open issue)."""
+
+import pytest
+
+from repro import ContextSwitchCosts, MachineConfig, SimConfig, units
+from repro.core.distributor import ResourceDistributor
+from repro.tasks.ac3 import Ac3Decoder
+from repro.tasks.busyloop import busyloop_definition
+from repro.tasks.mpeg import MpegDecoder
+
+
+def ms(x):
+    return units.ms_to_ticks(x)
+
+
+@pytest.fixture
+def overloaded():
+    """Video + audio + background with designer defaults installed."""
+    rd = ResourceDistributor(
+        machine=MachineConfig(switch_costs=ContextSwitchCosts.zero()),
+        sim=SimConfig(seed=21),
+    )
+    mpeg = MpegDecoder("video")
+    ac3 = Ac3Decoder("audio")
+    vid = rd.policy_box.register_task("video")
+    aud = rd.policy_box.register_task("audio")
+    bg = rd.policy_box.register_task("background")
+    rd.policy_box.set_default({vid: 24, aud: 12, bg: 60})
+    threads = {
+        "video": rd.admit(mpeg.definition()),
+        "audio": rd.admit(ac3.definition()),
+        "background": rd.admit(busyloop_definition("background")),
+    }
+    return rd, threads, (vid, aud, bg)
+
+
+class TestRuntimeOverride:
+    def test_override_mid_run_changes_grants(self, overloaded):
+        rd, threads, (vid, aud, bg) = overloaded
+        rd.run_for(ms(200))
+        assert threads["audio"].grant.entry_index == 0  # full quality
+        # Loud room: the user flips the preference mid-run.
+        rd.at(
+            ms(200),
+            lambda: rd.set_policy_override({vid: 34, aud: 6, bg: 56}),
+            "user override",
+        )
+        rd.run_for(ms(300))
+        assert threads["audio"].grant.entry_index == 1  # downmixed
+        assert threads["video"].grant.entry_index == 0  # full video
+
+    def test_override_never_breaks_guarantees(self, overloaded):
+        rd, threads, (vid, aud, bg) = overloaded
+        for k in range(1, 6):
+            rankings = (
+                {vid: 34, aud: 6, bg: 56} if k % 2 else {vid: 24, aud: 12, bg: 60}
+            )
+            rd.at(ms(100 * k), lambda r=rankings: rd.set_policy_override(r))
+        rd.run_for(ms(700))
+        assert not rd.trace.misses()
+
+    def test_clear_override_restores_default(self, overloaded):
+        rd, threads, (vid, aud, bg) = overloaded
+        rd.set_policy_override({vid: 34, aud: 6, bg: 56})
+        rd.run_for(ms(200))
+        assert threads["audio"].grant.entry_index == 1
+        rd.clear_policy_override({vid, aud, bg})
+        rd.run_for(ms(200))
+        assert threads["audio"].grant.entry_index == 0
+
+    def test_grant_changes_land_on_period_boundaries(self, overloaded):
+        rd, threads, (vid, aud, bg) = overloaded
+        rd.at(ms(205), lambda: rd.set_policy_override({vid: 34, aud: 6, bg: 56}))
+        rd.run_for(ms(500))
+        audio_period = threads["audio"].definition.resource_list.maximum.period
+        for change in rd.trace.grant_changes:
+            if change.thread_id == threads["audio"].tid and change.reason == "grant change":
+                assert change.time % audio_period == 0
+
+    def test_policy_change_with_no_tasks_is_harmless(self):
+        rd = ResourceDistributor(sim=SimConfig(seed=1))
+        pid = rd.policy_box.register_task("x")
+        rd.set_policy_override({pid: 50})
+        rd.run_for(ms(10))  # nothing admitted: nothing to recompute

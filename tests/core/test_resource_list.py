@@ -1,0 +1,130 @@
+"""Resource lists: Table 1 semantics and validation."""
+
+import pytest
+
+from repro.core.resource_list import ResourceList, ResourceListEntry
+from repro.errors import ResourceListError
+
+
+def _fn(ctx):
+    yield  # pragma: no cover - never driven
+
+
+def entry(period, cpu, **kwargs):
+    return ResourceListEntry(period=period, cpu_ticks=cpu, function=_fn, **kwargs)
+
+
+class TestEntry:
+    def test_rate_is_cpu_over_period(self):
+        # Table 2's top row: 300,000 / 900,000 = 33.3 %.
+        assert entry(900_000, 300_000).rate == pytest.approx(1 / 3)
+
+    def test_rejects_cpu_over_period(self):
+        with pytest.raises(ResourceListError):
+            entry(900_000, 900_001)
+
+    def test_rejects_zero_cpu(self):
+        with pytest.raises(ResourceListError):
+            entry(900_000, 0)
+
+    def test_rejects_float_cpu(self):
+        with pytest.raises(ResourceListError):
+            entry(900_000, 1000.5)
+
+    def test_rejects_out_of_range_period(self):
+        with pytest.raises(ValueError):
+            entry(100, 10)
+
+    def test_rejects_non_callable_function(self):
+        with pytest.raises(ResourceListError):
+            ResourceListEntry(period=900_000, cpu_ticks=100, function="nope")
+
+    def test_full_rate_entry_allowed(self):
+        assert entry(900_000, 900_000).rate == 1.0
+
+
+class TestListOrdering:
+    def test_requires_strictly_decreasing_rates(self):
+        with pytest.raises(ResourceListError):
+            ResourceList([entry(900_000, 100_000), entry(900_000, 200_000)])
+
+    def test_rejects_equal_rates(self):
+        with pytest.raises(ResourceListError):
+            ResourceList([entry(900_000, 100_000), entry(900_000, 100_000)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ResourceListError):
+            ResourceList([])
+
+    def test_max_and_min(self):
+        rl = ResourceList([entry(900_000, 300_000), entry(900_000, 100_000)])
+        assert rl.maximum.cpu_ticks == 300_000
+        assert rl.minimum.cpu_ticks == 100_000
+
+    def test_single_entry_is_both_max_and_min(self):
+        rl = ResourceList([entry(900_000, 300_000)])
+        assert rl.maximum is rl.minimum
+
+    def test_mixed_periods_ordered_by_rate(self):
+        # Table 2 mixes periods; ordering is by rate, not period.
+        rl = ResourceList(
+            [
+                entry(900_000, 300_000),  # 33.3 %
+                entry(3_600_000, 900_000),  # 25.0 %
+                entry(2_700_000, 600_000),  # 22.2 %
+                entry(3_600_000, 600_000),  # 16.7 %
+            ]
+        )
+        assert [round(e.rate, 3) for e in rl] == [0.333, 0.25, 0.222, 0.167]
+
+
+class TestSelection:
+    @pytest.fixture
+    def rl(self):
+        return ResourceList(
+            [entry(900_000, 450_000), entry(900_000, 270_000), entry(900_000, 90_000)]
+        )  # 50 %, 30 %, 10 %
+
+    def test_best_fitting_exact(self, rl):
+        assert rl.best_fitting(0.5).cpu_ticks == 450_000
+
+    def test_best_fitting_rounds_down_to_useful_level(self, rl):
+        # 45 % cannot run the 50 % level; the useful quantum is 30 %.
+        assert rl.best_fitting(0.45).cpu_ticks == 270_000
+
+    def test_best_fitting_below_minimum_is_none(self, rl):
+        assert rl.best_fitting(0.05) is None
+
+    def test_straddling_middle(self, rl):
+        above, below = rl.straddling(0.4)
+        assert above.rate == pytest.approx(0.5)
+        assert below.rate == pytest.approx(0.3)
+
+    def test_straddling_above_all(self, rl):
+        above, below = rl.straddling(0.9)
+        assert above is None
+        assert below.rate == pytest.approx(0.5)
+
+    def test_straddling_below_all(self, rl):
+        above, below = rl.straddling(0.01)
+        assert above.rate == pytest.approx(0.1)
+        assert below is None
+
+    def test_straddling_exact_level_counts_as_above(self, rl):
+        above, below = rl.straddling(0.3)
+        assert above.rate == pytest.approx(0.3)
+        assert below.rate == pytest.approx(0.1)
+
+    def test_index_of(self, rl):
+        assert rl.index_of(rl.minimum) == 2
+        other = entry(900_000, 450_000)
+        with pytest.raises(ResourceListError):
+            rl.index_of(other)
+
+
+class TestDescribe:
+    def test_describe_contains_rates(self):
+        rl = ResourceList([entry(900_000, 300_000, label="FullDecompress")])
+        text = rl.describe()
+        assert "FullDecompress" in text
+        assert "33.3%" in text

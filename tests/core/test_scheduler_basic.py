@@ -1,0 +1,155 @@
+"""Scheduler basics: EDF order, enforcement, overtime, idle."""
+
+import pytest
+
+from repro import MachineConfig, SimConfig, units
+from repro.core.distributor import ResourceDistributor
+from repro.sim.trace import SegmentKind
+from repro.workloads import single_entry_definition
+
+from tests.conftest import admit_simple
+
+
+def ms(x):
+    return units.ms_to_ticks(x)
+
+
+class TestEdfOrdering:
+    def test_shorter_period_runs_first(self, ideal_rd):
+        fast = admit_simple(ideal_rd, "fast", period_ms=10, rate=0.2)
+        slow = admit_simple(ideal_rd, "slow", period_ms=40, rate=0.2)
+        ideal_rd.run_for(ms(40))
+        first = next(s for s in ideal_rd.trace.segments if s.kind is SegmentKind.GRANTED)
+        assert first.thread_id == fast.tid
+        assert not ideal_rd.trace.misses()
+
+    def test_tie_broken_by_thread_id(self, ideal_rd):
+        a = admit_simple(ideal_rd, "a", period_ms=10, rate=0.2)
+        b = admit_simple(ideal_rd, "b", period_ms=10, rate=0.2)
+        ideal_rd.run_for(ms(10))
+        granted = [s for s in ideal_rd.trace.segments if s.kind is SegmentKind.GRANTED]
+        assert granted[0].thread_id == a.tid
+
+    def test_earlier_deadline_preempts(self, ideal_rd):
+        # A long-period thread is mid-grant when the short-period thread
+        # gets a fresh period with an earlier deadline.
+        long = admit_simple(ideal_rd, "long", period_ms=100, rate=0.6, greedy=True)
+        short = admit_simple(ideal_rd, "short", period_ms=10, rate=0.3)
+        ideal_rd.run_for(ms(50))
+        # The short thread must run in every one of its periods.
+        for outcome in ideal_rd.trace.deadlines_for(short.tid):
+            assert outcome.delivered == outcome.granted
+        assert not ideal_rd.trace.misses()
+
+
+class TestEnforcement:
+    def test_grant_is_capped_when_others_are_ready(self, ideal_rd):
+        greedy = admit_simple(ideal_rd, "greedy", period_ms=10, rate=0.5, greedy=True)
+        polite = admit_simple(ideal_rd, "polite", period_ms=10, rate=0.4)
+        ideal_rd.run_for(ms(100))
+        # Enforcement: the greedy thread cannot starve the polite one.
+        assert not ideal_rd.trace.misses(polite.tid)
+        granted = ideal_rd.trace.busy_ticks(polite.tid)
+        assert granted >= ms(4) * 9  # ~0.4 of every closed period
+
+    def test_unused_capacity_flows_as_overtime(self, ideal_rd):
+        greedy = admit_simple(ideal_rd, "greedy", period_ms=10, rate=0.3, greedy=True)
+        ideal_rd.run_for(ms(50))
+        overtime = sum(
+            s.length
+            for s in ideal_rd.trace.segments_for(greedy.tid)
+            if s.kind is SegmentKind.OVERTIME
+        )
+        # ~70 % of the machine arrives as overtime: 100 % allocation of
+        # available resources to ready tasks (first principle 2).
+        assert overtime >= ms(30)
+
+    def test_done_thread_leaves_capacity_to_others(self, ideal_rd):
+        # "If a task requests a resource that an earlier task reserved
+        # but is not using, the later task will be granted that resource"
+        donor = admit_simple(ideal_rd, "donor", period_ms=10, rate=0.5)
+        taker = admit_simple(ideal_rd, "taker", period_ms=10, rate=0.4, greedy=True)
+        ideal_rd.run_for(ms(50))
+        taker_total = ideal_rd.trace.busy_ticks(taker.tid)
+        # The taker gets its 40 % plus the idle half of the donor's 50 %.
+        assert taker_total >= ms(22)
+
+
+class TestIdle:
+    def test_idle_runs_when_nothing_admitted(self, ideal_rd):
+        ideal_rd.run_for(ms(10))
+        idle = sum(
+            s.length for s in ideal_rd.trace.segments if s.kind is SegmentKind.IDLE
+        )
+        assert idle == ms(10)
+
+    def test_idle_fills_gaps_when_tasks_decline_overtime(self, ideal_rd):
+        admit_simple(ideal_rd, "worker", period_ms=10, rate=0.3)
+        ideal_rd.run_for(ms(20))
+        idle = sum(
+            s.length for s in ideal_rd.trace.segments if s.kind is SegmentKind.IDLE
+        )
+        assert idle == pytest.approx(ms(14), abs=ms(1))
+
+
+class TestTimerEconomy:
+    """The RD takes exactly the switches the task set requires."""
+
+    def test_same_period_threads_do_not_preempt_each_other(self, ideal_rd):
+        a = admit_simple(ideal_rd, "a", period_ms=10, rate=0.4)
+        b = admit_simple(ideal_rd, "b", period_ms=10, rate=0.4)
+        ideal_rd.run_for(ms(100))
+        # a runs to completion, then b: each period has exactly the
+        # a->b switch plus the boundary switch back to a.
+        for thread in (a, b):
+            segments = [
+                s
+                for s in ideal_rd.trace.segments_for(thread.tid)
+                if s.kind is SegmentKind.GRANTED
+            ]
+            by_period = {}
+            for s in segments:
+                by_period.setdefault(s.period_index, []).append(s)
+            for period_segments in by_period.values():
+                assert len(period_segments) == 1  # never split: no preemption
+
+    def test_at_least_two_switches_per_shortest_period(self, real_rd):
+        admit_simple(real_rd, "fast", period_ms=5, rate=0.3)
+        admit_simple(real_rd, "slow", period_ms=50, rate=0.5, greedy=True)
+        real_rd.run_for(ms(500))
+        # Paper: "we take (at least) twice as many interrupts as the
+        # shortest period in the system" -> >= 2 switches per 5 ms.
+        assert real_rd.trace.switch_count() >= 2 * (500 // 5) * 0.9
+
+
+class TestSmallOverlapOverride:
+    def test_tiny_remaining_grant_finishes_without_preemption(self):
+        machine = MachineConfig.ideal()
+        machine = type(machine)(
+            interrupt_reserve=0.0,
+            switch_costs=machine.switch_costs,
+            overlap_override_ticks=units.us_to_ticks(100),
+            admission_cost_ticks=0,
+        )
+        rd = ResourceDistributor(machine=machine, sim=SimConfig(seed=1))
+        # Long-period thread computes 30.05 ms; short-period thread's
+        # boundary at 30 ms would preempt with only 50 us left.
+        long = rd.admit(single_entry_definition("long", 100, 0.35, greedy=True))
+        short = rd.admit(single_entry_definition("short", 30, 0.3))
+        rd.run_for(ms(100))
+        # With the override, the long thread's grant segments are not
+        # split at 30 ms +- tiny overlap; verify it misses nothing.
+        assert not rd.trace.misses()
+
+
+class TestExternalEvents:
+    def test_event_fires_at_time(self, ideal_rd):
+        fired = []
+        ideal_rd.at(ms(5), lambda: fired.append(ideal_rd.now))
+        ideal_rd.run_for(ms(10))
+        assert fired == [ms(5)]
+
+    def test_past_event_rejected(self, ideal_rd):
+        ideal_rd.run_for(ms(10))
+        with pytest.raises(Exception):
+            ideal_rd.at(ms(5), lambda: None)

@@ -1,0 +1,41 @@
+"""Scheduler queue snapshots for debugging."""
+
+import pytest
+
+from repro import units
+
+from tests.conftest import admit_simple
+
+
+def ms(x):
+    return units.ms_to_ticks(x)
+
+
+class TestSnapshot:
+    def test_queues_reflect_states(self, ideal_rd):
+        fresh = admit_simple(ideal_rd, "fresh", period_ms=10, rate=0.3)
+        greedy = admit_simple(ideal_rd, "greedy", period_ms=10, rate=0.2, greedy=True)
+        ideal_rd.run_for(ms(6))  # fresh done (3 ms), greedy in overtime
+        snap = ideal_rd.scheduler.snapshot(ideal_rd.now)
+        tr_ids = [row[0] for row in snap["time_remaining"]]
+        ot_ids = [row[0] for row in snap["overtime_requested"]]
+        te_ids = [row[0] for row in snap["time_expired"]]
+        assert fresh.tid not in tr_ids  # declared done
+        assert fresh.tid in te_ids
+        assert greedy.tid in ot_ids  # exhausted grant, work pending
+
+    def test_time_remaining_is_deadline_ordered(self, ideal_rd):
+        admit_simple(ideal_rd, "slow", period_ms=40, rate=0.2)
+        admit_simple(ideal_rd, "fast", period_ms=10, rate=0.2)
+        snap = ideal_rd.scheduler.snapshot(0)
+        deadlines = [row[2] for row in snap["time_remaining"]]
+        assert deadlines == sorted(deadlines)
+
+    def test_pending_activation_listed(self, ideal_rd):
+        admit_simple(ideal_rd, "a", period_ms=10, rate=0.3)
+        # Before the first run, the grant awaits unallocated time.
+        snap = ideal_rd.scheduler.snapshot(0)
+        assert snap["pending_activation"]
+        ideal_rd.run_for(ms(5))
+        snap = ideal_rd.scheduler.snapshot(ideal_rd.now)
+        assert snap["pending_activation"] == []

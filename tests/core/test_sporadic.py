@@ -1,0 +1,126 @@
+"""Sporadic Server (section 5.1): grant assignment, round robin, liveness."""
+
+import pytest
+
+from repro import SporadicServer, units
+from repro.core.threads import ThreadState
+from repro.sim.trace import SegmentKind
+from repro.tasks.base import Block, Compute
+from repro.tasks.channels import Channel
+
+from tests.conftest import admit_simple
+
+
+def ms(x):
+    return units.ms_to_ticks(x)
+
+
+def finite_job(total_ms):
+    def job(ctx):
+        chunk = units.us_to_ticks(100)
+        remaining = ms(total_ms)
+        while remaining > 0:
+            step = min(chunk, remaining)
+            yield Compute(step)
+            remaining -= step
+
+    return job
+
+
+class TestAssignment:
+    def test_sporadic_work_is_charged_to_the_server(self, ideal_rd):
+        server = SporadicServer(ideal_rd, greedy=False)
+        task = server.spawn("batch", finite_job(2))
+        ideal_rd.run_for(ms(500))
+        assigned = [
+            s
+            for s in ideal_rd.trace.segments
+            if s.thread_id == task.tid and s.kind is SegmentKind.ASSIGNED
+        ]
+        assert assigned
+        assert all(s.charged_to == server.thread.tid for s in assigned)
+
+    def test_sporadic_task_completes_and_exits(self, ideal_rd):
+        server = SporadicServer(ideal_rd, greedy=False)
+        task = server.spawn("batch", finite_job(2))
+        ideal_rd.run_for(ms(500))
+        assert task.state is ThreadState.EXITED
+        assert server.queue_length() == 0
+
+    def test_sporadic_progress_is_bounded_by_server_grant(self, ideal_rd):
+        # Server: 1 ms guaranteed per 100 ms, plus whatever overtime it
+        # wins on EDF ties (once per coinciding boundary).  A 5 ms job
+        # therefore cannot finish inside the first 100 ms, but completes
+        # well within 800 ms.
+        server = SporadicServer(ideal_rd, greedy=False)
+        admit_simple(ideal_rd, "load", period_ms=10, rate=0.9, greedy=True)
+        task = server.spawn("batch", finite_job(5))
+        ideal_rd.run_for(ms(100))
+        assert task.state is ThreadState.ACTIVE  # not done yet
+        assert ideal_rd.trace.busy_ticks(task.tid) <= ms(2)
+        ideal_rd.run_for(ms(700))
+        assert task.state is ThreadState.EXITED
+
+    def test_no_guarantees_but_liveness(self, ideal_rd):
+        """A conventional task keeps making progress even with a 90 %
+        periodic load (guaranteed liveness for non-real-time tasks)."""
+        server = SporadicServer(ideal_rd, greedy=False)
+        admit_simple(ideal_rd, "mm", period_ms=10, rate=0.9, greedy=True)
+        task = server.spawn("shell", finite_job(3))
+        ideal_rd.run_for(ms(800))
+        assert task.state is ThreadState.EXITED
+
+
+class TestRoundRobin:
+    def test_multiple_sporadics_share_the_server(self, ideal_rd):
+        server = SporadicServer(
+            ideal_rd, slice_ticks=ms(1), greedy=False
+        )
+        a = server.spawn("a", finite_job(2))
+        b = server.spawn("b", finite_job(2))
+        ideal_rd.run_for(ms(900))
+        # Both ran; neither was starved by the other.
+        assert a.state is ThreadState.EXITED
+        assert b.state is ThreadState.EXITED
+        progress_a = ideal_rd.trace.busy_ticks(a.tid)
+        progress_b = ideal_rd.trace.busy_ticks(b.tid)
+        assert progress_a == pytest.approx(ms(2), abs=ms(0.2))
+        assert progress_b == pytest.approx(ms(2), abs=ms(0.2))
+
+
+class TestBlockingSporadic:
+    def test_blocked_sporadic_returns_cpu_to_server(self, ideal_rd):
+        channel = Channel("io")
+
+        def io_task(ctx):
+            yield Compute(ms(1))
+            yield Block(channel)
+            yield Compute(ms(1))
+
+        server = SporadicServer(ideal_rd, greedy=False)
+        task = server.spawn("io", io_task)
+        other = server.spawn("other", finite_job(1))
+        ideal_rd.at(ms(700), channel.post)
+        ideal_rd.run_for(ms(1000))
+        # The blocked task did not wedge the server: "other" finished
+        # long before the wake, and "io" finished after it.
+        assert other.state is ThreadState.EXITED
+        assert task.state is ThreadState.EXITED
+
+
+class TestGreedyServer:
+    def test_greedy_server_soaks_unallocated_time(self, ideal_rd):
+        server = SporadicServer(ideal_rd, greedy=True)
+        admit_simple(ideal_rd, "light", period_ms=10, rate=0.2)
+        ideal_rd.run_for(ms(100))
+        server_time = ideal_rd.trace.busy_ticks(server.thread.tid)
+        # ~80 % of the machine is unallocated; the greedy server gets it.
+        assert server_time >= ms(60)
+
+    def test_server_runs_at_least_every_period_of_shortest_task(self, ideal_rd):
+        server = SporadicServer(ideal_rd, greedy=True)
+        admit_simple(ideal_rd, "t", period_ms=10, rate=0.5)
+        ideal_rd.run_for(ms(200))
+        segs = ideal_rd.trace.segments_for(server.thread.tid)
+        gaps = [b.start - a.end for a, b in zip(segs, segs[1:])]
+        assert max(gaps) <= ms(10)

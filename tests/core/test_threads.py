@@ -1,0 +1,128 @@
+"""SimThread: queue-eligibility predicates in isolation."""
+
+import pytest
+
+from repro import units
+from repro.core.grants import Grant
+from repro.core.resource_list import ResourceListEntry
+from repro.core.threads import SimThread, ThreadKind, ThreadState
+from repro.workloads import grant_follower
+
+
+def make_thread(kind=ThreadKind.PERIODIC):
+    return SimThread(tid=1, name="t", kind=kind)
+
+
+def give_grant(thread, now=0, period_ms=10, rate=0.5):
+    period = units.ms_to_ticks(period_ms)
+    entry = ResourceListEntry(period, round(period * rate), grant_follower)
+    thread.grant = Grant(thread_id=thread.tid, entry=entry, entry_index=0)
+    thread.period_index = 0
+    thread.period_start = now
+    thread.deadline = now + period
+    thread.remaining = entry.cpu_ticks
+    return thread
+
+
+class TestTimeRemainingEligibility:
+    def test_fresh_period_is_eligible(self):
+        thread = give_grant(make_thread())
+        assert thread.eligible_time_remaining(0)
+
+    def test_not_before_period_start(self):
+        thread = give_grant(make_thread(), now=100)
+        assert not thread.eligible_time_remaining(50)
+        assert thread.eligible_time_remaining(100)
+
+    def test_not_when_grant_consumed(self):
+        thread = give_grant(make_thread())
+        thread.remaining = 0
+        assert not thread.eligible_time_remaining(0)
+
+    def test_not_when_declared_done(self):
+        thread = give_grant(make_thread())
+        thread.declared_done = True
+        assert not thread.eligible_time_remaining(0)
+
+    def test_not_when_blocked_or_quiescent(self):
+        for state in (ThreadState.BLOCKED, ThreadState.QUIESCENT, ThreadState.EXITED):
+            thread = give_grant(make_thread())
+            thread.state = state
+            assert not thread.eligible_time_remaining(0)
+
+    def test_not_without_grant(self):
+        assert not make_thread().eligible_time_remaining(0)
+
+
+class TestOvertimeEligibility:
+    def test_idle_always_eligible(self):
+        idle = make_thread(ThreadKind.IDLE)
+        assert idle.eligible_overtime(0)
+
+    def test_exhausted_grant_with_live_generator(self):
+        thread = give_grant(make_thread())
+        thread.remaining = 0
+        thread.gen = iter(())  # a live generator object
+        thread.gen_exhausted = False
+        thread.restart_pending = False
+        assert thread.eligible_overtime(0)
+
+    def test_done_without_overtime_request_is_not_eligible(self):
+        thread = give_grant(make_thread())
+        thread.remaining = 0
+        thread.gen = iter(())
+        thread.declared_done = True
+        thread.wants_overtime = False
+        assert not thread.eligible_overtime(0)
+
+    def test_done_with_overtime_request_is_eligible(self):
+        thread = give_grant(make_thread())
+        thread.declared_done = True
+        thread.wants_overtime = True
+        thread.gen = iter(())
+        thread.gen_exhausted = False
+        assert thread.eligible_overtime(0)
+
+    def test_time_remaining_wins_over_overtime(self):
+        thread = give_grant(make_thread())
+        assert thread.eligible_time_remaining(0)
+        assert not thread.eligible_overtime(0)
+
+
+class TestPendingWork:
+    def test_fresh_period_counts_as_work(self):
+        thread = give_grant(make_thread())
+        thread.restart_pending = True
+        assert thread.has_pending_work()
+
+    def test_partial_compute_counts(self):
+        thread = make_thread()
+        thread.pending_compute = 100
+        assert thread.has_pending_work()
+
+    def test_exhausted_generator_is_no_work(self):
+        thread = give_grant(make_thread())
+        thread.restart_pending = False
+        thread.gen = iter(())
+        thread.gen_exhausted = True
+        assert not thread.has_pending_work()
+
+    def test_completed_call(self):
+        thread = make_thread()
+        assert thread.completed_call()  # no generator: vacuously done
+        thread.gen = iter(())
+        thread.gen_exhausted = False
+        assert not thread.completed_call()
+        thread.declared_done = True
+        assert thread.completed_call()
+
+
+class TestAssignment:
+    def test_clear_assignment(self):
+        thread = make_thread()
+        target = make_thread(ThreadKind.SPORADIC)
+        thread.assignment_target = target
+        thread.assignment_remaining = 100
+        thread.clear_assignment()
+        assert thread.assignment_target is None
+        assert thread.assignment_remaining == 0

@@ -1,0 +1,72 @@
+"""Admission storms: incumbents are bit-for-bit undisturbed.
+
+"By waiting for unallocated time to begin a new grant, we assure that
+adding a new task cannot affect the running of an already admitted
+task."  The strongest version of that claim: during an admit/exit storm
+that never forces the incumbent below its maximum entry, the
+incumbent's execution segments are *identical* to a storm-free run.
+"""
+
+import pytest
+
+from repro import MachineConfig, SimConfig, units
+from repro.core.distributor import ResourceDistributor
+from repro.metrics import validate_trace
+from repro.workloads import single_entry_definition
+
+
+def ms(x):
+    return units.ms_to_ticks(x)
+
+
+def incumbent_segments(storm: bool, seed=77):
+    rd = ResourceDistributor(machine=MachineConfig.ideal(), sim=SimConfig(seed=seed))
+    incumbent = rd.admit(single_entry_definition("incumbent", 10, 0.4))
+    if storm:
+        # Forty short-lived small tasks churning through the system.
+        state = {"alive": []}
+
+        def admit(i):
+            try:
+                state["alive"].append(
+                    rd.admit(single_entry_definition(f"fly{i}", 10, 0.05))
+                )
+            except Exception:
+                pass
+
+        def retire():
+            if state["alive"]:
+                rd.exit_thread(state["alive"].pop(0).tid)
+
+        for i in range(40):
+            rd.at(ms(5 + 7 * i), lambda i=i: admit(i))
+            rd.at(ms(9 + 7 * i), retire)
+    rd.run_for(ms(320))
+    segments = [
+        (s.start, s.end, s.kind.value, s.period_index)
+        for s in rd.trace.segments_for(incumbent.tid)
+    ]
+    return rd, incumbent, segments
+
+
+class TestStorm:
+    def test_incumbent_schedule_identical_with_and_without_storm(self):
+        _, _, quiet = incumbent_segments(storm=False)
+        rd, incumbent, stormy = incumbent_segments(storm=True)
+        # The incumbent has the earliest deadline at its period starts
+        # and its 40 % maximum always fits, so the storm must not move
+        # a single one of its execution segments.
+        assert stormy == quiet
+        assert not rd.trace.misses(incumbent.tid)
+
+    def test_storm_trace_still_audits_clean(self):
+        rd, incumbent, _ = incumbent_segments(storm=True)
+        report = validate_trace(rd.trace, end_time=rd.now)
+        assert report.ok, report.summary()
+
+    def test_flies_also_got_their_grants(self):
+        rd, incumbent, _ = incumbent_segments(storm=True)
+        assert not rd.trace.misses()
+        # Dozens of distinct short-lived threads actually ran.
+        ran = {s.thread_id for s in rd.trace.segments} - {incumbent.tid, 0, -1}
+        assert len(ran) >= 30

@@ -1,0 +1,71 @@
+"""Exclusive functional units end-to-end: two renderers, one scaler."""
+
+import pytest
+
+from repro import ContextSwitchCosts, MachineConfig, SimConfig, units
+from repro.core.distributor import ResourceDistributor
+from repro.tasks.graphics3d import VIDEO_SCALER, Renderer3D
+
+
+def ms(x):
+    return units.ms_to_ticks(x)
+
+
+def build(rank_a=None, rank_b=None, seed=9):
+    rd = ResourceDistributor(
+        machine=MachineConfig(switch_costs=ContextSwitchCosts.zero()),
+        sim=SimConfig(seed=seed),
+    )
+    a = Renderer3D("renderA", use_scaler=True)
+    b = Renderer3D("renderB", use_scaler=True)
+    pid_a = rd.policy_box.register_task("renderA")
+    pid_b = rd.policy_box.register_task("renderB")
+    if rank_a is not None:
+        rd.policy_box.set_default({pid_a: rank_a, pid_b: rank_b})
+    thread_a = rd.admit(a.definition())
+    thread_b = rd.admit(b.definition())
+    rd.run_for(ms(300))
+    return rd, thread_a, thread_b
+
+
+class TestScalerContention:
+    def test_scaler_never_double_granted(self):
+        rd, a, b = build()
+        holds_a = VIDEO_SCALER in a.grant.exclusive
+        holds_b = VIDEO_SCALER in b.grant.exclusive
+        assert not (holds_a and holds_b)
+
+    def test_registry_agrees_with_grants(self):
+        rd, a, b = build()
+        owner = rd.kernel.exclusive.owner(VIDEO_SCALER)
+        for thread in (a, b):
+            if VIDEO_SCALER in thread.grant.exclusive:
+                assert owner == thread.tid
+
+    def test_policy_ranking_decides_the_holder(self):
+        rd, a, b = build(rank_a=20, rank_b=70)
+        assert VIDEO_SCALER in b.grant.exclusive
+        assert VIDEO_SCALER not in a.grant.exclusive
+
+    def test_reversed_ranking_flips_the_holder(self):
+        rd, a, b = build(rank_a=70, rank_b=20)
+        assert VIDEO_SCALER in a.grant.exclusive
+        assert VIDEO_SCALER not in b.grant.exclusive
+
+    def test_loser_still_gets_a_scalerless_grant(self):
+        rd, a, b = build(rank_a=20, rank_b=70)
+        # Entries 2 and 3 of Table 3 need no scaler; the loser lands there.
+        assert a.grant.entry_index >= 2
+        assert a.grant.rate > 0
+
+    def test_no_misses_under_contention(self):
+        rd, a, b = build(rank_a=20, rank_b=70)
+        assert not rd.trace.misses()
+
+    def test_exit_releases_the_unit_to_the_other(self):
+        rd, a, b = build(rank_a=20, rank_b=70)
+        assert VIDEO_SCALER in b.grant.exclusive
+        rd.exit_thread(b.tid)
+        rd.run_for(ms(300))
+        assert rd.kernel.exclusive.owner(VIDEO_SCALER) == a.tid
+        assert VIDEO_SCALER in a.grant.exclusive

@@ -1,0 +1,100 @@
+"""Figure 4: scheduler effectiveness with the producer/consumer set.
+
+Four periodic threads (13/2/3/3 ms at 1/30 s) plus the Sporadic Server.
+The paper's observations, one third of a second into the run:
+
+* the data-control threads are spinning for data (the application bug);
+* producer thread 7 receives the unused time but is preempted when a
+  new period begins, then receives its guaranteed allocation;
+* producer thread 9 completes its work each period.
+"""
+
+import pytest
+
+from repro import SporadicServer, units
+from repro.sim.trace import SegmentKind
+from repro.tasks.producer_consumer import Figure4Workload
+
+
+def ms(x):
+    return units.ms_to_ticks(x)
+
+
+@pytest.fixture
+def fig4(ideal_rd):
+    server = SporadicServer(ideal_rd)
+    workload = Figure4Workload(fixed=False)
+    threads = dict(
+        zip(["p7", "dm8", "p9", "dm10"], (ideal_rd.admit(d) for d in workload.definitions()))
+    )
+    ideal_rd.run_for(units.sec_to_ticks(0.4))
+    return ideal_rd, server, workload, threads
+
+
+class TestFigure4:
+    def test_system_is_not_overloaded(self, fig4):
+        rd, server, workload, threads = fig4
+        result = rd.resource_manager.last_result
+        assert result.passes == 0
+
+    def test_no_deadline_misses(self, fig4):
+        rd, *_ = fig4
+        assert not rd.trace.misses()
+
+    def test_thread7_receives_unused_time_and_guarantee(self, fig4):
+        rd, server, workload, threads = fig4
+        p7 = threads["p7"]
+        overtime = sum(
+            s.length
+            for s in rd.trace.segments_for(p7.tid)
+            if s.kind is SegmentKind.OVERTIME
+        )
+        assert overtime > 0
+        for outcome in rd.trace.deadlines_for(p7.tid):
+            assert outcome.delivered == outcome.granted
+
+    def test_thread7_preempted_at_new_periods(self, fig4):
+        rd, server, workload, threads = fig4
+        p7 = threads["p7"]
+        # Overtime segments end at period boundaries (multiples of
+        # 900,000 ticks) when fresh allocations preempt them.
+        boundary_ends = [
+            s.end % 900_000
+            for s in rd.trace.segments_for(p7.tid)
+            if s.kind is SegmentKind.OVERTIME
+        ]
+        assert boundary_ends
+        assert any(end == 0 for end in boundary_ends)
+
+    def test_thread9_completes_every_period(self, fig4):
+        rd, server, workload, threads = fig4
+        p9 = threads["p9"]
+        for outcome in rd.trace.deadlines_for(p9.tid):
+            assert outcome.delivered == outcome.granted
+        # And it declared itself done (it never lands on overtime).
+        overtime = [
+            s
+            for s in rd.trace.segments_for(p9.tid)
+            if s.kind is SegmentKind.OVERTIME
+        ]
+        assert not overtime
+
+    def test_data_threads_spin_through_their_grants(self, fig4):
+        rd, server, workload, threads = fig4
+        assert workload.stats.spin_ticks > 0
+        for name in ("dm8", "dm10"):
+            for outcome in rd.trace.deadlines_for(threads[name].tid):
+                assert outcome.delivered == outcome.granted
+
+    def test_schedule_snapshot_one_third_second_in(self, fig4):
+        rd, server, workload, threads = fig4
+        window_start = units.sec_to_ticks(1 / 3)
+        window_end = window_start + 2 * 900_000
+        busy = sum(
+            rd.trace.busy_ticks(t.tid, window_start, window_end)
+            for t in threads.values()
+        )
+        # All four periodic threads are active in the snapshot window.
+        assert busy > 0
+        for t in threads.values():
+            assert rd.trace.busy_ticks(t.tid, window_start, window_end) > 0

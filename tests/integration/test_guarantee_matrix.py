@@ -1,0 +1,68 @@
+"""The guarantee, everywhere: scenarios x machine configurations.
+
+Every canonical scenario must hold the paper's core promise — zero
+missed deadlines for eligible periods and a clean trace audit — on the
+frictionless machine, the deterministic-reserve machine, and the fully
+calibrated machine with stochastic switch costs.
+"""
+
+import pytest
+
+from repro import ContextSwitchCosts, MachineConfig, SimConfig, units
+from repro.metrics import miss_rate, validate_trace
+from repro.scenarios import av_pipeline, figure4, figure5, settop, table4_trio
+
+MACHINES = {
+    "ideal": "ideal",
+    "quiet": "quiet",
+    "calibrated": "calibrated",
+}
+
+SCENARIOS = {
+    "table4": (table4_trio, 300),
+    "figure4": (figure4, 300),
+    "settop": (settop, 500),
+}
+
+
+def build(scenario_name, machine_kind, seed):
+    builder, duration = SCENARIOS[scenario_name]
+    try:
+        scenario = builder(seed=seed, machine=machine_kind)
+    except TypeError:
+        scenario = builder(seed=seed)
+    scenario.rd.run_for(units.ms_to_ticks(duration))
+    return scenario
+
+
+class TestMatrix:
+    @pytest.mark.parametrize("machine_kind", sorted(MACHINES))
+    @pytest.mark.parametrize("scenario_name", sorted(SCENARIOS))
+    def test_no_misses_and_clean_audit(self, scenario_name, machine_kind):
+        scenario = build(scenario_name, machine_kind, seed=11)
+        assert miss_rate(scenario.trace) == 0.0
+        report = validate_trace(scenario.trace, end_time=scenario.rd.now)
+        assert report.ok, report.summary()
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_calibrated_settop_robust_across_seeds(self, seed):
+        """Stochastic switch costs must never tip a guaranteed set
+        into missing, whatever the draw."""
+        scenario = settop(seed=seed)
+        scenario.rd.run_for(units.ms_to_ticks(800))
+        assert miss_rate(scenario.trace) == 0.0
+
+    def test_figure5_staircase_stable_across_seeds(self):
+        from repro.metrics import allocation_series
+
+        results = []
+        for seed in (3, 8, 13):
+            scenario = figure5(seed=seed).run_for(units.ms_to_ticks(150))
+            t2 = scenario.threads["thread2"]
+            results.append(
+                [
+                    round(units.ticks_to_ms(v))
+                    for _, v in allocation_series(scenario.trace, t2.tid)
+                ][:8]
+            )
+        assert results[0] == results[1] == results[2] == [9, 9, 4, 4, 3, 3, 2, 2]

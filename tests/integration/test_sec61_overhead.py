@@ -1,0 +1,52 @@
+"""Section 6.1's end-to-end overhead claim.
+
+"On a highly tuned system running an MPEG video decoder and AC3 audio,
+we might expect about 300 context switches per second ... For this
+load, we would expect a total context-switch cost of about 0.7 % of the
+CPU."
+"""
+
+import pytest
+
+from repro import MachineConfig, SimConfig, SporadicServer, units
+from repro.core.distributor import ResourceDistributor
+from repro.metrics.analysis import overhead_fraction, switches_per_second
+from repro.tasks.ac3 import Ac3Decoder
+from repro.tasks.mpeg import MpegDecoder
+from repro.tasks.producer_consumer import Figure4Workload
+
+
+@pytest.fixture(scope="module")
+def av_run():
+    """MPEG + AC3 + data-management threads + Sporadic Server, with the
+    calibrated context-switch cost model."""
+    rd = ResourceDistributor(machine=MachineConfig(), sim=SimConfig(seed=61))
+    SporadicServer(rd, greedy=True)
+    mpeg = MpegDecoder()
+    ac3 = Ac3Decoder()
+    rd.admit(mpeg.definition())
+    rd.admit(ac3.definition())
+    # Data-management companions, as in the paper's scenario.
+    workload = Figure4Workload(fixed=True)
+    defs = workload.definitions()
+    rd.admit(defs[1])  # a 2 ms data thread
+    rd.admit(defs[3])  # a 3 ms data thread
+    rd.run_for(units.sec_to_ticks(2))
+    return rd
+
+
+class TestOverhead:
+    def test_switch_rate_is_hundreds_per_second(self, av_run):
+        rate = switches_per_second(av_run.trace, 0, units.sec_to_ticks(2))
+        # The paper estimates ~300/s for this class of load.
+        assert 100 <= rate <= 1200
+
+    def test_total_switch_cost_below_the_reserve(self, av_run):
+        frac = overhead_fraction(av_run.trace, 0, units.sec_to_ticks(2))
+        # Paper: ~0.7 %.  The shape that matters: well under the 4 %
+        # interrupt reserve, single-digit permille.
+        assert frac < 0.04
+        assert frac == pytest.approx(0.007, abs=0.007)
+
+    def test_av_load_misses_nothing_with_real_switch_costs(self, av_run):
+        assert not av_run.trace.misses()

@@ -1,0 +1,111 @@
+"""The section 5.3 end-to-end scenario: DVD, teleconference, modem.
+
+"Imagine a PC environment where the user is studying multimedia data
+from a DVD ... waiting for a teleconferencing connection.  Until the
+telephone call occurs, the full resources of the machine should be
+dedicated to the DVD.  Afterwards, the modem, teleconferencing, and DVD
+software must share resources, and the DVD may have to shed load.  Our
+Resource Distributor lets the user start these applications in any
+order."
+"""
+
+import pytest
+
+from repro import ContextSwitchCosts, MachineConfig, SimConfig, units
+from repro.core.distributor import ResourceDistributor
+from repro.core.threads import ThreadState
+from repro.tasks.ac3 import Ac3Decoder
+from repro.tasks.graphics3d import Renderer3D
+from repro.tasks.modem import Modem
+from repro.tasks.mpeg import MpegDecoder
+
+
+def ms(x):
+    return units.ms_to_ticks(x)
+
+
+def build(order, seed=3):
+    """Admit the scenario's tasks in the given order; ring at 200 ms."""
+    rd = ResourceDistributor(
+        machine=MachineConfig(switch_costs=ContextSwitchCosts.zero()),
+        sim=SimConfig(seed=seed),
+    )
+    mpeg = MpegDecoder("DVD-video")
+    audio = Ac3Decoder("DVD-audio")
+    graphics = Renderer3D("Teleconf-render", use_scaler=False)
+    modem = Modem("Modem")
+    defs = {
+        "video": mpeg.definition(),
+        "audio": audio.definition(),
+        "render": graphics.definition(),
+        "modem": modem.definition(start_quiescent=True),
+    }
+    threads = {}
+    for key in order:
+        threads[key] = rd.admit(defs[key])
+    rd.at(ms(200), lambda: rd.wake(threads["modem"].tid), "phone rings")
+    rd.run_for(units.sec_to_ticks(1))
+    return rd, threads, mpeg, audio
+
+
+class TestScenario:
+    def test_dvd_has_full_quality_before_the_call(self):
+        rd, threads, mpeg, audio = build(["video", "audio", "render", "modem"])
+        first_grant = next(
+            g for g in rd.trace.grant_changes if g.thread_id == threads["video"].tid
+        )
+        assert first_grant.entry_index == 0  # FullDecompress
+
+    def test_modem_answers_promptly(self):
+        rd, threads, mpeg, audio = build(["video", "audio", "render", "modem"])
+        modem_thread = threads["modem"]
+        assert modem_thread.state is ThreadState.ACTIVE
+        first_run = min(s.start for s in rd.trace.segments_for(modem_thread.tid))
+        # The first grant starts at the next unallocated time, which can
+        # be up to the longest admitted period away (the 100 ms
+        # renderer), plus a couple of modem periods to actually run.
+        assert first_run - ms(200) <= ms(100) + 2 * 270_000
+
+    def test_someone_sheds_load_after_the_call(self):
+        rd, threads, mpeg, audio = build(["video", "audio", "render", "modem"])
+        degradations = [
+            g
+            for g in rd.trace.grant_changes
+            if g.time >= ms(200) and g.reason == "grant change"
+        ]
+        assert degradations, "the wake must force load shedding"
+
+    def test_no_misses_throughout(self):
+        rd, threads, mpeg, audio = build(["video", "audio", "render", "modem"])
+        assert not rd.trace.misses()
+
+    def test_no_i_frames_lost(self):
+        rd, threads, mpeg, audio = build(["video", "audio", "render", "modem"])
+        assert mpeg.stats.i_frames_lost == 0
+
+
+class TestOrderIndependence:
+    """Policy is not affected by the order in which threads start."""
+
+    @pytest.mark.parametrize(
+        "order",
+        [
+            ["video", "audio", "render", "modem"],
+            ["modem", "render", "audio", "video"],
+            ["audio", "modem", "video", "render"],
+        ],
+    )
+    def test_final_grant_rates_identical_for_any_start_order(self, order):
+        rd, threads, mpeg, audio = build(order)
+        rates = {
+            key: round(threads[key].grant.rate, 3)
+            for key in ("video", "audio", "render", "modem")
+        }
+        baseline_rd, baseline_threads, *_ = build(
+            ["video", "audio", "render", "modem"]
+        )
+        baseline = {
+            key: round(baseline_threads[key].grant.rate, 3)
+            for key in ("video", "audio", "render", "modem")
+        }
+        assert rates == baseline

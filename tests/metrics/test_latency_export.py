@@ -1,0 +1,89 @@
+"""Latency stats (2P-2C bound) and trace export formats."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro import units
+from repro.metrics import (
+    completion_times,
+    deadlines_to_csv,
+    latency_stats,
+    segments_to_csv,
+    trace_to_json,
+)
+
+from tests.conftest import admit_simple
+
+
+def ms(x):
+    return units.ms_to_ticks(x)
+
+
+@pytest.fixture
+def busy_run(ideal_rd):
+    thread = admit_simple(ideal_rd, "t", period_ms=10, rate=0.3)
+    admit_simple(ideal_rd, "noise", period_ms=7, rate=0.5, greedy=True)
+    ideal_rd.run_for(ms(300))
+    return ideal_rd, thread
+
+
+class TestLatency:
+    def test_completions_one_per_period(self, busy_run):
+        rd, thread = busy_run
+        times = completion_times(rd.trace, thread.tid)
+        assert len(times) == len(rd.trace.deadlines_for(thread.tid))
+        assert times == sorted(times)
+
+    def test_gaps_respect_the_paper_bound(self, busy_run):
+        rd, thread = busy_run
+        stats = latency_stats(rd.trace, thread.tid, period=ms(10), cpu=ms(3))
+        assert stats is not None
+        assert stats.bound == 2 * ms(10) - 2 * ms(3)
+        assert stats.within_bound
+
+    def test_mean_gap_close_to_period(self, busy_run):
+        rd, thread = busy_run
+        stats = latency_stats(rd.trace, thread.tid, period=ms(10), cpu=ms(3))
+        assert stats.mean_gap == pytest.approx(ms(10), rel=0.05)
+
+    def test_none_without_two_completions(self, ideal_rd):
+        thread = admit_simple(ideal_rd, "t", period_ms=100, rate=0.1)
+        ideal_rd.run_for(ms(50))  # period 0 not even closed
+        assert latency_stats(ideal_rd.trace, thread.tid, ms(100), ms(10)) is None
+
+
+class TestCsvExport:
+    def test_segments_csv_parses(self, busy_run):
+        rd, thread = busy_run
+        rows = list(csv.DictReader(io.StringIO(segments_to_csv(rd.trace))))
+        assert rows
+        assert {r["kind"] for r in rows} >= {"granted"}
+        covered = sum(int(r["end"]) - int(r["start"]) for r in rows)
+        assert covered == rd.now
+
+    def test_deadlines_csv_parses(self, busy_run):
+        rd, thread = busy_run
+        rows = list(csv.DictReader(io.StringIO(deadlines_to_csv(rd.trace))))
+        assert rows
+        assert all(r["missed"] == "0" for r in rows)
+
+
+class TestJsonExport:
+    def test_round_trips_counts(self, busy_run):
+        rd, thread = busy_run
+        doc = json.loads(trace_to_json(rd.trace))
+        assert len(doc["segments"]) == len(rd.trace.segments)
+        assert len(doc["deadlines"]) == len(rd.trace.deadlines)
+        assert len(doc["switches"]) == len(rd.trace.switches)
+        assert doc["grant_changes"]
+
+    def test_json_is_plain_data(self, busy_run):
+        rd, thread = busy_run
+        doc = json.loads(trace_to_json(rd.trace))
+        first = doc["segments"][0]
+        assert set(first) == {
+            "thread_id", "start", "end", "kind", "period_index", "charged_to",
+        }

@@ -1,0 +1,60 @@
+"""Property tests: admission control invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.admission import AdmissionController
+from repro.errors import AdmissionError
+
+rates = st.floats(min_value=0.001, max_value=1.0, allow_nan=False)
+
+
+class TestRunningSumInvariant:
+    @given(st.lists(rates, min_size=1, max_size=40))
+    def test_committed_never_exceeds_capacity(self, requested):
+        ac = AdmissionController(capacity=0.96)
+        for i, rate in enumerate(requested):
+            try:
+                ac.admit(i, rate)
+            except AdmissionError:
+                pass
+            assert ac.committed <= 0.96 + 1e-6
+
+    @given(st.lists(rates, min_size=1, max_size=40))
+    def test_admit_iff_fits(self, requested):
+        ac = AdmissionController(capacity=0.96)
+        committed = 0.0
+        for i, rate in enumerate(requested):
+            should_fit = committed + rate <= 0.96 + 1e-9
+            try:
+                ac.admit(i, rate)
+                admitted = True
+            except AdmissionError:
+                admitted = False
+            assert admitted == should_fit
+            if admitted:
+                committed += rate
+
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), rates, st.integers(min_value=0, max_value=9)),
+            max_size=60,
+        )
+    )
+    def test_interleaved_admit_release_consistency(self, ops):
+        """Model-based: the controller always agrees with a dict model."""
+        ac = AdmissionController(capacity=0.96)
+        model: dict[int, float] = {}
+        for is_admit, rate, tid in ops:
+            if is_admit and tid not in model:
+                try:
+                    ac.admit(tid, rate)
+                    model[tid] = rate
+                except AdmissionError:
+                    assert sum(model.values()) + rate > 0.96 - 1e-6
+            elif not is_admit and tid in model:
+                ac.release(tid)
+                del model[tid]
+        assert ac.committed == pytest.approx(sum(model.values()), abs=1e-6)
+        assert len(ac) == len(model)

@@ -1,0 +1,106 @@
+"""Property tests: dual-resource (CPU + bandwidth) grant invariants."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import units
+from repro.core.grant_control import GrantController, GrantRequest
+from repro.core.policy_box import PolicyBox
+from repro.core.resource_list import ResourceList, ResourceListEntry
+from repro.workloads import grant_follower
+
+CPU_CAPACITY = 0.96
+
+
+@st.composite
+def bw_populations(draw):
+    bw_capacity = draw(st.sampled_from([0.3, 0.5, 0.8, 1.0]))
+    seed = draw(st.integers(min_value=0, max_value=5000))
+    count = draw(st.integers(min_value=1, max_value=8))
+    return bw_capacity, seed, count
+
+
+def build(bw_capacity, seed, count):
+    rng = random.Random(seed)
+    box = PolicyBox(capacity=CPU_CAPACITY)
+    requests = []
+    cpu_committed = 0.0
+    bw_committed = 0.0
+    period = units.ms_to_ticks(10)
+    for i in range(count):
+        levels = rng.randint(1, 4)
+        top_rate = rng.uniform(0.1, 0.6)
+        top_bw = rng.uniform(0.0, 0.6)
+        entries = []
+        for k in range(levels):
+            frac = (levels - k) / levels
+            cpu = max(1, int(period * top_rate * frac))
+            if entries and cpu >= entries[-1].cpu_ticks:
+                cpu = entries[-1].cpu_ticks - 1
+                if cpu < 1:
+                    break
+            entries.append(
+                ResourceListEntry(
+                    period,
+                    cpu,
+                    grant_follower,
+                    bandwidth=round(top_bw * frac, 4),
+                )
+            )
+        if not entries:
+            continue
+        rl = ResourceList(entries)
+        if (
+            cpu_committed + rl.minimum.rate > CPU_CAPACITY
+            or bw_committed + rl.minimum.bandwidth > bw_capacity
+        ):
+            continue
+        cpu_committed += rl.minimum.rate
+        bw_committed += rl.minimum.bandwidth
+        requests.append(
+            GrantRequest(
+                thread_id=i, policy_id=box.register_task(f"t{i}"), resource_list=rl
+            )
+        )
+    controller = GrantController(CPU_CAPACITY, box, bandwidth_capacity=bw_capacity)
+    return controller, requests, bw_capacity
+
+
+class TestDualBudget:
+    @given(bw_populations())
+    @settings(max_examples=60, deadline=None)
+    def test_both_budgets_respected(self, params):
+        controller, requests, bw_capacity = build(*params)
+        if not requests:
+            return
+        result = controller.compute(requests)
+        gs = result.grant_set
+        assert gs.total_rate <= CPU_CAPACITY + 1e-9
+        assert gs.total_bandwidth <= bw_capacity + 1e-9
+
+    @given(bw_populations())
+    @settings(max_examples=60, deadline=None)
+    def test_everyone_admitted_gets_a_grant(self, params):
+        controller, requests, bw_capacity = build(*params)
+        if not requests:
+            return
+        result = controller.compute(requests)
+        for request in requests:
+            assert request.thread_id in result.grant_set
+
+    @given(bw_populations())
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic(self, params):
+        controller, requests, bw_capacity = build(*params)
+        if not requests:
+            return
+        a = controller.compute(requests)
+        b = controller.compute(requests)
+        for request in requests:
+            assert (
+                a.grant_set[request.thread_id].entry_index
+                == b.grant_set[request.thread_id].entry_index
+            )

@@ -1,0 +1,105 @@
+"""Property tests: grant-set computation over random task populations."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.grant_control import GrantController, GrantRequest
+from repro.core.policy_box import PolicyBox
+from repro.workloads import random_resource_list
+
+CAPACITY = 0.96
+
+
+def build_requests(seed, count, quiescent_mask):
+    rng = random.Random(seed)
+    box = PolicyBox(capacity=CAPACITY)
+    requests = []
+    committed = 0.0
+    for i in range(count):
+        rl = random_resource_list(rng, max_levels=5)
+        if committed + rl.minimum.rate > CAPACITY:
+            continue
+        committed += rl.minimum.rate
+        requests.append(
+            GrantRequest(
+                thread_id=i,
+                policy_id=box.register_task(f"task{i}"),
+                resource_list=rl,
+                quiescent=bool(quiescent_mask & (1 << i)),
+            )
+        )
+    return box, requests
+
+
+@st.composite
+def populations(draw):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    count = draw(st.integers(min_value=1, max_value=12))
+    quiescent_mask = draw(st.integers(min_value=0, max_value=(1 << 12) - 1))
+    return build_requests(seed, count, quiescent_mask)
+
+
+class TestGrantSetInvariants:
+    @given(populations())
+    @settings(max_examples=60, deadline=None)
+    def test_total_rate_within_capacity(self, population):
+        box, requests = build_population_safe(population)
+        result = GrantController(CAPACITY, box).compute(requests)
+        assert result.grant_set.total_rate <= CAPACITY + 1e-9
+
+    @given(populations())
+    @settings(max_examples=60, deadline=None)
+    def test_every_grant_is_a_listed_entry(self, population):
+        box, requests = build_population_safe(population)
+        result = GrantController(CAPACITY, box).compute(requests)
+        by_id = {r.thread_id: r for r in requests}
+        for grant in result.grant_set:
+            entries = by_id[grant.thread_id].resource_list.entries
+            assert grant.entry in entries
+            assert entries[grant.entry_index] is grant.entry
+
+    @given(populations())
+    @settings(max_examples=60, deadline=None)
+    def test_active_threads_always_get_a_grant(self, population):
+        """Admitted => granted: at worst the minimum entry."""
+        box, requests = build_population_safe(population)
+        result = GrantController(CAPACITY, box).compute(requests)
+        for request in requests:
+            if request.quiescent:
+                assert request.thread_id not in result.grant_set
+            else:
+                assert request.thread_id in result.grant_set
+
+    @given(populations())
+    @settings(max_examples=60, deadline=None)
+    def test_underload_means_everyone_max(self, population):
+        box, requests = build_population_safe(population)
+        active = [r for r in requests if not r.quiescent]
+        result = GrantController(CAPACITY, box).compute(requests)
+        if (
+            active
+            and sum(r.max_rate for r in active) <= CAPACITY
+            and not any(r.resource_list.maximum.exclusive for r in active)
+        ):
+            for request in active:
+                assert result.grant_set[request.thread_id].entry_index == 0
+
+    @given(populations())
+    @settings(max_examples=60, deadline=None)
+    def test_deterministic(self, population):
+        box, requests = build_population_safe(population)
+        a = GrantController(CAPACITY, box).compute(requests)
+        b = GrantController(CAPACITY, box).compute(requests)
+        for request in requests:
+            ga, gb = a.grant_set.get(request.thread_id), b.grant_set.get(request.thread_id)
+            assert (ga is None) == (gb is None)
+            if ga is not None:
+                assert ga.entry_index == gb.entry_index
+
+
+def build_population_safe(population):
+    box, requests = population
+    return box, requests

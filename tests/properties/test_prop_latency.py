@@ -1,0 +1,59 @@
+"""Property test: the 2P - 2C latency bound over random task sets."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import MachineConfig, SimConfig, units
+from repro.core.distributor import ResourceDistributor
+from repro.metrics import latency_stats
+from repro.workloads import single_entry_definition
+
+
+@st.composite
+def latency_cases(draw):
+    seed = draw(st.integers(min_value=0, max_value=3000))
+    probe_period = draw(st.sampled_from([10, 20, 30]))
+    probe_rate = draw(st.floats(min_value=0.1, max_value=0.4))
+    noise_count = draw(st.integers(min_value=0, max_value=3))
+    return seed, probe_period, probe_rate, noise_count
+
+
+class TestLatencyBound:
+    @given(latency_cases())
+    @settings(
+        max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    def test_completion_gaps_never_exceed_2p_minus_2c(self, case):
+        seed, probe_period, probe_rate, noise_count = case
+        rng = random.Random(seed)
+        rd = ResourceDistributor(machine=MachineConfig.ideal(), sim=SimConfig(seed=seed))
+        probe = rd.admit(
+            single_entry_definition("probe", probe_period, probe_rate)
+        )
+        remaining = 1.0 - probe_rate - 0.05
+        for i in range(noise_count):
+            share = rng.uniform(0.05, max(0.06, remaining / (noise_count - i)))
+            share = min(share, remaining)
+            if share < 0.05:
+                break
+            remaining -= share
+            rd.admit(
+                single_entry_definition(
+                    f"noise{i}",
+                    rng.choice([5, 7, 10, 25, 40]),
+                    share,
+                    greedy=rng.random() < 0.5,
+                )
+            )
+        rd.run_for(units.ms_to_ticks(40 * probe_period))
+        period = units.ms_to_ticks(probe_period)
+        cpu = max(1, round(period * probe_rate))
+        stats = latency_stats(rd.trace, probe.tid, period, cpu)
+        assert stats is not None
+        assert stats.within_bound, (
+            f"max gap {stats.max_gap} over bound {stats.bound} "
+            f"({stats.bound_utilization:.2f}x)"
+        )

@@ -1,0 +1,107 @@
+"""Trace recorder: record validation and query helpers."""
+
+import pytest
+
+from repro.sim.trace import (
+    ContextSwitchRecord,
+    DeadlineRecord,
+    RunSegment,
+    SegmentKind,
+    SwitchKind,
+    TraceRecorder,
+)
+
+
+def seg(tid, start, end, kind=SegmentKind.GRANTED):
+    return RunSegment(thread_id=tid, start=start, end=end, kind=kind)
+
+
+def switch(time, kind, cost):
+    return ContextSwitchRecord(
+        time=time, from_thread=1, to_thread=2, kind=kind, cost_ticks=cost
+    )
+
+
+def deadline(tid, idx, missed=False, voided=False):
+    return DeadlineRecord(
+        thread_id=tid,
+        period_index=idx,
+        period_start=idx * 100,
+        deadline=(idx + 1) * 100,
+        granted=50,
+        delivered=0 if missed else 50,
+        missed=missed,
+        voided=voided,
+    )
+
+
+class TestSegments:
+    def test_zero_length_segments_dropped(self):
+        trace = TraceRecorder()
+        trace.record_segment(seg(1, 10, 10))
+        assert trace.segments == []
+
+    def test_rejects_negative_length(self):
+        with pytest.raises(ValueError):
+            TraceRecorder().record_segment(seg(1, 10, 5))
+
+    def test_segments_for_filters_by_thread(self):
+        trace = TraceRecorder()
+        trace.record_segment(seg(1, 0, 10))
+        trace.record_segment(seg(2, 10, 20))
+        assert [s.thread_id for s in trace.segments_for(1)] == [1]
+
+    def test_busy_ticks_clips_to_window(self):
+        trace = TraceRecorder()
+        trace.record_segment(seg(1, 0, 100))
+        assert trace.busy_ticks(1, start=50, end=80) == 30
+
+    def test_busy_ticks_sums_multiple_segments(self):
+        trace = TraceRecorder()
+        trace.record_segment(seg(1, 0, 10))
+        trace.record_segment(seg(1, 20, 30))
+        assert trace.busy_ticks(1) == 20
+
+
+class TestSwitches:
+    def test_switch_count_by_kind(self):
+        trace = TraceRecorder()
+        trace.record_switch(switch(1, SwitchKind.VOLUNTARY, 300))
+        trace.record_switch(switch(2, SwitchKind.INVOLUNTARY, 900))
+        trace.record_switch(switch(3, SwitchKind.INVOLUNTARY, 950))
+        assert trace.switch_count() == 3
+        assert trace.switch_count(SwitchKind.INVOLUNTARY) == 2
+
+    def test_switch_cost_sums(self):
+        trace = TraceRecorder()
+        trace.record_switch(switch(1, SwitchKind.VOLUNTARY, 300))
+        trace.record_switch(switch(2, SwitchKind.INVOLUNTARY, 900))
+        assert trace.switch_cost_ticks() == 1200
+        assert trace.switch_cost_ticks(SwitchKind.VOLUNTARY) == 300
+
+
+class TestDeadlines:
+    def test_misses_filters(self):
+        trace = TraceRecorder()
+        trace.record_deadline(deadline(1, 0))
+        trace.record_deadline(deadline(1, 1, missed=True))
+        trace.record_deadline(deadline(2, 0, missed=True))
+        assert len(trace.misses()) == 2
+        assert len(trace.misses(thread_id=1)) == 1
+
+    def test_met_property(self):
+        assert deadline(1, 0).met
+        assert not deadline(1, 0, missed=True).met
+
+    def test_deadlines_for(self):
+        trace = TraceRecorder()
+        trace.record_deadline(deadline(1, 0))
+        trace.record_deadline(deadline(2, 0))
+        assert len(trace.deadlines_for(1)) == 1
+
+
+class TestNotes:
+    def test_notes_accumulate(self):
+        trace = TraceRecorder()
+        trace.note(5, "phone rings")
+        assert trace.notes == [(5, "phone rings")]

@@ -1,0 +1,75 @@
+"""BusyLoop threads: the Table 6 resource list."""
+
+import pytest
+
+from repro import units
+from repro.tasks.busyloop import (
+    busy_loop,
+    busyloop_definition,
+    busyloop_resource_list,
+    yielding_busy_loop,
+)
+
+
+class TestTable6:
+    def test_nine_entries_90_down_to_10(self):
+        rl = busyloop_resource_list()
+        assert len(rl) == 9
+        assert [e.cpu_ticks for e in rl] == [
+            243_000, 216_000, 189_000, 162_000, 135_000,
+            108_000, 81_000, 54_000, 27_000,
+        ]
+        assert all(e.period == 270_000 for e in rl)
+
+    def test_rates_are_ten_percent_steps(self):
+        rl = busyloop_resource_list()
+        assert [round(e.rate * 100) for e in rl] == [90, 80, 70, 60, 50, 40, 30, 20, 10]
+
+    def test_all_entries_use_busyloop_function(self):
+        rl = busyloop_resource_list()
+        assert len({e.function for e in rl}) == 1
+        assert all(e.label == "BusyLoop" for e in rl)
+
+    def test_steps_bounds(self):
+        with pytest.raises(ValueError):
+            busyloop_resource_list(steps=0)
+        with pytest.raises(ValueError):
+            busyloop_resource_list(steps=10)
+
+    def test_partial_steps(self):
+        rl = busyloop_resource_list(steps=3)
+        assert [round(e.rate * 100) for e in rl] == [90, 80, 70]
+
+
+class TestVariants:
+    def test_yielding_variant_selected_by_default(self):
+        definition = busyloop_definition("t")
+        assert definition.resource_list.maximum.function is yielding_busy_loop
+
+    def test_greedy_variant(self):
+        definition = busyloop_definition("t", yielding=False)
+        assert definition.resource_list.maximum.function is busy_loop
+
+    def test_yielding_thread_declines_overtime(self, ideal_rd):
+        from repro.sim.trace import SegmentKind
+
+        t = ideal_rd.admit(busyloop_definition("t"))
+        ideal_rd.run_for(units.ms_to_ticks(50))
+        overtime = [
+            s
+            for s in ideal_rd.trace.segments_for(t.tid)
+            if s.kind is SegmentKind.OVERTIME
+        ]
+        assert overtime == []
+
+    def test_greedy_thread_takes_overtime(self, ideal_rd):
+        from repro.sim.trace import SegmentKind
+
+        t = ideal_rd.admit(busyloop_definition("t", yielding=False))
+        ideal_rd.run_for(units.ms_to_ticks(50))
+        overtime = [
+            s
+            for s in ideal_rd.trace.segments_for(t.tid)
+            if s.kind is SegmentKind.OVERTIME
+        ]
+        assert overtime

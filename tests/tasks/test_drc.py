@@ -1,0 +1,99 @@
+"""Display Refresh Controller: drift, duplicates/drops, tearing."""
+
+import pytest
+
+from repro import TaskDefinition, units
+from repro.core.resource_list import ResourceList, ResourceListEntry
+from repro.tasks.base import Compute, DonePeriod
+from repro.tasks.drc import DisplayRefreshController, FrameBuffer, attach_drc
+
+
+def ms(x):
+    return units.ms_to_ticks(x)
+
+
+class RendererModel:
+    """Publishes one frame per period into a frame buffer."""
+
+    def __init__(self, buffer: FrameBuffer, frame_cost: int) -> None:
+        self.buffer = buffer
+        self.frame_cost = frame_cost
+        self.seq = 0
+
+    def render(self, ctx):
+        self.seq += 1
+        self.buffer.begin_frame(self.seq)
+        yield Compute(self.frame_cost)
+        self.buffer.finish_frame()
+        yield DonePeriod()
+
+    def definition(self, period):
+        return TaskDefinition(
+            name="renderer",
+            resource_list=ResourceList(
+                [ResourceListEntry(period, self.frame_cost, self.render, "render")]
+            ),
+        )
+
+
+def run_scenario(ideal_rd, skew_ppm, double_buffered=True, seconds=1.0, renderer_hz=72.0):
+    buffer = FrameBuffer(double_buffered=double_buffered)
+    renderer = RendererModel(buffer, frame_cost=ms(3))
+    ideal_rd.admit(renderer.definition(units.hz_to_period_ticks(renderer_hz)))
+    drc = DisplayRefreshController(buffer, refresh_hz=72.0, skew_ppm=skew_ppm)
+    horizon = units.sec_to_ticks(seconds)
+    attach_drc(ideal_rd.kernel, drc, horizon)
+    ideal_rd.run_until(horizon)
+    return drc, renderer
+
+
+class TestScanOutPacing:
+    def test_refresh_count_matches_rate(self, ideal_rd):
+        drc, renderer = run_scenario(ideal_rd, skew_ppm=0.0)
+        # 72 Hz for 1 s, minus the first period before any scan-out.
+        assert drc.stats.refreshes == pytest.approx(72, abs=2)
+
+    def test_fast_drc_clock_refreshes_more(self, ideal_rd):
+        drc, renderer = run_scenario(ideal_rd, skew_ppm=50_000.0)  # 5 % fast
+        assert drc.stats.refreshes >= 74
+
+
+class TestDriftConsequences:
+    def test_matched_clocks_show_every_frame_once(self, ideal_rd):
+        drc, renderer = run_scenario(ideal_rd, skew_ppm=0.0)
+        # In lockstep, no frame is dropped outright.
+        assert drc.stats.drops == 0
+
+    def test_slow_drc_duplicates_frames(self, ideal_rd):
+        # DRC 2 % slow: it scans out fewer times than frames produced,
+        # but each scan-out shows the newest complete frame -> drops.
+        drc, renderer = run_scenario(ideal_rd, skew_ppm=-20_000.0)
+        assert drc.stats.drops > 0
+
+    def test_fast_drc_duplicates(self, ideal_rd):
+        # DRC 2 % fast: more scan-outs than frames -> duplicates.
+        drc, renderer = run_scenario(ideal_rd, skew_ppm=20_000.0)
+        assert drc.stats.duplicates > 0
+
+    def test_drift_cost_is_whole_frames_never_partial(self, ideal_rd):
+        """The paper: losing/duplicating an entire frame is tolerable;
+        what must never happen with double buffering is tearing."""
+        drc, renderer = run_scenario(ideal_rd, skew_ppm=-20_000.0)
+        assert drc.stats.tears == 0
+
+
+class TestTearing:
+    def test_single_buffered_rendering_tears(self, ideal_rd):
+        # A slightly fast DRC clock sweeps the scan-out instant through
+        # the renderer's 3 ms drawing window (one full sweep takes
+        # ~100 refreshes), catching it mid-frame.
+        drc, renderer = run_scenario(
+            ideal_rd, skew_ppm=10_000.0, double_buffered=False, seconds=2.0
+        )
+        assert drc.stats.tears > 0
+
+    def test_double_buffering_prevents_tearing_under_any_skew(self, ideal_rd):
+        drc, renderer = run_scenario(
+            ideal_rd, skew_ppm=30_000.0, double_buffered=True, seconds=2.0
+        )
+        assert drc.stats.tears == 0

@@ -1,0 +1,101 @@
+"""2D/3D graphics models: Table 3, return semantics, scaler filter."""
+
+import pytest
+
+from repro import units
+from repro.tasks.graphics2d import Renderer2D
+from repro.tasks.graphics3d import RENDER_LEVELS, VIDEO_SCALER, Renderer3D
+
+from tests.conftest import admit_simple
+
+
+def ms(x):
+    return units.ms_to_ticks(x)
+
+
+class TestTable3:
+    def test_resource_list_matches_table3(self):
+        rl = Renderer3D().resource_list()
+        assert [e.period for e in rl] == [2_700_000] * 4
+        assert [e.cpu_ticks for e in rl] == list(RENDER_LEVELS)
+        assert [round(e.rate * 100) for e in rl] == [80, 40, 20, 10]
+
+    def test_all_levels_share_the_same_function(self):
+        rl = Renderer3D().resource_list()
+        assert len({e.function for e in rl}) == 1
+
+    def test_top_levels_need_the_video_scaler(self):
+        rl = Renderer3D().resource_list()
+        assert VIDEO_SCALER in rl[0].exclusive
+        assert VIDEO_SCALER in rl[1].exclusive
+        assert not rl[2].exclusive
+        assert not rl[3].exclusive
+
+
+class TestProgressiveRendering:
+    def test_renderer_makes_proportional_progress(self, ideal_rd):
+        renderer = Renderer3D()
+        ideal_rd.admit(renderer.definition())
+        ideal_rd.run_for(units.sec_to_ticks(0.5))
+        # At the 80 % level the renderer gets ~400 ms of 500 ms.
+        assert renderer.stats.work_done >= ms(350)
+        assert renderer.stats.frames_completed >= 5
+
+    def test_degraded_renderer_makes_less_progress(self, ideal_rd):
+        renderer = Renderer3D()
+        ideal_rd.admit(renderer.definition())
+        admit_simple(ideal_rd, "hog", period_ms=10, rate=0.7)
+        ideal_rd.run_for(units.sec_to_ticks(0.5))
+        # Load shedding = less progress on the same function.
+        assert renderer.stats.work_done < ms(200)
+        assert not ideal_rd.trace.misses()
+
+
+class TestScalerFilter:
+    def test_filter_requests_cleanup_only_on_scaler_change(self, ideal_rd):
+        renderer = Renderer3D()
+        thread = ideal_rd.admit(renderer.definition())
+        ideal_rd.run_for(ms(1))  # first grant activates in unallocated time
+        assert thread.grant.rate == pytest.approx(0.8)
+        # Push the renderer below the scaler levels (80/40 -> 20/10).
+        ideal_rd.at(ms(150), lambda: admit_simple(ideal_rd, "hog", 10, 0.7))
+        ideal_rd.run_for(units.sec_to_ticks(1))
+        assert thread.grant.rate <= 0.2 + 1e-9
+        assert renderer.stats.cleanups >= 1
+
+    def test_no_cleanup_when_change_stays_off_scaler(self, ideal_rd):
+        renderer = Renderer3D(use_scaler=False)
+        ideal_rd.admit(renderer.definition())
+        ideal_rd.at(ms(150), lambda: admit_simple(ideal_rd, "hog", 10, 0.7))
+        ideal_rd.run_for(units.sec_to_ticks(1))
+        assert renderer.stats.cleanups == 0
+
+
+class TestRenderer2D:
+    def test_period_comes_from_refresh_rate(self):
+        renderer = Renderer2D(refresh_hz=72.0)
+        assert renderer.period == 375_000  # the paper's example
+
+    def test_resource_list_levels_descend(self):
+        rl = Renderer2D().resource_list()
+        rates = [e.rate for e in rl]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_scene_complexity_varies_deterministically(self, ideal_rd):
+        renderer = Renderer2D()
+        ideal_rd.admit(renderer.definition())
+        ideal_rd.run_for(units.sec_to_ticks(0.3))
+        assert renderer.stats.frames_completed > 0
+
+    def test_same_seed_reproduces_progress(self):
+        from repro import MachineConfig, SimConfig
+        from repro.core.distributor import ResourceDistributor
+
+        results = []
+        for _ in range(2):
+            rd = ResourceDistributor(machine=MachineConfig.ideal(), sim=SimConfig(seed=11))
+            renderer = Renderer2D()
+            rd.admit(renderer.definition())
+            rd.run_for(units.sec_to_ticks(0.2))
+            results.append((renderer.stats.frames_completed, renderer.stats.work_done))
+        assert results[0] == results[1]

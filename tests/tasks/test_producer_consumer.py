@@ -1,0 +1,87 @@
+"""The Figure 4 workload: the spinning bug and its fix."""
+
+import pytest
+
+from repro import units
+from repro.sim.trace import SegmentKind
+from repro.tasks.producer_consumer import Figure4Workload
+
+
+def ms(x):
+    return units.ms_to_ticks(x)
+
+
+def run_workload(rd, fixed, duration_ms=400):
+    workload = Figure4Workload(fixed=fixed)
+    threads = [rd.admit(d) for d in workload.definitions()]
+    rd.run_for(ms(duration_ms))
+    return workload, dict(zip(["p7", "dm8", "p9", "dm10"], threads))
+
+
+class TestDefinitions:
+    def test_cpu_requirements_match_figure4(self):
+        defs = Figure4Workload().definitions()
+        cpus = [d.resource_list.maximum.cpu_ticks for d in defs]
+        assert cpus == [ms(13), ms(2), ms(3), ms(3)]
+        assert all(d.resource_list.maximum.period == 900_000 for d in defs)
+
+
+class TestBuggyVariant:
+    def test_producer7_receives_unused_time(self, ideal_rd):
+        workload, threads = run_workload(ideal_rd, fixed=False)
+        overtime = sum(
+            s.length
+            for s in ideal_rd.trace.segments_for(threads["p7"].tid)
+            if s.kind is SegmentKind.OVERTIME
+        )
+        assert overtime > ms(50)
+
+    def test_producer7_still_gets_guaranteed_allocation(self, ideal_rd):
+        workload, threads = run_workload(ideal_rd, fixed=False)
+        for outcome in ideal_rd.trace.deadlines_for(threads["p7"].tid):
+            assert outcome.delivered == outcome.granted
+
+    def test_spinners_burn_their_grants(self, ideal_rd):
+        workload, threads = run_workload(ideal_rd, fixed=False)
+        assert workload.stats.spin_ticks > 0
+        # The buggy data threads consume their full grant every period.
+        for outcome in ideal_rd.trace.deadlines_for(threads["dm8"].tid):
+            assert outcome.delivered == outcome.granted
+
+    def test_no_deadline_misses_despite_the_bug(self, ideal_rd):
+        run_workload(ideal_rd, fixed=False)
+        assert not ideal_rd.trace.misses()
+
+
+class TestFixedVariant:
+    def test_fixed_threads_block_instead_of_spinning(self, ideal_rd):
+        workload, threads = run_workload(ideal_rd, fixed=True)
+        assert workload.stats.spin_ticks == 0
+        blocks = [b for b in ideal_rd.trace.blocks if b.thread_id == threads["dm10"].tid]
+        assert blocks
+
+    def test_fix_frees_cpu_for_producer(self, ideal_rd):
+        buggy_workload, buggy = run_workload(ideal_rd, fixed=False)
+        buggy_p7 = ideal_rd.trace.busy_ticks(buggy["p7"].tid)
+
+        from repro import MachineConfig, SimConfig
+        from repro.core.distributor import ResourceDistributor
+
+        rd2 = ResourceDistributor(machine=MachineConfig.ideal(), sim=SimConfig(seed=7))
+        fixed_workload, fixed = run_workload(rd2, fixed=True)
+        fixed_p7 = rd2.trace.busy_ticks(fixed["p7"].tid)
+        # The fix returns the spinners' wasted grant to useful work.
+        assert fixed_p7 > buggy_p7
+
+    def test_fixed_consumers_return_unused_grant(self, ideal_rd):
+        # The paper: "the context switches to the data management
+        # threads could be avoided when no data is available."  With the
+        # fix, the consumers stop burning their whole 2-3 ms grants.
+        workload, threads = run_workload(ideal_rd, fixed=True)
+        # Producer 9 posts ~3 items (0.75 ms of processing) per period;
+        # the fixed dm10 blocks instead of burning its 3 ms grant.
+        consumed_cpu = ideal_rd.trace.busy_ticks(threads["dm10"].tid)
+        granted_total = sum(
+            o.granted for o in ideal_rd.trace.deadlines_for(threads["dm10"].tid)
+        )
+        assert consumed_cpu < granted_total / 2

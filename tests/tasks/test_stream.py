@@ -1,0 +1,119 @@
+"""Live transport streams: drift, buffer depth, and synchronization."""
+
+import pytest
+
+from repro import units
+from repro.tasks.stream import FRAME_PERIOD, LiveMpegDecoder, TransportStream
+
+
+def sec(x):
+    return units.sec_to_ticks(x)
+
+
+def run(ideal_rd, skew_ppm, synchronize, seconds=8.0, buffer_capacity=4):
+    stream = TransportStream("s2", skew_ppm=skew_ppm, buffer_capacity=buffer_capacity)
+    decoder = LiveMpegDecoder(stream, synchronize=synchronize)
+    ideal_rd.admit(decoder.definition())
+    horizon = sec(seconds)
+    stream.attach(ideal_rd.kernel, horizon)
+    ideal_rd.run_until(horizon)
+    return stream, decoder
+
+
+class TestArrivals:
+    def test_frames_arrive_at_30fps(self, ideal_rd):
+        stream, decoder = run(ideal_rd, skew_ppm=0.0, synchronize=False, seconds=2.0)
+        assert stream.stats.delivered == pytest.approx(60, abs=2)
+
+    def test_gop_pattern_cycles(self, ideal_rd):
+        stream, decoder = run(ideal_rd, skew_ppm=0.0, synchronize=False, seconds=2.0)
+        total = (
+            decoder.stats.decoded["I"]
+            + decoder.stats.decoded["P"]
+            + decoder.stats.decoded["B"]
+        )
+        # 1 I per 15 frames.
+        assert decoder.stats.decoded["I"] == pytest.approx(total / 15, abs=2)
+
+    def test_buffer_capacity_validated(self):
+        with pytest.raises(ValueError):
+            TransportStream(buffer_capacity=0)
+
+
+class TestMatchedClocks:
+    def test_no_overflow_or_sustained_underflow(self, ideal_rd):
+        stream, decoder = run(ideal_rd, skew_ppm=0.0, synchronize=False, seconds=4.0)
+        assert stream.stats.total_overflow == 0
+        # At most the startup transient of empty-buffer periods.
+        assert decoder.stats.underflows <= 2
+
+
+class TestDrift:
+    def test_fast_stream_overflows_unsynchronized_decoder(self, ideal_rd):
+        # Stream 2 % fast: one surplus frame per 50; a 4-deep buffer
+        # overflows within ~200 frames (~7 s).
+        stream, decoder = run(
+            ideal_rd, skew_ppm=20_000.0, synchronize=False, seconds=8.0
+        )
+        assert stream.stats.total_overflow > 0
+
+    def test_overflow_loses_i_frames_eventually(self, ideal_rd):
+        stream, decoder = run(
+            ideal_rd, skew_ppm=40_000.0, synchronize=False, seconds=30.0
+        )
+        # The oldest-frame drop policy eventually eats an I frame — the
+        # failure the paper calls "noticeable and unacceptable".
+        assert stream.stats.overflow_dropped["I"] > 0
+
+    def test_slow_stream_underflows_unsynchronized_decoder(self, ideal_rd):
+        stream, decoder = run(
+            ideal_rd, skew_ppm=-20_000.0, synchronize=False, seconds=8.0
+        )
+        assert decoder.stats.underflows > 2
+
+
+class TestWanderingClock:
+    def test_sync_adapts_when_the_crystal_wanders(self, ideal_rd):
+        """The paper: the TCI clock 'can do both' — drift faster, then
+        slower.  The estimator's sliding window tracks the change."""
+        stream = TransportStream("s2", skew_ppm=3_000.0, buffer_capacity=5)
+        decoder = LiveMpegDecoder(stream, synchronize=True, max_skew_ppm=5_000.0)
+        ideal_rd.admit(decoder.definition())
+        horizon = sec(16)
+        stream.attach(ideal_rd.kernel, horizon)
+        ideal_rd.at(
+            sec(8),
+            lambda: stream.clock.set_skew_ppm(-3_000.0, ideal_rd.now),
+            "crystal wanders slow",
+        )
+        ideal_rd.run_until(horizon)
+        assert stream.stats.total_overflow == 0
+        # Bounded depth through both regimes and the transition.
+        assert decoder.stats.max_depth_seen <= 4
+        assert not ideal_rd.trace.misses()
+
+
+class TestSynchronizedDecoder:
+    def test_sync_holds_buffer_depth_bounded(self, ideal_rd):
+        stream, decoder = run(
+            ideal_rd, skew_ppm=2_000.0, synchronize=True, seconds=12.0
+        )
+        assert stream.stats.total_overflow == 0
+        assert decoder.stats.max_depth_seen <= 3
+
+    def test_sync_decodes_every_delivered_frame(self, ideal_rd):
+        stream, decoder = run(
+            ideal_rd, skew_ppm=2_000.0, synchronize=True, seconds=12.0
+        )
+        # All but the frames still buffered at the horizon were decoded.
+        assert decoder.stats.total_decoded >= stream.stats.delivered - stream.depth - 1
+
+    def test_sync_never_loses_i_frames(self, ideal_rd):
+        stream, decoder = run(
+            ideal_rd, skew_ppm=4_000.0, synchronize=True, seconds=12.0
+        )
+        assert stream.stats.overflow_dropped["I"] == 0
+
+    def test_no_deadline_misses_while_synchronizing(self, ideal_rd):
+        run(ideal_rd, skew_ppm=2_000.0, synchronize=True, seconds=6.0)
+        assert not ideal_rd.trace.misses()

@@ -1,0 +1,90 @@
+"""CLI: every command runs, prints the right artifact, and exits 0."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCommands:
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out and "FullDecompress" in out
+        assert "Table 4" in out and "52.0%" in out
+        assert "Table 5" in out
+        assert "Table 6" in out
+
+    def test_figure3(self, capsys):
+        assert main(["figure3", "--duration-ms", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "misses: 0" in out
+
+    def test_figure4(self, capsys):
+        assert main(["figure4", "--duration-ms", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "spin time" in out
+        assert "misses: 0" in out
+
+    def test_figure5(self, capsys):
+        assert main(["figure5", "--duration-ms", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "#########" in out  # the 9 ms first step
+        assert "misses: 0" in out
+
+    def test_faceoff(self, capsys):
+        assert main(["faceoff", "--duration-ms", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "ResourceDistributor" in out
+        assert "RateMonotonicSystem" in out
+
+    def test_settop(self, capsys):
+        assert main(["settop"]) == 0
+        out = capsys.readouterr().out
+        assert "I frames lost: 0" in out
+
+    def test_validate(self, capsys):
+        assert main(["validate", "--seed", "3", "--duration-ms", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "trace audit: OK" in out
+
+    def test_export_segments_csv(self, capsys):
+        assert main(["export", "--duration-ms", "100"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("thread_id,start,end,kind")
+
+    def test_export_json(self, capsys):
+        import json
+
+        assert main(["export", "--format", "json", "--duration-ms", "100"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert "segments" in doc and "deadlines" in doc
+
+    def test_export_deadlines(self, capsys):
+        assert main(["export", "--format", "deadlines", "--duration-ms", "100"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("thread_id,period_index")
+
+    def test_report_settop(self, capsys):
+        assert main(["report", "--scenario", "settop", "--duration-ms", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "run report" in out
+        assert "trace audit: OK" in out
+
+    def test_report_unknown_scenario(self, capsys):
+        assert main(["report", "--scenario", "nope"]) == 2
+
+
+class TestParser:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])
+
+    def test_seed_changes_runs_deterministically(self, capsys):
+        main(["figure4", "--seed", "1", "--duration-ms", "400"])
+        first = capsys.readouterr().out
+        main(["figure4", "--seed", "1", "--duration-ms", "400"])
+        second = capsys.readouterr().out
+        assert first == second

@@ -1,0 +1,70 @@
+"""Machine and simulation configuration validation."""
+
+import pytest
+
+from repro import ContextSwitchCosts, MachineConfig, SimConfig
+from repro import units
+
+
+class TestMachineConfig:
+    def test_defaults_match_the_paper(self):
+        machine = MachineConfig()
+        assert machine.interrupt_reserve == 0.04
+        assert machine.schedulable_capacity == pytest.approx(0.96)
+        assert machine.grace_period_ticks == units.us_to_ticks(200)
+        assert "ffu.video_scaler" in machine.exclusive_units
+
+    def test_ideal_machine_is_frictionless(self):
+        machine = MachineConfig.ideal()
+        assert machine.interrupt_reserve == 0.0
+        assert machine.switch_costs.is_zero
+        assert machine.overlap_override_ticks == 0
+
+    def test_reserve_validation(self):
+        with pytest.raises(ValueError):
+            MachineConfig(interrupt_reserve=1.0)
+        with pytest.raises(ValueError):
+            MachineConfig(interrupt_reserve=-0.01)
+
+    def test_negative_ticks_rejected(self):
+        with pytest.raises(ValueError):
+            MachineConfig(overlap_override_ticks=-1)
+        with pytest.raises(ValueError):
+            MachineConfig(grace_period_ticks=-1)
+
+    def test_bandwidth_capacity_validated(self):
+        with pytest.raises(ValueError):
+            MachineConfig(bandwidth_capacity=0.0)
+        with pytest.raises(ValueError):
+            MachineConfig(bandwidth_capacity=1.5)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            MachineConfig().interrupt_reserve = 0.1
+
+
+class TestSwitchCosts:
+    def test_lognormal_requires_mean_at_least_median(self):
+        from repro.machine.cpu import _ShiftedLognormal
+
+        with pytest.raises(ValueError):
+            _ShiftedLognormal(10.0, 20.0, 15.0)
+
+    def test_degenerate_constant_model(self):
+        import random
+
+        from repro.machine.cpu import _ShiftedLognormal
+
+        dist = _ShiftedLognormal(10.0, 10.0, 10.0)
+        assert dist.sample_us(random.Random(0)) == 10.0
+
+
+class TestSimConfig:
+    def test_defaults(self):
+        sim = SimConfig()
+        assert sim.horizon == units.sec_to_ticks(1)
+        assert sim.seed == 0
+
+    def test_horizon_validation(self):
+        with pytest.raises(ValueError):
+            SimConfig(horizon=0)

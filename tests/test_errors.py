@@ -1,0 +1,34 @@
+"""Error hierarchy: everything is catchable as ReproError."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.ResourceListError,
+    errors.AdmissionError,
+    errors.GrantError,
+    errors.PolicyError,
+    errors.SchedulerError,
+    errors.TaskError,
+    errors.ClockError,
+    errors.SimulationError,
+]
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", ALL_ERRORS)
+    def test_subclasses_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+        assert issubclass(exc, Exception)
+
+    def test_library_raises_only_repro_errors_for_user_mistakes(self, ideal_rd):
+        """One catch-all suffices for defensive callers."""
+        from repro.workloads import single_entry_definition
+
+        with pytest.raises(errors.ReproError):
+            ideal_rd.exit_thread(999)
+        ideal_rd.admit(single_entry_definition("a", 10, 0.9))
+        with pytest.raises(errors.ReproError):
+            ideal_rd.admit(single_entry_definition("b", 10, 0.5))

@@ -1,0 +1,67 @@
+"""Units: tick conversions and the paper's constants."""
+
+import pytest
+
+from repro import units
+
+
+class TestConstants:
+    def test_tci_frequency_is_27_mhz(self):
+        assert units.TCI_HZ == 27_000_000
+
+    def test_core_frequency_is_200_mhz(self):
+        assert units.CORE_HZ == 200_000_000
+
+    def test_min_period_is_500_us(self):
+        assert units.MIN_PERIOD_TICKS == 13_500
+
+    def test_max_period_is_159_seconds(self):
+        assert units.MAX_PERIOD_TICKS == 159 * 27_000_000
+
+
+class TestConversions:
+    def test_ms_round_trip(self):
+        assert units.ticks_to_ms(units.ms_to_ticks(10)) == pytest.approx(10.0)
+
+    def test_us_to_ticks(self):
+        assert units.us_to_ticks(1) == 27
+
+    def test_sec_to_ticks(self):
+        assert units.sec_to_ticks(1) == 27_000_000
+
+    def test_fractional_us_rounds(self):
+        assert units.us_to_ticks(11.5) == round(11.5 * 27)
+
+    def test_mpeg_30fps_period(self):
+        # The paper: MPEG at 30 fps requests a period of 900,000 ticks.
+        assert units.hz_to_period_ticks(30) == 900_000
+
+    def test_72hz_refresh_period(self):
+        # The paper: 72 Hz display refresh -> 375,000 ticks.
+        assert units.hz_to_period_ticks(72) == 375_000
+
+    def test_hz_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.hz_to_period_ticks(0)
+
+    def test_core_cycles_to_ticks(self):
+        # 200 cycles at 200 MHz = 1 us = 27 ticks.
+        assert units.core_cycles_to_ticks(200) == 27
+
+
+class TestValidatePeriod:
+    def test_accepts_bounds(self):
+        assert units.validate_period(units.MIN_PERIOD_TICKS) == units.MIN_PERIOD_TICKS
+        assert units.validate_period(units.MAX_PERIOD_TICKS) == units.MAX_PERIOD_TICKS
+
+    def test_rejects_too_short(self):
+        with pytest.raises(ValueError):
+            units.validate_period(units.MIN_PERIOD_TICKS - 1)
+
+    def test_rejects_too_long(self):
+        with pytest.raises(ValueError):
+            units.validate_period(units.MAX_PERIOD_TICKS + 1)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            units.validate_period(900_000.0)

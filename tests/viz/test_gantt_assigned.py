@@ -1,0 +1,54 @@
+"""Gantt rendering of sporadic (assigned) execution."""
+
+import pytest
+
+from repro import SporadicServer, units
+from repro.sim.trace import SegmentKind
+from repro.tasks.base import Compute
+from repro.viz import render_gantt
+
+from tests.conftest import admit_simple
+
+
+def ms(x):
+    return units.ms_to_ticks(x)
+
+
+class TestAssignedGlyph:
+    def test_assigned_time_renders_with_its_own_glyph(self, ideal_rd):
+        def job(ctx):
+            remaining = ms(3)
+            while remaining > 0:
+                step = min(units.us_to_ticks(100), remaining)
+                yield Compute(step)
+                remaining -= step
+
+        server = SporadicServer(ideal_rd, greedy=True, slice_ticks=ms(2))
+        task = server.spawn("batch", job)
+        admit_simple(ideal_rd, "periodic", period_ms=10, rate=0.3)
+        ideal_rd.run_for(ms(200))
+
+        assert any(
+            s.kind is SegmentKind.ASSIGNED and s.thread_id == task.tid
+            for s in ideal_rd.trace.segments
+        )
+        out = render_gantt(
+            ideal_rd.trace,
+            {task.tid: "batch", server.thread.tid: "SS"},
+            0,
+            ms(200),
+            width=80,
+            show_axis=False,
+        )
+        batch_row = next(line for line in out.splitlines() if "batch" in line)
+        assert "a" in batch_row.split("|")[1]
+
+    def test_system_overhead_renders_on_calibrated_machine(self, real_rd):
+        admit_simple(real_rd, "a", period_ms=10, rate=0.4)
+        admit_simple(real_rd, "b", period_ms=10, rate=0.4)
+        real_rd.run_for(ms(100))
+        out = render_gantt(
+            real_rd.trace, {-1: "system"}, 0, ms(100), width=100, show_axis=False
+        )
+        system_row = out.splitlines()[0]
+        assert "x" in system_row.split("|")[1]

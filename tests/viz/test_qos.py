@@ -1,0 +1,64 @@
+"""QOS staircase rendering."""
+
+import pytest
+
+from repro import units
+from repro.sim.trace import GrantChangeRecord, TraceRecorder
+from repro.viz import render_qos_staircase
+
+
+def ms(x):
+    return units.ms_to_ticks(x)
+
+
+@pytest.fixture
+def trace():
+    t = TraceRecorder()
+    t.record_grant_change(GrantChangeRecord(0, 1, ms(10), ms(9), entry_index=0))
+    t.record_grant_change(GrantChangeRecord(ms(50), 1, ms(10), ms(4), entry_index=5))
+    t.record_grant_change(
+        GrantChangeRecord(ms(80), 1, 0, 0, entry_index=-1, reason="removed")
+    )
+    return t
+
+
+class TestStaircase:
+    def test_levels_render_in_their_windows(self, trace):
+        out = render_qos_staircase(trace, 1, levels=9, start=0, end=ms(100), width=50)
+        lines = out.splitlines()
+        row0 = lines[1].split("|")[1]
+        row5 = lines[6].split("|")[1]
+        # Level 0 for the first half, level 5 from 50-80 ms.
+        assert row0[:24].strip("#") == ""
+        assert "#" in row5[25:40]
+        assert "#" not in row5[:24]
+
+    def test_removal_renders_as_gap(self, trace):
+        out = render_qos_staircase(trace, 1, levels=9, start=0, end=ms(100), width=50)
+        row0 = out.splitlines()[1].split("|")[1]
+        assert "." in row0[41:]
+
+    def test_window_validation(self, trace):
+        with pytest.raises(ValueError):
+            render_qos_staircase(trace, 1, levels=9, start=10, end=10)
+        with pytest.raises(ValueError):
+            render_qos_staircase(trace, 1, levels=0, start=0, end=100)
+
+    def test_end_to_end_with_figure5(self):
+        from repro.metrics import allocation_series
+        from repro.scenarios import figure5
+
+        scenario = figure5().run_for(ms(150))
+        thread2 = scenario.threads["thread2"]
+        out = render_qos_staircase(
+            scenario.trace,
+            thread2.tid,
+            levels=9,
+            start=0,
+            end=ms(150),
+            name="thread2",
+        )
+        # The staircase descends: level 0 early, level 7 (20 %) late.
+        lines = out.splitlines()
+        assert "#" in lines[1]  # level 0 seen
+        assert "#" in lines[8]  # level 7 seen
