@@ -30,6 +30,7 @@ from repro.errors import (
     PolicyError,
     ReproError,
     ResourceListError,
+    SanitizerViolation,
     SchedulerError,
     TaskError,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "ResourceList",
     "ResourceListEntry",
     "ResourceListError",
+    "SanitizerViolation",
     "SchedulerError",
     "Semantics",
     "SimConfig",

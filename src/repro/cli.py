@@ -248,7 +248,7 @@ def cmd_export(args) -> int:
     from repro.metrics import deadlines_to_csv, segments_to_csv, trace_to_json
 
     rng = random.Random(args.seed)
-    rd = ResourceDistributor(sim=SimConfig(seed=args.seed))
+    rd = ResourceDistributor(sim=SimConfig(seed=args.seed), sanitize=args.sanitize)
     for definition in random_task_set(rng, count=4, capacity=0.9):
         rd.admit(definition)
     rd.run_for(_ms(max(args.duration_ms, 100)))
@@ -263,14 +263,22 @@ def cmd_export(args) -> int:
 
 def cmd_validate(args) -> int:
     rng = random.Random(args.seed)
-    rd = ResourceDistributor(sim=SimConfig(seed=args.seed))
+    rd = ResourceDistributor(
+        sim=SimConfig(seed=args.seed),
+        sanitize=args.sanitize,
+        sanitize_strict=False,
+    )
     for definition in random_task_set(rng, count=5, capacity=0.9):
         rd.admit(definition)
     rd.run_for(_ms(max(args.duration_ms, 200)))
     report = validate_trace(rd.trace, end_time=rd.now)
     print(report.summary())
+    sanitizer_ok = True
+    if rd.sanitizer is not None:
+        print(rd.sanitizer.summary())
+        sanitizer_ok = rd.sanitizer.ok
     print(f"deadline misses: {len(rd.trace.misses())}")
-    return 0 if report.ok and not rd.trace.misses() else 1
+    return 0 if report.ok and sanitizer_ok and not rd.trace.misses() else 1
 
 
 # -- entry point ----------------------------------------------------------------
@@ -300,6 +308,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--duration-ms", type=float, default=500.0, help="simulated duration"
     )
     parser.add_argument("--width", type=int, default=96, help="gantt width")
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run with the runtime invariant sanitizer enabled "
+        "(validate and export commands)",
+    )
     parser.add_argument(
         "--format",
         choices=["segments", "deadlines", "json"],

@@ -33,6 +33,8 @@ class ResourceDistributor:
         self,
         machine: MachineConfig | None = None,
         sim: SimConfig | None = None,
+        sanitize: bool = False,
+        sanitize_strict: bool = True,
     ) -> None:
         self.machine = machine or MachineConfig()
         self.sim = sim or SimConfig()
@@ -43,6 +45,16 @@ class ResourceDistributor:
             self.kernel, self.scheduler, self.policy_box
         )
         self.kernel.crash_handler = self._on_crash
+        self.sanitizer = None
+        if sanitize:
+            # Imported lazily: repro.metrics.report (pulled in by the
+            # metrics package) sits above core in the layering.
+            from repro.metrics.sanitizer import InvariantSanitizer
+
+            self.sanitizer = InvariantSanitizer(
+                self.kernel, self.resource_manager, strict=sanitize_strict
+            )
+            self.kernel.sanitizer = self.sanitizer
 
     def _on_crash(self, thread: SimThread, exc: Exception) -> None:
         """A task raised: release its admission so its capacity flows

@@ -95,6 +95,11 @@ class Kernel:
         #: machine.  Crashes never propagate out of the dispatch loop.
         self.crash_handler = None
         self.crashes: list[tuple[int, int, str]] = []  # (time, tid, repr)
+        #: Optional runtime invariant sanitizer
+        #: (:class:`repro.metrics.sanitizer.InvariantSanitizer`); when
+        #: set, the dispatch loop reports every scheduling decision and
+        #: period close to it.
+        self.sanitizer = None
 
     # -- properties ----------------------------------------------------------
 
@@ -247,6 +252,8 @@ class Kernel:
             self._rollover_all()
             self._reschedule = False
             thread = self.policy.pick(self.now)
+            if self.sanitizer is not None:
+                self.sanitizer.on_pick(thread, self.now)
             self._switch_to(thread)
             # The switch cost may have carried the clock across period
             # boundaries; bring accounting current before setting the timer.
@@ -654,18 +661,19 @@ class Kernel:
             and delivered < grant.cpu_ticks
             and thread.state is ThreadState.ACTIVE
         )
-        self.trace.record_deadline(
-            DeadlineRecord(
-                thread_id=thread.tid,
-                period_index=thread.period_index,
-                period_start=thread.period_start,
-                deadline=thread.deadline,
-                granted=grant.cpu_ticks,
-                delivered=delivered,
-                missed=missed,
-                voided=voided,
-            )
+        record = DeadlineRecord(
+            thread_id=thread.tid,
+            period_index=thread.period_index,
+            period_start=thread.period_start,
+            deadline=thread.deadline,
+            granted=grant.cpu_ticks,
+            delivered=delivered,
+            missed=missed,
+            voided=voided,
         )
+        self.trace.record_deadline(record)
+        if self.sanitizer is not None:
+            self.sanitizer.on_period_close(thread, record)
         thread.periods_completed += 1
         thread.total_granted_ticks += grant.cpu_ticks
         thread.total_used_ticks += thread.used

@@ -209,6 +209,8 @@ class ResourceManager:
             for tid, record in sorted(self._records.items())
         ]
         result = self.grant_control.compute(requests)
+        if self.kernel.sanitizer is not None:
+            self.kernel.sanitizer.on_grant_set(result)
         self.last_result = result
         assignment: dict[str, int | None] = {
             unit: None for unit in self.kernel.exclusive.unit_names

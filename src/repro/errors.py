@@ -34,6 +34,13 @@ class TaskError(ReproError):
     unknown op, computed after declaring itself done)."""
 
 
+class SanitizerViolation(ReproError):
+    """The runtime invariant sanitizer caught the system breaking one of
+    the Resource Distributor's architectural guarantees (grant
+    conservation, EDF ordering, per-period delivery, never-terminated).
+    Raised only in strict mode; carries a trace excerpt for debugging."""
+
+
 class ClockError(ReproError):
     """Clock misuse: reading a clock backwards in time, invalid skew."""
 

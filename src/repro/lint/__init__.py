@@ -1,0 +1,38 @@
+"""repro-lint: static analysis for the Resource Distributor codebase.
+
+An AST-based linter (stdlib only) that encodes this repository's
+architectural invariants as checkable rules:
+
+* **layering** — imports point down the architecture, never up
+  (``repro.core`` never imports ``viz``/``cli``/``metrics.report``;
+  the Scheduler never imports the Policy Box);
+* **wallclock** / **unseeded-rng** — simulation determinism: simulated
+  ticks only, randomness only through ``sim.rng``'s seeded streams;
+* **float-ticks** — units discipline: tick counts are integers;
+* **bare-except** / **silent-except** — error hygiene in the core.
+
+Run as ``python -m repro.lint src/`` (or the ``repro-lint`` console
+script); see :mod:`repro.lint.cli` for flags and exit codes, and
+``docs/lint.md`` for the rule catalog.  The runtime complement to this
+static pass is :class:`repro.metrics.sanitizer.InvariantSanitizer`.
+"""
+
+from repro.lint.config import LintConfig, LintConfigError, load_config
+from repro.lint.engine import collect_files, module_name, parse_module, run_lint
+from repro.lint.rules import RULE_CLASSES, all_rules
+from repro.lint.rules.base import LintViolation, ModuleInfo, Rule
+
+__all__ = [
+    "LintConfig",
+    "LintConfigError",
+    "LintViolation",
+    "ModuleInfo",
+    "Rule",
+    "RULE_CLASSES",
+    "all_rules",
+    "collect_files",
+    "load_config",
+    "module_name",
+    "parse_module",
+    "run_lint",
+]

@@ -1,0 +1,112 @@
+"""Command-line front end for repro-lint.
+
+Usage::
+
+    python -m repro.lint src/                 # human-readable output
+    python -m repro.lint src/ --format=json   # machine-readable (CI)
+    python -m repro.lint --list-rules
+
+Exit codes: 0 = clean, 1 = violations found, 2 = usage/config error —
+so CI can gate on the return code directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.lint.config import LintConfig, LintConfigError, load_config
+from repro.lint.engine import iter_rule_catalog, run_lint
+from repro.lint.rules import RULE_CLASSES
+
+EXIT_CLEAN = 0
+EXIT_VIOLATIONS = 1
+EXIT_ERROR = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Static analysis for the Resource Distributor codebase: "
+            "layering, determinism, units discipline, error hygiene."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: src/)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--config",
+        type=Path,
+        default=None,
+        help="pyproject.toml to read [tool.repro-lint] from "
+        "(default: search upward from the current directory)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def _print_rules() -> None:
+    width = max(len(cls.id) for cls in RULE_CLASSES)
+    for rule_id, rationale in iter_rule_catalog():
+        print(f"{rule_id:<{width}}  {rationale}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        _print_rules()
+        return EXIT_CLEAN
+
+    try:
+        config = load_config(args.config)
+        config.validate_rule_ids({cls.id for cls in RULE_CLASSES})
+    except LintConfigError as exc:
+        print(f"repro-lint: config error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+
+    paths = args.paths or [Path("src")]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(
+            f"repro-lint: no such path: {', '.join(map(str, missing))}",
+            file=sys.stderr,
+        )
+        return EXIT_ERROR
+
+    violations = run_lint(paths, config=config)
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "violations": [v.to_dict() for v in violations],
+                    "count": len(violations),
+                },
+                indent=2,
+            )
+        )
+    else:
+        for violation in violations:
+            print(violation.format())
+        if violations:
+            print(f"repro-lint: {len(violations)} violation(s)", file=sys.stderr)
+    return EXIT_VIOLATIONS if violations else EXIT_CLEAN
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

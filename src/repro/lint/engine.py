@@ -1,0 +1,124 @@
+"""The repro-lint engine: collect files, parse, run rules, filter.
+
+The engine owns everything rules should not: filesystem walking, module
+name derivation, parse errors, suppression comments, and config-driven
+enable/disable.  Rules receive parsed :class:`ModuleInfo` objects and
+yield violations.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.lint.config import LintConfig
+from repro.lint.rules import all_rules
+from repro.lint.rules.base import LintViolation, ModuleInfo, Rule
+
+#: ``# repro-lint: disable=rule-a,rule-b`` or ``disable=all`` on the
+#: violating line suppresses matching rules for that line.
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\- ]+)")
+
+
+def collect_files(targets: Sequence[Path]) -> list[Path]:
+    """Every ``.py`` file under the targets, sorted, deduplicated."""
+    seen: dict[Path, None] = {}
+    for target in targets:
+        if target.is_dir():
+            for path in sorted(target.rglob("*.py")):
+                seen.setdefault(path, None)
+        elif target.suffix == ".py":
+            seen.setdefault(target, None)
+    return list(seen)
+
+
+def module_name(path: Path) -> str:
+    """Dotted module name derived from the ``__init__.py`` chain.
+
+    Walks up from the file while each parent directory holds an
+    ``__init__.py``, so ``src/repro/core/kernel.py`` maps to
+    ``repro.core.kernel`` regardless of the scan root.  A loose script
+    outside any package keeps its bare stem.
+    """
+    parts: list[str] = [] if path.name == "__init__.py" else [path.stem]
+    directory = path.parent
+    while (directory / "__init__.py").is_file():
+        parts.append(directory.name)
+        parent = directory.parent
+        if parent == directory:
+            break
+        directory = parent
+    return ".".join(reversed(parts))
+
+
+def parse_module(path: Path) -> ModuleInfo | LintViolation:
+    """Parse one file; a syntax error becomes a ``parse-error`` violation."""
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return LintViolation(
+            path=str(path),
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            rule_id="parse-error",
+            message=f"cannot parse: {exc.msg}",
+        )
+    return ModuleInfo(
+        path=path,
+        module=module_name(path),
+        tree=tree,
+        lines=tuple(source.splitlines()),
+    )
+
+
+def _suppressed(module: ModuleInfo, violation: LintViolation) -> bool:
+    if not 1 <= violation.line <= len(module.lines):
+        return False
+    match = _SUPPRESS_RE.search(module.lines[violation.line - 1])
+    if not match:
+        return False
+    ids = {part.strip() for part in match.group(1).split(",")}
+    return "all" in ids or violation.rule_id in ids
+
+
+def run_lint(
+    targets: Sequence[Path],
+    config: LintConfig | None = None,
+    rules: Iterable[Rule] | None = None,
+) -> list[LintViolation]:
+    """Lint the targets and return every unsuppressed violation.
+
+    Violations come back sorted by path, line, then rule id — stable
+    output for both humans and CI diffs.
+    """
+    config = config or LintConfig()
+    active = [
+        rule
+        for rule in (rules if rules is not None else all_rules())
+        if config.rule_enabled(rule.id)
+    ]
+    violations: list[LintViolation] = []
+    for path in collect_files(targets):
+        if config.path_excluded(path):
+            continue
+        parsed = parse_module(path)
+        if isinstance(parsed, LintViolation):
+            violations.append(parsed)
+            continue
+        for rule in active:
+            if not rule.applies_to(parsed):
+                continue
+            for violation in rule.check(parsed):
+                if not _suppressed(parsed, violation):
+                    violations.append(violation)
+    violations.sort(key=lambda v: (v.path, v.line, v.rule_id))
+    return violations
+
+
+def iter_rule_catalog(rules: Iterable[Rule] | None = None) -> Iterator[tuple[str, str]]:
+    """(rule id, rationale) pairs for ``--list-rules`` and the docs."""
+    for rule in rules if rules is not None else all_rules():
+        yield rule.id, rule.rationale

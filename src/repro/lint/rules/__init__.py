@@ -1,0 +1,44 @@
+"""Rule registry for repro-lint.
+
+Adding a rule: write a :class:`~repro.lint.rules.base.Rule` subclass
+with a unique ``id`` in a module here, import it below, and add it to
+:data:`RULE_CLASSES`.  The engine, CLI, config table, and
+``--list-rules`` all discover it from the registry.
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules.base import LintViolation, ModuleInfo, Rule
+from repro.lint.rules.determinism import UnseededRandomRule, WallClockRule
+from repro.lint.rules.hygiene import BareExceptRule, SilentExceptRule
+from repro.lint.rules.layering import LayeringRule
+from repro.lint.rules.units import FloatTickRule
+
+RULE_CLASSES: tuple[type[Rule], ...] = (
+    LayeringRule,
+    WallClockRule,
+    UnseededRandomRule,
+    FloatTickRule,
+    BareExceptRule,
+    SilentExceptRule,
+)
+
+
+def all_rules() -> list[Rule]:
+    """Fresh instances of every registered rule, in registry order."""
+    return [cls() for cls in RULE_CLASSES]
+
+
+__all__ = [
+    "LintViolation",
+    "ModuleInfo",
+    "Rule",
+    "RULE_CLASSES",
+    "all_rules",
+    "BareExceptRule",
+    "FloatTickRule",
+    "LayeringRule",
+    "SilentExceptRule",
+    "UnseededRandomRule",
+    "WallClockRule",
+]

@@ -1,0 +1,98 @@
+"""Rule plumbing shared by every repro-lint rule.
+
+A rule is a class with a stable ``id`` (the name used in output, in
+``# repro-lint: disable=<id>`` suppressions, and in the
+``[tool.repro-lint]`` config), a docstring explaining the invariant it
+enforces, and a ``check`` method that yields violations for one parsed
+module.  Rules never do I/O; the engine hands them a fully parsed
+:class:`ModuleInfo`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class ModuleInfo:
+    """One source file, parsed and located in the package hierarchy."""
+
+    path: Path
+    #: Dotted module name (``repro.core.scheduler``), derived from the
+    #: ``__init__.py`` chain above the file; bare stem for loose files.
+    module: str
+    tree: ast.Module
+    lines: tuple[str, ...]
+
+    def in_package(self, prefix: str) -> bool:
+        """Is this module ``prefix`` itself or inside package ``prefix``?"""
+        return self.module == prefix or self.module.startswith(prefix + ".")
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    """One broken rule at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line} {self.rule_id} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+        }
+
+
+class Rule:
+    """Base class for repro-lint rules."""
+
+    #: Stable identifier used in output, suppressions, and config.
+    id: str = ""
+    #: One-line rationale shown by ``--list-rules``.
+    rationale: str = ""
+    #: Restrict the rule to modules under these dotted prefixes
+    #: (``None`` = every scanned module).
+    scope_prefixes: tuple[str, ...] | None = None
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        if self.scope_prefixes is None:
+            return True
+        return any(module.in_package(prefix) for prefix in self.scope_prefixes)
+
+    def check(self, module: ModuleInfo) -> Iterator[LintViolation]:
+        raise NotImplementedError
+
+    def violation(
+        self, module: ModuleInfo, node: ast.AST, message: str
+    ) -> LintViolation:
+        return LintViolation(
+            path=str(module.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.id,
+            message=message,
+        )
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Render an ``ast.Attribute``/``ast.Name`` chain as ``a.b.c``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None

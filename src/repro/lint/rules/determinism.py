@@ -1,0 +1,151 @@
+"""Determinism rules: simulated time and seeded randomness only.
+
+Every run of the simulator must be exactly reproducible from its seed
+(``SimConfig.seed``): the EXPERIMENTS and the property-based tests both
+depend on it.  Wall-clock reads and unseeded randomness inside the
+simulation core silently break that contract — results would vary from
+run to run with no failing test to show for it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.rules.base import LintViolation, ModuleInfo, Rule, dotted_name
+
+#: Wall-clock reads that have no place inside a discrete-event simulator.
+WALLCLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "date.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+    }
+)
+
+#: ``random`` module-level functions: they draw from the hidden global
+#: Mersenne Twister, whose state no seed in this library controls.
+GLOBAL_RANDOM_FUNCS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "choice",
+        "choices",
+        "uniform",
+        "shuffle",
+        "sample",
+        "gauss",
+        "normalvariate",
+        "lognormvariate",
+        "expovariate",
+        "betavariate",
+        "gammavariate",
+        "triangular",
+        "vonmisesvariate",
+        "paretovariate",
+        "weibullvariate",
+        "getrandbits",
+        "seed",
+    }
+)
+
+
+class WallClockRule(Rule):
+    """Forbid wall-clock reads inside the simulation core.
+
+    All time in ``repro.core`` and ``repro.sim`` is the simulated 27 MHz
+    tick clock (``kernel.now`` / ``SimClock``).  ``time.time()``,
+    ``time.monotonic()`` and ``datetime.now()`` read the host's clock,
+    which differs between runs and machines.
+    """
+
+    id = "wallclock"
+    rationale = (
+        "sim/core must use simulated ticks, never the host wall clock "
+        "(reproducibility from the seed)"
+    )
+    scope_prefixes = ("repro.core", "repro.sim")
+
+    def check(self, module: ModuleInfo) -> Iterator[LintViolation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name in WALLCLOCK_CALLS:
+                yield self.violation(
+                    module,
+                    node,
+                    f"wall-clock read {name}() in the simulation core; "
+                    f"use the simulated clock (kernel.now / SimClock)",
+                )
+
+
+class UnseededRandomRule(Rule):
+    """Forbid unseeded randomness inside the simulation core.
+
+    All randomness must flow through ``repro.sim.rng`` (the per-purpose
+    seeded stream registry) so that one ``SimConfig.seed`` reproduces
+    the whole run.  The ``random`` module's global functions and a
+    no-argument ``random.Random()`` are seeded from the OS and break
+    that.
+    """
+
+    id = "unseeded-rng"
+    rationale = (
+        "all randomness in sim/core flows through sim.rng's seeded "
+        "streams (reproducibility from the seed)"
+    )
+    scope_prefixes = ("repro.core", "repro.sim")
+
+    def check(self, module: ModuleInfo) -> Iterator[LintViolation]:
+        if module.module == "repro.sim.rng":
+            return  # the sanctioned funnel wraps the random module itself
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                bad = sorted(
+                    alias.name
+                    for alias in node.names
+                    if alias.name in GLOBAL_RANDOM_FUNCS
+                )
+                if bad:
+                    yield self.violation(
+                        module,
+                        node,
+                        f"importing global random function(s) "
+                        f"{', '.join(bad)} in the simulation core; draw "
+                        f"from a seeded sim.rng stream instead",
+                    )
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            if name == "random.Random" and not node.args and not node.keywords:
+                yield self.violation(
+                    module,
+                    node,
+                    "random.Random() without a seed in the simulation "
+                    "core; pass an explicit seed or use a sim.rng stream",
+                )
+            elif (
+                name.startswith("random.")
+                and name.removeprefix("random.") in GLOBAL_RANDOM_FUNCS
+            ):
+                yield self.violation(
+                    module,
+                    node,
+                    f"{name}() draws from the global unseeded RNG; draw "
+                    f"from a seeded sim.rng stream instead",
+                )

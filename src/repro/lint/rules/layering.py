@@ -1,0 +1,130 @@
+"""Layering rule: imports must point down the architecture, never up.
+
+The Resource Distributor's components talk through narrow interfaces
+(paper Figure 2): the Scheduler communicates only with the Resource
+Manager — never with the Policy Box, users, or applications — and the
+core mechanism layer must not reach up into presentation (``viz``,
+``cli``) or reporting (``metrics.report``, which itself sits above
+core).  Violating an edge here silently couples mechanism to policy or
+simulation to presentation, which is exactly what the paper's design
+forbids.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.rules.base import LintViolation, ModuleInfo, Rule
+
+
+def _in_prefix(name: str, prefix: str) -> bool:
+    return name == prefix or name.startswith(prefix + ".")
+
+
+class LayeringRule(Rule):
+    """Forbid imports that cross the architecture's layering.
+
+    The layering table maps a source package/module prefix to the
+    prefixes it must never import:
+
+    * ``repro.core`` -> ``repro.viz``, ``repro.cli``,
+      ``repro.metrics.report`` (presentation and reporting sit above
+      the mechanism layer);
+    * ``repro.core.scheduler`` -> ``repro.core.policy_box`` (the
+      mechanism/policy separation: the Scheduler talks only to the
+      Resource Manager);
+    * ``repro.sim`` -> ``repro.core``, ``repro.viz``, ``repro.cli``,
+      ``repro.metrics`` (the simulation substrate is the lowest layer);
+    * ``repro.units`` -> any ``repro.`` module (units is ground).
+    """
+
+    id = "layering"
+    rationale = (
+        "policy/mechanism separation and layer ordering (core below "
+        "viz/cli/report; scheduler never imports policy_box)"
+    )
+
+    #: (source prefix, forbidden import prefixes) — first match wins for
+    #: the most specific source prefix, but all matching rows apply.
+    table: tuple[tuple[str, tuple[str, ...]], ...] = (
+        ("repro.core.scheduler", ("repro.core.policy_box",)),
+        ("repro.core", ("repro.viz", "repro.cli", "repro.metrics.report")),
+        ("repro.sim", ("repro.core", "repro.viz", "repro.cli", "repro.metrics")),
+        (
+            "repro.units",
+            (
+                "repro.core",
+                "repro.sim",
+                "repro.metrics",
+                "repro.viz",
+                "repro.cli",
+                "repro.tasks",
+                "repro.config",
+                "repro.workloads",
+                "repro.baselines",
+            ),
+        ),
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[LintViolation]:
+        forbidden: list[tuple[str, str]] = []
+        for source_prefix, targets in self.table:
+            if module.in_package(source_prefix):
+                forbidden.extend((source_prefix, t) for t in targets)
+        if not forbidden:
+            return
+        seen: set[tuple[int, str]] = set()
+        for node, imported in _imports(module):
+            for source_prefix, target in forbidden:
+                if _in_prefix(imported, target) and not _in_prefix(
+                    module.module, target
+                ):
+                    key = (getattr(node, "lineno", 0), target)
+                    if key in seen:
+                        break
+                    seen.add(key)
+                    yield self.violation(
+                        module,
+                        node,
+                        f"{source_prefix} must not import {imported} "
+                        f"(layering: {target} sits outside "
+                        f"{source_prefix}'s reach)",
+                    )
+                    break
+
+
+def _imports(module: ModuleInfo) -> Iterator[tuple[ast.AST, str]]:
+    """Every (node, absolute dotted module) imported anywhere in the
+    file, including imports nested inside functions.
+
+    ``from pkg import name`` yields both ``pkg`` and ``pkg.name`` —
+    ``name`` may be a submodule (``from repro.core import kernel``), and
+    prefix matching stays correct either way.
+    """
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield node, alias.name
+        elif isinstance(node, ast.ImportFrom):
+            base = _resolve_from(module, node)
+            yield node, base
+            for alias in node.names:
+                if alias.name != "*":
+                    yield node, f"{base}.{alias.name}" if base else alias.name
+
+
+def _resolve_from(module: ModuleInfo, node: ast.ImportFrom) -> str:
+    if node.level == 0:
+        return node.module or ""
+    # Relative import: resolve against this module's package.
+    package_parts = module.module.split(".")
+    # ``from . import x`` in a module drops the module's own name first.
+    if not module.path.name == "__init__.py":
+        package_parts = package_parts[:-1]
+    if node.level > 1:
+        package_parts = package_parts[: -(node.level - 1)] or []
+    base = ".".join(package_parts)
+    if node.module:
+        return f"{base}.{node.module}" if base else node.module
+    return base

@@ -1,0 +1,93 @@
+"""Units-discipline rule: ticks are integers, never floats.
+
+All simulated time in this codebase is integer ticks of the 27 MHz
+time-stamp clock (see ``repro.units``).  Passing a float where a tick
+count is expected truncates silently somewhere downstream, producing
+off-by-one deadlines and irreproducible schedules.  Rates and fractions
+are the only sanctioned floats.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.rules.base import LintViolation, ModuleInfo, Rule, dotted_name
+
+#: Functions whose positional arguments are tick/cycle integer counts.
+TICK_CONSUMERS = frozenset(
+    {
+        "validate_period",
+        "ticks_to_us",
+        "ticks_to_ms",
+        "ticks_to_sec",
+        "core_cycles_to_ticks",
+    }
+)
+
+#: Keyword names that carry tick counts wherever they appear.
+TICK_KEYWORDS = frozenset(
+    {
+        "ticks",
+        "cpu_ticks",
+        "period",
+        "horizon",
+        "deadline",
+    }
+)
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    # A negated float literal (``-1.5``) parses as UnaryOp(USub, Constant).
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_float_literal(node.operand)
+    return False
+
+
+class FloatTickRule(Rule):
+    """Flag float literals handed to tick-consuming call sites.
+
+    Flags a float literal passed positionally to one of the
+    :data:`TICK_CONSUMERS` (``ticks_to_ms(1.5)``) or bound to a keyword
+    whose name marks it as a tick count (``period=1.5``,
+    ``horizon_ticks=0.5e6``).  Use ``ms_to_ticks``/``us_to_ticks`` or an
+    integer tick literal instead.
+    """
+
+    id = "float-ticks"
+    rationale = (
+        "simulated time is integer 27 MHz ticks; float literals in tick "
+        "positions truncate silently (units discipline)"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[LintViolation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = dotted_name(node.func) or ""
+            short = func.rsplit(".", 1)[-1]
+            if short in TICK_CONSUMERS:
+                for arg in node.args:
+                    if _is_float_literal(arg):
+                        yield self.violation(
+                            module,
+                            arg,
+                            f"float literal passed to {short}(), which "
+                            f"takes integer ticks/cycles; convert with "
+                            f"ms_to_ticks()/us_to_ticks() or use an int",
+                        )
+            for kw in node.keywords:
+                if kw.arg is None:
+                    continue
+                if (
+                    kw.arg in TICK_KEYWORDS or kw.arg.endswith("_ticks")
+                ) and _is_float_literal(kw.value):
+                    yield self.violation(
+                        module,
+                        kw.value,
+                        f"float literal bound to tick-count keyword "
+                        f"{kw.arg}=; ticks are integers — convert with "
+                        f"ms_to_ticks()/us_to_ticks()",
+                    )

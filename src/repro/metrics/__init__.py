@@ -20,11 +20,19 @@ from repro.metrics.analysis import (
     summarize_switches,
 )
 from repro.metrics.export import deadlines_to_csv, segments_to_csv, trace_to_json
-from repro.metrics.latency import LatencyStats, completion_times, latency_stats
+from repro.metrics.latency import (
+    LatencyStats,
+    completion_times,
+    latency_stats,
+    max_service_gap,
+    service_intervals,
+)
 from repro.metrics.report import run_report
+from repro.metrics.sanitizer import InvariantSanitizer
 from repro.metrics.validate import TraceValidator, ValidationReport, validate_trace
 
 __all__ = [
+    "InvariantSanitizer",
     "LatencyStats",
     "PeriodOutcome",
     "SwitchStats",
@@ -33,7 +41,9 @@ __all__ = [
     "completion_times",
     "deadlines_to_csv",
     "latency_stats",
+    "max_service_gap",
     "segments_to_csv",
+    "service_intervals",
     "trace_to_json",
     "validate_trace",
     "allocation_series",

@@ -1,0 +1,12 @@
+"""Fixture: wall-clock reads inside the simulation core (wallclock)."""
+
+import time
+from datetime import datetime
+
+
+def stamp():
+    return time.time()
+
+
+def stamp2():
+    return datetime.now()

@@ -1,0 +1,16 @@
+"""Fixture: unseeded randomness inside the simulation core (unseeded-rng)."""
+
+import random
+from random import choice
+
+
+def jitter():
+    return random.random()
+
+
+def fresh():
+    return random.Random()
+
+
+def pickone(xs):
+    return choice(xs)

@@ -1,0 +1,8 @@
+"""Fixture: the Scheduler reaching into the Policy Box (layering)."""
+
+import repro.core.policy_box
+from . import policy_box  # noqa: F401
+
+
+def pick(now):
+    return repro.core.policy_box, policy_box

@@ -1,0 +1,8 @@
+"""Fixture: the simulation substrate importing upward (layering)."""
+
+import repro.metrics
+from repro.core.kernel import Kernel
+
+
+def build():
+    return Kernel, repro.metrics

@@ -1,0 +1,7 @@
+"""Fixture: line-level suppression comments."""
+
+from repro.units import ticks_to_ms
+
+A = ticks_to_ms(1.5)  # repro-lint: disable=float-ticks
+B = ticks_to_ms(2.5)  # repro-lint: disable=all
+C = ticks_to_ms(3.5)  # repro-lint: disable=layering

@@ -1,0 +1,65 @@
+"""The repro-lint command line: output formats and exit codes."""
+
+import json
+from pathlib import Path
+
+from repro.lint.cli import EXIT_CLEAN, EXIT_ERROR, EXIT_VIOLATIONS, main
+from repro.lint.rules import RULE_CLASSES
+
+TREE = Path(__file__).parent / "fixtures" / "tree"
+REPO = Path(__file__).parents[2]
+
+
+class TestTextOutput:
+    def test_violations_print_file_line_rule_message(self, capsys):
+        code = main([str(TREE / "repro/core/bad_clock.py")])
+        out = capsys.readouterr()
+        assert code == EXIT_VIOLATIONS
+        first = out.out.splitlines()[0]
+        path, rest = first.split(" ", 1)
+        assert path.endswith("bad_clock.py:8")
+        assert rest.startswith("wallclock ")
+        assert "violation(s)" in out.err
+
+    def test_clean_tree_exits_zero(self, capsys):
+        code = main([str(REPO / "src"), "--config", str(REPO / "pyproject.toml")])
+        assert code == EXIT_CLEAN
+        assert capsys.readouterr().out == ""
+
+
+class TestJsonOutput:
+    def test_json_format_is_machine_readable(self, capsys):
+        code = main([str(TREE / "loose_float.py"), "--format=json"])
+        assert code == EXIT_VIOLATIONS
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 4
+        assert {v["rule"] for v in payload["violations"]} == {"float-ticks"}
+        assert {"path", "line", "col", "rule", "message"} <= set(
+            payload["violations"][0]
+        )
+
+    def test_json_on_clean_input(self, capsys):
+        code = main([str(TREE / "repro/core/clean.py"), "--format=json"])
+        assert code == EXIT_CLEAN
+        assert json.loads(capsys.readouterr().out)["count"] == 0
+
+
+class TestListRules:
+    def test_catalog_names_every_registered_rule(self, capsys):
+        assert main(["--list-rules"]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        for cls in RULE_CLASSES:
+            assert cls.id in out
+
+
+class TestErrors:
+    def test_missing_path_is_a_usage_error(self, capsys):
+        assert main(["does/not/exist"]) == EXIT_ERROR
+        assert "no such path" in capsys.readouterr().err
+
+    def test_bad_config_is_a_usage_error(self, tmp_path, capsys):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text('[tool.repro-lint]\ndisable = ["no-such-rule"]\n')
+        code = main([str(TREE / "suppressed.py"), "--config", str(pyproject)])
+        assert code == EXIT_ERROR
+        assert "no-such-rule" in capsys.readouterr().err

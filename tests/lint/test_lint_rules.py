@@ -1,0 +1,105 @@
+"""Each lint rule against its positive (violating) and negative (clean)
+fixtures under ``tests/lint/fixtures/tree``."""
+
+from pathlib import Path
+
+from repro.lint import run_lint
+
+TREE = Path(__file__).parent / "fixtures" / "tree"
+
+
+def lint(relpath):
+    return run_lint([TREE / relpath])
+
+
+def rule_ids(violations):
+    return [v.rule_id for v in violations]
+
+
+class TestLayering:
+    def test_scheduler_importing_policy_box_is_flagged(self):
+        violations = lint("repro/core/scheduler.py")
+        assert rule_ids(violations) == ["layering", "layering"]
+        assert "policy_box" in violations[0].message
+        # Both the absolute and the relative import form are caught.
+        assert {v.line for v in violations} == {3, 4}
+
+    def test_core_importing_presentation_is_flagged(self):
+        violations = lint("repro/core/presentation.py")
+        assert rule_ids(violations) == ["layering"] * 3
+        assert any("repro.cli" in v.message for v in violations)
+        assert any("repro.viz" in v.message for v in violations)
+        assert any("repro.metrics.report" in v.message for v in violations)
+
+    def test_sim_importing_core_or_metrics_is_flagged(self):
+        violations = lint("repro/sim/bad_layering.py")
+        assert rule_ids(violations) == ["layering", "layering"]
+
+    def test_clean_core_module_passes(self):
+        assert lint("repro/core/clean.py") == []
+
+
+class TestWallClock:
+    def test_wallclock_reads_in_core_are_flagged(self):
+        violations = [v for v in lint("repro/core/bad_clock.py") if v.rule_id == "wallclock"]
+        assert len(violations) == 2
+        assert any("time.time" in v.message for v in violations)
+        assert any("datetime.now" in v.message for v in violations)
+
+    def test_wallclock_outside_sim_core_is_ignored(self):
+        assert lint("outside_scope.py") == []
+
+
+class TestUnseededRandom:
+    def test_global_random_use_in_core_is_flagged(self):
+        violations = lint("repro/core/bad_random.py")
+        assert rule_ids(violations) == ["unseeded-rng"] * 3
+        assert any("choice" in v.message for v in violations)
+        assert any("random.random()" in v.message for v in violations)
+        assert any("random.Random()" in v.message for v in violations)
+
+    def test_sim_rng_module_is_exempt(self):
+        assert lint("repro/sim/rng.py") == []
+
+    def test_seeded_random_instance_passes(self):
+        assert lint("repro/core/clean.py") == []
+
+
+class TestFloatTicks:
+    def test_float_literals_in_tick_positions_are_flagged(self):
+        violations = lint("loose_float.py")
+        assert rule_ids(violations) == ["float-ticks"] * 4
+        assert {v.line for v in violations} == {6, 10, 11, 13}
+
+    def test_integer_ticks_and_converted_values_pass(self):
+        lines = {v.line for v in lint("loose_float.py")}
+        assert 5 not in lines  # ticks_to_ms(270000)
+        assert 12 not in lines  # horizon=ms_to_ticks(10)
+
+
+class TestExceptHygiene:
+    def test_bare_and_silent_excepts_in_core_are_flagged(self):
+        violations = lint("repro/core/bad_except.py")
+        assert rule_ids(violations) == ["bare-except", "silent-except"]
+
+    def test_bare_except_outside_scope_is_ignored(self):
+        assert lint("outside_scope.py") == []
+
+
+class TestWholeTree:
+    def test_fixture_tree_totals(self):
+        """Linting the whole fixture tree finds every seeded violation —
+        and nothing in the clean files."""
+        violations = run_lint([TREE])
+        by_file = {}
+        for v in violations:
+            by_file.setdefault(Path(v.path).name, []).append(v)
+        assert "clean.py" not in by_file
+        assert "rng.py" not in by_file
+        assert "outside_scope.py" not in by_file
+        assert len(by_file["suppressed.py"]) == 1
+
+    def test_shipped_src_tree_is_clean(self):
+        """Acceptance: the real src/ tree lints clean."""
+        src = Path(__file__).parents[2] / "src"
+        assert run_lint([src]) == []

@@ -42,7 +42,24 @@ class TestLatency:
         stats = latency_stats(rd.trace, thread.tid, period=ms(10), cpu=ms(3))
         assert stats is not None
         assert stats.bound == 2 * ms(10) - 2 * ms(3)
+        assert stats.completion_bound == 2 * ms(10) - ms(3)
+        assert stats.max_service_gap <= stats.bound
+        assert stats.max_gap <= stats.completion_bound
         assert stats.within_bound
+
+    def test_service_intervals_cover_the_grant(self, busy_run):
+        from repro.metrics import max_service_gap, service_intervals
+
+        rd, thread = busy_run
+        intervals = service_intervals(rd.trace, thread.tid)
+        assert intervals == sorted(intervals)
+        assert all(a < b for a, b in intervals)
+        delivered = sum(b - a for a, b in intervals)
+        assert delivered == sum(d.delivered for d in rd.trace.deadlines_for(thread.tid))
+        gap = max_service_gap(rd.trace, thread.tid)
+        assert gap == max(
+            b[0] - a[1] for a, b in zip(intervals, intervals[1:])
+        )
 
     def test_mean_gap_close_to_period(self, busy_run):
         rd, thread = busy_run

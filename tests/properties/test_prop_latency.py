@@ -1,4 +1,11 @@
-"""Property test: the 2P - 2C latency bound over random task sets."""
+"""Property test: the 2P - 2C latency bound over random task sets.
+
+The paper's bound is on the *service gap* (the longest interval in
+which a thread receives none of its granted CPU); the gap between
+consecutive grant *completions* may legitimately reach 2P - C (grant
+finishing at the start of one period and at the very end of the next).
+Both are asserted against their own bounds.
+"""
 
 import random
 
@@ -53,7 +60,12 @@ class TestLatencyBound:
         cpu = max(1, round(period * probe_rate))
         stats = latency_stats(rd.trace, probe.tid, period, cpu)
         assert stats is not None
-        assert stats.within_bound, (
-            f"max gap {stats.max_gap} over bound {stats.bound} "
-            f"({stats.bound_utilization:.2f}x)"
+        assert stats.max_service_gap <= stats.bound, (
+            f"service gap {stats.max_service_gap} over the 2P-2C bound "
+            f"{stats.bound} ({stats.bound_utilization:.2f}x)"
         )
+        assert stats.max_gap <= stats.completion_bound, (
+            f"completion gap {stats.max_gap} over the 2P-C bound "
+            f"{stats.completion_bound}"
+        )
+        assert stats.within_bound

@@ -14,6 +14,7 @@ ALL_ERRORS = [
     errors.TaskError,
     errors.ClockError,
     errors.SimulationError,
+    errors.SanitizerViolation,
 ]
 
 
