@@ -9,8 +9,11 @@
     python -m repro faceoff             # RD vs the baseline schedulers
     python -m repro settop              # the section 5.3 scenario
     python -m repro validate --seed 7   # fuzz one run and audit the trace
+    python -m repro cluster --nodes 4   # multi-node rack behind a broker
 
-Every command is deterministic for a given ``--seed``.
+Every command is deterministic for a given ``--seed``.  Shared options
+(``--seed``, ``--duration-ms``, ``--sanitize``) are defined once on a
+common parent parser; each subcommand adds only its own flags.
 """
 
 from __future__ import annotations
@@ -261,6 +264,33 @@ def cmd_export(args) -> int:
     return 0
 
 
+def cmd_cluster(args) -> int:
+    """Run the multi-node set-top-box rack behind the cluster broker."""
+    from repro.cluster import cluster_metrics_json, cluster_report
+    from repro.scenarios import cluster_rack
+
+    sim = cluster_rack(
+        seed=args.seed,
+        nodes=args.nodes,
+        policy=args.policy,
+        drop_rate=args.drop_rate,
+        latency_us=args.latency_us,
+        horizon_sec=max(args.duration_ms, 200.0) / 1000.0,
+        migrate=not args.no_migrate,
+        sanitize=True,
+    )
+    sim.run_until(sim.horizon)
+    if args.format == "json":
+        print(cluster_metrics_json(sim), end="")
+    else:
+        print(cluster_report(sim), end="")
+    clean = all(
+        node.rd.sanitizer is None or node.rd.sanitizer.ok
+        for node in sim.nodes.values()
+    )
+    return 0 if clean else 1
+
+
 def cmd_validate(args) -> int:
     rng = random.Random(args.seed)
     rd = ResourceDistributor(
@@ -283,55 +313,85 @@ def cmd_validate(args) -> int:
 
 # -- entry point ----------------------------------------------------------------
 
-COMMANDS = {
-    "tables": cmd_tables,
-    "figure3": cmd_figure3,
-    "figure4": cmd_figure4,
-    "figure5": cmd_figure5,
-    "faceoff": cmd_faceoff,
-    "settop": cmd_settop,
-    "validate": cmd_validate,
-    "export": cmd_export,
-    "report": cmd_report,
-}
-
 
 def build_parser() -> argparse.ArgumentParser:
+    # Options every command shares, defined exactly once.  Each
+    # subcommand inherits them through ``parents=[common]``, so adding a
+    # command can never fork the seed/sanitize handling.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--seed", type=int, default=0, help="simulation seed")
+    common.add_argument(
+        "--duration-ms", type=float, default=500.0, help="simulated duration"
+    )
+    common.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run with the runtime invariant sanitizer enabled",
+    )
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="ETI Resource Distributor reproduction — regenerate the "
         "paper's tables and figures.",
     )
-    parser.add_argument("command", choices=sorted(COMMANDS))
-    parser.add_argument("--seed", type=int, default=0, help="simulation seed")
-    parser.add_argument(
-        "--duration-ms", type=float, default=500.0, help="simulated duration"
-    )
-    parser.add_argument("--width", type=int, default=96, help="gantt width")
-    parser.add_argument(
-        "--sanitize",
-        action="store_true",
-        help="run with the runtime invariant sanitizer enabled "
-        "(validate and export commands)",
-    )
-    parser.add_argument(
+    sub = parser.add_subparsers(dest="command", required=True, metavar="command")
+
+    def command(name: str, func, help_text: str) -> argparse.ArgumentParser:
+        p = sub.add_parser(name, parents=[common], help=help_text)
+        p.set_defaults(func=func)
+        return p
+
+    command("tables", cmd_tables, "print Tables 2-6")
+    p = command("figure3", cmd_figure3, "EDF schedule of the Table 4 set")
+    p.add_argument("--width", type=int, default=96, help="gantt width")
+    p = command("figure4", cmd_figure4, "producers + spinning data threads")
+    p.add_argument("--width", type=int, default=96, help="gantt width")
+    command("figure5", cmd_figure5, "staggered-admission staircase")
+    command("faceoff", cmd_faceoff, "RD vs the baseline schedulers")
+    command("settop", cmd_settop, "the section 5.3 scenario")
+    command("validate", cmd_validate, "fuzz one run and audit the trace")
+    p = command("export", cmd_export, "dump a seeded run's trace")
+    p.add_argument(
         "--format",
         choices=["segments", "deadlines", "json"],
         default="segments",
-        help="export format (export command only)",
+        help="export format",
     )
-    parser.add_argument(
+    p = command("report", cmd_report, "operator report for a named scenario")
+    p.add_argument(
         "--scenario",
         default="settop",
-        help="scenario name for the report command "
-        "(table4, figure4, figure5, settop, av, dual-stream)",
+        help="scenario name (table4, figure4, figure5, settop, av, dual-stream)",
+    )
+    p = command("cluster", cmd_cluster, "multi-node rack behind a broker")
+    p.add_argument("--nodes", type=int, default=4, help="distributor node count")
+    p.add_argument(
+        "--policy",
+        choices=["aimd", "best-fit", "first-fit"],
+        default="aimd",
+        help="placement policy",
+    )
+    p.add_argument(
+        "--drop-rate", type=float, default=0.0, help="message drop probability"
+    )
+    p.add_argument(
+        "--latency-us", type=float, default=100.0, help="one-way bus latency"
+    )
+    p.add_argument(
+        "--no-migrate", action="store_true", help="disable task migration"
+    )
+    p.add_argument(
+        "--format",
+        choices=["report", "json"],
+        default="report",
+        help="output format",
     )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return COMMANDS[args.command](args)
+    return args.func(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

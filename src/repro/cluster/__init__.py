@@ -1,0 +1,47 @@
+"""Multi-node resource distribution: broker, load feedback, migration.
+
+The paper's Resource Distributor manages one machine.  This package
+scales the same contract out to a rack: N independent distributor nodes
+(each with its own admission control, grant control, and EDF scheduler)
+coordinated by a :class:`ClusterBroker` over a deterministic, lossy
+:class:`~repro.sim.messages.MessageBus`.
+
+Layering: ``repro.cluster`` imports ``repro.core``, ``repro.sim``, and
+``repro.metrics``; nothing below may import this package — core never
+learns it is being clustered.
+"""
+
+from repro.cluster.broker import BROKER, BrokerConfig, BrokerStats, ClusterBroker, PlacedTask
+from repro.cluster.node import ClusterNode, NodeLoadReport
+from repro.cluster.placement import (
+    AimdWeightedPolicy,
+    BestFitPolicy,
+    FirstFitPolicy,
+    NodeView,
+    POLICY_NAMES,
+    PlacementPolicy,
+    make_policy,
+)
+from repro.cluster.report import cluster_metrics, cluster_metrics_json, cluster_report
+from repro.cluster.simulation import ClusterSimulation
+
+__all__ = [
+    "AimdWeightedPolicy",
+    "BROKER",
+    "BestFitPolicy",
+    "BrokerConfig",
+    "BrokerStats",
+    "ClusterBroker",
+    "ClusterNode",
+    "ClusterSimulation",
+    "FirstFitPolicy",
+    "NodeLoadReport",
+    "NodeView",
+    "POLICY_NAMES",
+    "PlacedTask",
+    "PlacementPolicy",
+    "cluster_metrics",
+    "cluster_metrics_json",
+    "cluster_report",
+    "make_policy",
+]

@@ -1,0 +1,422 @@
+"""The cluster admission broker: placement, load feedback, migration.
+
+The broker is the cluster's single admission surface.  Applications
+submit a task (name + resource list); the broker ranks the nodes with a
+pluggable :mod:`placement <repro.cluster.placement>` policy and walks
+the ranking, sending an admission RPC to each node until one accepts.
+A node's own :class:`~repro.core.admission.AdmissionController` remains
+the sole authority on whether a task fits — the broker never
+second-guesses a denial, it just tries the next candidate.
+
+All broker <-> node traffic crosses the deterministic
+:class:`~repro.sim.messages.MessageBus`, so requests and replies can be
+delayed or dropped.  Every RPC therefore carries a request id: the
+broker retries an unanswered request (same id — nodes deduplicate, so a
+retry after a lost *reply* cannot double-admit), and after
+``max_attempts_per_node`` transmissions moves to the next candidate,
+first sending a cancel ``remove`` so a silently admitted ghost is
+cleaned up.
+
+**Load feedback (AIMD).**  Each node periodically reports a
+:class:`~repro.cluster.node.NodeLoadReport`.  A healthy report
+(headroom above the overload threshold, nothing degraded) *additively*
+increases the node's placement weight; an overloaded report
+*multiplicatively* decreases it — the classic AIMD rule from congestion
+control, here steering the ``aimd`` placement policy toward nodes with
+sustained headroom.
+
+**Migration.**  The per-node grant controller already resolves overload
+by degrading QOS levels, and that is always the first resort.  Only
+when a node reports overload for ``overload_epochs`` consecutive
+reports does the broker attempt to move a task: it re-runs admission
+for the victim's resource list on another node, and **only after** that
+node confirms admission does it remove the task from the source — the
+old grant stays live until the new home is guaranteed, so the paper's
+never-terminated rule holds across nodes.  If no node can take the
+victim, nothing moves and the task stays degraded: degrade is preferred
+over migration, migration over denial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import units
+from repro.cluster.node import NodeLoadReport
+from repro.cluster.placement import NodeView, PlacementPolicy
+from repro.sim.messages import Envelope, MessageBus
+from repro.tasks.base import TaskDefinition
+
+BROKER = "broker"
+
+
+@dataclass(frozen=True)
+class BrokerConfig:
+    """Tunables for RPC handling, AIMD feedback, and migration."""
+
+    #: Resend an unanswered RPC after this long.
+    rpc_timeout_ticks: int = units.ms_to_ticks(5)
+    #: Transmissions per node (1 original + retries) before giving up on it.
+    max_attempts_per_node: int = 3
+    #: AIMD additive increase per healthy load report.
+    ai_step: float = 0.05
+    #: AIMD multiplicative decrease factor per overloaded report.
+    md_factor: float = 0.5
+    weight_min: float = 0.05
+    weight_max: float = 4.0
+    #: Headroom below this counts as overloaded even with nothing degraded.
+    overload_headroom: float = 0.05
+    #: Consecutive overloaded reports before migration is considered.
+    overload_epochs: int = 3
+    #: Epochs a migrated task is pinned before it may move again.
+    migration_cooldown_epochs: int = 5
+    #: Migration attempts started per epoch across the whole cluster.
+    max_migrations_per_epoch: int = 1
+    #: Master switch for task migration.
+    migrate: bool = True
+
+
+@dataclass
+class PlacedTask:
+    """Broker-side record of one placed task."""
+
+    name: str
+    definition: TaskDefinition
+    node: str
+    min_rate: float
+    max_rate: float
+    migrations: int = 0
+
+
+@dataclass
+class BrokerStats:
+    submitted: int = 0
+    admitted: int = 0
+    denied: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    withdrawals: int = 0
+    migrations_started: int = 0
+    migrations_completed: int = 0
+    migrations_failed: int = 0
+
+
+@dataclass
+class _PendingRpc:
+    request_id: str
+    kind: str  # "admit" | "remove"
+    purpose: str  # "place" | "migrate" | "withdraw" | "migrate-remove" | "cleanup"
+    task: str
+    node: str
+    deadline: int
+    attempts: int = 1
+    definition: TaskDefinition | None = None
+    #: Remaining candidate nodes after the current one (admit only).
+    candidates: list[str] = field(default_factory=list)
+    #: Source node of an in-flight migration (purpose == "migrate").
+    source: str | None = None
+
+
+class ClusterBroker:
+    """Places tasks on nodes and keeps the placement healthy."""
+
+    def __init__(
+        self,
+        bus: MessageBus,
+        nodes: dict[str, float],
+        policy: PlacementPolicy,
+        config: BrokerConfig | None = None,
+    ) -> None:
+        """``nodes`` maps node name -> schedulable capacity (the initial
+        headroom of an empty node)."""
+        self.bus = bus
+        self.policy = policy
+        self.config = config or BrokerConfig()
+        self.views: dict[str, NodeView] = {
+            name: NodeView(name=name, index=i, capacity=cap, headroom=cap)
+            for i, (name, cap) in enumerate(nodes.items())
+        }
+        self.placements: dict[str, PlacedTask] = {}
+        self.stats = BrokerStats()
+        #: Tasks denied cluster-wide: (task name, last error).
+        self.denials: list[tuple[str, str]] = []
+        self._pending: dict[str, _PendingRpc] = {}
+        #: Admit request ids we gave up on: request_id -> (task, node).
+        self._abandoned: dict[str, tuple[str, str]] = {}
+        self._overload_streak: dict[str, int] = {name: 0 for name in nodes}
+        self._migrating: set[str] = set()
+        self._cooldown_until: dict[str, int] = {}
+        self._epoch = 0
+        self._seq = 0
+
+    # -- public API ---------------------------------------------------------
+
+    def submit(self, task: str, definition: TaskDefinition, now: int) -> None:
+        """Place ``task`` somewhere in the cluster (asynchronously)."""
+        self.stats.submitted += 1
+        order = self.policy.order(self._view_list(), definition.resource_list.minimum.rate)
+        self._start_admit(task, definition, order, "place", None, now)
+
+    def withdraw(self, task: str, now: int) -> None:
+        """Remove a placed task from the cluster (task finished)."""
+        placed = self.placements.pop(task, None)
+        if placed is None:
+            return
+        self.stats.withdrawals += 1
+        self.views[placed.node].headroom += placed.min_rate
+        self._send_remove(task, placed.node, "withdraw", now)
+
+    def node_of(self, task: str) -> str | None:
+        placed = self.placements.get(task)
+        return placed.node if placed else None
+
+    def weights(self) -> dict[str, float]:
+        return {name: view.weight for name, view in sorted(self.views.items())}
+
+    def next_deadline(self) -> int | None:
+        """Earliest pending-RPC timeout (a time source for the sim loop)."""
+        if not self._pending:
+            return None
+        return min(p.deadline for p in self._pending.values())
+
+    @property
+    def idle(self) -> bool:
+        """No RPC in flight (placements have all settled)."""
+        return not self._pending
+
+    # -- RPC plumbing -------------------------------------------------------
+
+    def _request_id(self, kind: str, task: str) -> str:
+        self._seq += 1
+        return f"{kind}:{task}:{self._seq}"
+
+    def _start_admit(
+        self,
+        task: str,
+        definition: TaskDefinition,
+        candidates: list[str],
+        purpose: str,
+        source: str | None,
+        now: int,
+    ) -> None:
+        if not candidates:
+            self._admit_failed(task, purpose, "no candidate nodes", now)
+            return
+        node, rest = candidates[0], candidates[1:]
+        pending = _PendingRpc(
+            request_id=self._request_id("admit", task),
+            kind="admit",
+            purpose=purpose,
+            task=task,
+            node=node,
+            deadline=now + self.config.rpc_timeout_ticks,
+            definition=definition,
+            candidates=rest,
+            source=source,
+        )
+        self._pending[pending.request_id] = pending
+        self._transmit(pending, now)
+
+    def _send_remove(self, task: str, node: str, purpose: str, now: int) -> None:
+        pending = _PendingRpc(
+            request_id=self._request_id("remove", task),
+            kind="remove",
+            purpose=purpose,
+            task=task,
+            node=node,
+            deadline=now + self.config.rpc_timeout_ticks,
+        )
+        self._pending[pending.request_id] = pending
+        self._transmit(pending, now)
+
+    def _transmit(self, pending: _PendingRpc, now: int) -> None:
+        payload: dict = {"request_id": pending.request_id, "task": pending.task}
+        if pending.kind == "admit":
+            payload["definition"] = pending.definition
+        self.bus.send(BROKER, pending.node, pending.kind, payload, now)
+        pending.deadline = now + self.config.rpc_timeout_ticks
+
+    def check_timeouts(self, now: int) -> None:
+        """Retry or fail over every RPC whose reply is overdue."""
+        due = sorted(
+            (p for p in self._pending.values() if p.deadline <= now),
+            key=lambda p: (p.deadline, p.request_id),
+        )
+        for pending in due:
+            if pending.request_id not in self._pending:
+                continue
+            if pending.attempts < self.config.max_attempts_per_node:
+                pending.attempts += 1
+                self.stats.retries += 1
+                self._transmit(pending, now)
+                continue
+            # The node never answered: give up on it.
+            self.stats.timeouts += 1
+            del self._pending[pending.request_id]
+            if pending.kind == "admit":
+                # The node may have admitted silently (reply lost every
+                # time): remember the id for late replies and send a
+                # cancel so a ghost admission is cleaned up.
+                self._abandoned[pending.request_id] = (pending.task, pending.node)
+                self._send_remove(pending.task, pending.node, "cleanup", now)
+                self._advance_admit(pending, now)
+            # An unanswered remove stays withdrawn from our books; the
+            # node's dedup cache absorbs any late duplicate.
+
+    def _advance_admit(self, pending: _PendingRpc, now: int) -> None:
+        """Move an admission attempt to its next candidate node."""
+        assert pending.definition is not None
+        self._start_admit(
+            pending.task,
+            pending.definition,
+            pending.candidates,
+            pending.purpose,
+            pending.source,
+            now,
+        )
+
+    def _admit_failed(self, task: str, purpose: str, error: str, now: int) -> None:
+        if purpose == "migrate":
+            self.stats.migrations_failed += 1
+            self._migrating.discard(task)
+            self._cooldown_until[task] = self._epoch + self.config.migration_cooldown_epochs
+            return
+        self.stats.denied += 1
+        self.denials.append((task, error))
+
+    # -- message handling ---------------------------------------------------
+
+    def on_message(self, envelope: Envelope, now: int) -> None:
+        """Process one delivered envelope addressed to the broker."""
+        if envelope.kind == "load-report":
+            self._on_load_report(envelope.payload)
+            return
+        payload: dict = envelope.payload
+        request_id = payload["request_id"]
+        pending = self._pending.pop(request_id, None)
+        if pending is None:
+            self._on_stale_reply(envelope, now)
+            return
+        if envelope.kind == "admit-reply":
+            if payload["ok"]:
+                self._admit_succeeded(pending, now)
+            else:
+                self._advance_admit(pending, now)
+        # remove-reply: nothing further to do — the books were updated
+        # when the remove was issued.
+
+    def _admit_succeeded(self, pending: _PendingRpc, now: int) -> None:
+        assert pending.definition is not None
+        task, node = pending.task, pending.node
+        resource_list = pending.definition.resource_list
+        if pending.purpose == "migrate":
+            placed = self.placements.get(task)
+            if placed is None:
+                # The task was withdrawn while migrating: undo the
+                # admission we just won.
+                self._send_remove(task, node, "cleanup", now)
+                self._migrating.discard(task)
+                return
+            assert pending.source is not None
+            placed.node = node
+            placed.migrations += 1
+            self.views[node].headroom -= placed.min_rate
+            self.views[pending.source].headroom += placed.min_rate
+            self.stats.migrations_completed += 1
+            self._migrating.discard(task)
+            self._cooldown_until[task] = self._epoch + self.config.migration_cooldown_epochs
+            # Only now — with the new grant guaranteed — does the old
+            # node release the task (never-terminated across nodes).
+            self._send_remove(task, pending.source, "migrate-remove", now)
+            return
+        self.placements[task] = PlacedTask(
+            name=task,
+            definition=pending.definition,
+            node=node,
+            min_rate=resource_list.minimum.rate,
+            max_rate=resource_list.maximum.rate,
+        )
+        self.views[node].headroom -= resource_list.minimum.rate
+        self.stats.admitted += 1
+
+    def _on_stale_reply(self, envelope: Envelope, now: int) -> None:
+        """A reply for an RPC we already gave up on."""
+        payload: dict = envelope.payload
+        abandoned = self._abandoned.pop(payload.get("request_id", ""), None)
+        if abandoned is None:
+            return
+        task, node = abandoned
+        if envelope.kind == "admit-reply" and payload["ok"]:
+            # It did admit after all; the cleanup remove issued at
+            # abandonment (or this one, if that was lost) evicts it.
+            if self.node_of(task) != node:
+                self._send_remove(task, node, "cleanup", now)
+
+    # -- load feedback (AIMD) ----------------------------------------------
+
+    def _on_load_report(self, report: NodeLoadReport) -> None:
+        view = self.views[report.node]
+        view.report = report
+        view.headroom = report.snapshot.headroom
+        overloaded = (
+            report.overloaded
+            or report.snapshot.headroom < self.config.overload_headroom
+        )
+        if overloaded:
+            view.weight = max(
+                self.config.weight_min, view.weight * self.config.md_factor
+            )
+            self._overload_streak[report.node] += 1
+        else:
+            view.weight = min(
+                self.config.weight_max, view.weight + self.config.ai_step
+            )
+            self._overload_streak[report.node] = 0
+
+    # -- migration ----------------------------------------------------------
+
+    def on_epoch(self, now: int) -> None:
+        """Per-epoch control decisions (currently: migration)."""
+        self._epoch += 1
+        if not self.config.migrate:
+            return
+        budget = self.config.max_migrations_per_epoch
+        hot = sorted(
+            (n for n, s in self._overload_streak.items() if s >= self.config.overload_epochs),
+            key=lambda n: (-self._overload_streak[n], n),
+        )
+        for node in hot:
+            if budget <= 0:
+                break
+            if self._try_migrate_from(node, now):
+                budget -= 1
+
+    def _try_migrate_from(self, source: str, now: int) -> bool:
+        victims = sorted(
+            (
+                p
+                for p in self.placements.values()
+                if p.node == source
+                and p.name not in self._migrating
+                and self._cooldown_until.get(p.name, 0) <= self._epoch
+            ),
+            key=lambda p: (-p.min_rate, p.name),
+        )
+        others = [v for v in self._view_list() if v.name != source]
+        for victim in victims:
+            order = self.policy.order(others, victim.min_rate)
+            viable = [n for n in order if self.views[n].headroom >= victim.min_rate]
+            if not viable:
+                continue  # nowhere to go: stay degraded rather than risk denial
+            self.stats.migrations_started += 1
+            self._migrating.add(victim.name)
+            self._start_admit(
+                victim.name, victim.definition, viable, "migrate", source, now
+            )
+            return True
+        return False
+
+    # -- helpers ------------------------------------------------------------
+
+    def _view_list(self) -> list[NodeView]:
+        return [self.views[name] for name in sorted(self.views)]

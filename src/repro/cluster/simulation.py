@@ -1,0 +1,186 @@
+"""Deterministic lockstep simulation of a distributor cluster.
+
+``ClusterSimulation`` owns N independent :class:`ClusterNode` kernels
+(one full Resource Distributor each), the :class:`MessageBus` carrying
+broker traffic, and the :class:`ClusterBroker`.  Nothing shares a
+clock implicitly: the driver advances every node kernel in lockstep to
+the next *global* interesting time —
+
+* the next message delivery on the bus,
+* the next external arrival/departure event,
+* the next load-report epoch,
+* the broker's earliest RPC timeout,
+* the horizon —
+
+then fires events, routes delivered envelopes, retries overdue RPCs,
+and (on epoch boundaries) collects load reports and runs the broker's
+migration pass.  Every queue drains in a deterministic order (nodes by
+name, envelopes by send sequence, events by schedule order), so a
+cluster run is exactly reproducible from its seed: same seed, same
+message drops, same placements, byte-identical metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro import units
+from repro.cluster.broker import BROKER, BrokerConfig, ClusterBroker
+from repro.cluster.node import ClusterNode
+from repro.cluster.placement import make_policy
+from repro.config import MachineConfig, SimConfig
+from repro.errors import SimulationError
+from repro.sim.events import EventQueue
+from repro.sim.messages import MessageBus
+from repro.sim.rng import RngRegistry
+from repro.tasks.base import TaskDefinition
+
+
+class ClusterSimulation:
+    """N Resource Distributor nodes, one broker, one deterministic clock."""
+
+    def __init__(
+        self,
+        node_count: int = 4,
+        seed: int = 0,
+        policy: str = "aimd",
+        horizon: int | None = None,
+        latency_ticks: int | None = None,
+        jitter_ticks: int = 0,
+        drop_rate: float = 0.0,
+        epoch_ticks: int | None = None,
+        machine: MachineConfig | None = None,
+        broker_config: BrokerConfig | None = None,
+        sanitize: bool = True,
+        sanitize_strict: bool = True,
+    ) -> None:
+        if node_count < 1:
+            raise SimulationError(f"node_count must be >= 1, got {node_count}")
+        if node_count > 99:
+            raise SimulationError(f"node_count must be <= 99, got {node_count}")
+        self.seed = seed
+        self.horizon = horizon if horizon is not None else units.sec_to_ticks(1.0)
+        self.epoch_ticks = (
+            epoch_ticks if epoch_ticks is not None else units.ms_to_ticks(50)
+        )
+        if self.epoch_ticks <= 0:
+            raise SimulationError(f"epoch_ticks must be positive, got {self.epoch_ticks}")
+        if latency_ticks is None:
+            latency_ticks = units.us_to_ticks(100.0)
+        self.machine = machine or MachineConfig()
+        self.rngs = RngRegistry(seed)
+        self.bus = MessageBus(
+            self.rngs.stream("cluster.bus"),
+            latency_ticks=latency_ticks,
+            jitter_ticks=jitter_ticks,
+            drop_rate=drop_rate,
+        )
+        # Zero-padded names keep name order == index order past 9 nodes.
+        self.nodes: dict[str, ClusterNode] = {}
+        for i in range(node_count):
+            name = f"node{i:02d}"
+            self.nodes[name] = ClusterNode(
+                name,
+                machine=self.machine,
+                sim=SimConfig(horizon=self.horizon, seed=seed + 7919 * (i + 1)),
+                sanitize=sanitize,
+                sanitize_strict=sanitize_strict,
+            )
+        self.policy = make_policy(policy)
+        self.broker = ClusterBroker(
+            self.bus,
+            {name: self.machine.schedulable_capacity for name in self.nodes},
+            self.policy,
+            broker_config,
+        )
+        self.events = EventQueue()
+        self._now = 0
+        self._next_epoch = self.epoch_ticks
+
+    # -- scripting the run ---------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        return self._now
+
+    def at(self, time: int, action: Callable[[], None], label: str = "") -> None:
+        """Schedule an external cluster-level event."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule an event at {time}, before now ({self._now})"
+            )
+        self.events.schedule(time, action, label)
+
+    def submit_at(self, time: int, task: str, definition: TaskDefinition) -> None:
+        """Schedule a task submission to the broker."""
+        self.at(
+            time,
+            lambda: self.broker.submit(task, definition, self._now),
+            f"submit {task}",
+        )
+
+    def withdraw_at(self, time: int, task: str) -> None:
+        """Schedule a task departure."""
+        self.at(time, lambda: self.broker.withdraw(task, self._now), f"withdraw {task}")
+
+    # -- the lockstep loop ---------------------------------------------------
+
+    def run_for(self, ticks: int) -> None:
+        self.run_until(self._now + ticks)
+
+    def run_until(self, horizon: int) -> None:
+        """Advance the whole cluster to absolute time ``horizon``."""
+        while self._now < horizon:
+            target = self._next_time(horizon)
+            for name in sorted(self.nodes):
+                self.nodes[name].rd.run_until(target)
+            self._now = target
+            self._fire_events()
+            self._route_messages()
+            self.broker.check_timeouts(self._now)
+            while self._next_epoch <= self._now:
+                self._epoch()
+                self._next_epoch += self.epoch_ticks
+
+    def _next_time(self, horizon: int) -> int:
+        """The next global time anything cluster-level can happen."""
+        candidates = [horizon, self._next_epoch]
+        bus_next = self.bus.next_time()
+        if bus_next is not None:
+            candidates.append(bus_next)
+        event_next = self.events.next_time()
+        if event_next is not None:
+            candidates.append(event_next)
+        deadline = self.broker.next_deadline()
+        if deadline is not None:
+            candidates.append(deadline)
+        # Never move backwards, never overshoot the horizon.
+        return min(horizon, max(self._now, min(candidates)))
+
+    def _fire_events(self) -> None:
+        for event in self.events.pop_due(self._now):
+            event.action()
+
+    def _route_messages(self) -> None:
+        """Deliver every envelope due now, including zero-latency replies
+        triggered by those deliveries (drained until a fixed point)."""
+        while True:
+            batch = self.bus.pop_due(self._now)
+            if not batch:
+                return
+            for envelope in batch:
+                if envelope.dst == BROKER:
+                    self.broker.on_message(envelope, self._now)
+                else:
+                    node = self.nodes[envelope.dst]
+                    kind, payload = node.handle(
+                        envelope.kind, envelope.payload, self._now
+                    )
+                    self.bus.send(node.name, BROKER, kind, payload, self._now)
+
+    def _epoch(self) -> None:
+        """Epoch boundary: nodes report load, the broker reacts."""
+        for name in sorted(self.nodes):
+            report = self.nodes[name].load_report(self._now)
+            self.bus.send(name, BROKER, "load-report", report, self._now)
+        self.broker.on_epoch(self._now)

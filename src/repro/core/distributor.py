@@ -128,5 +128,11 @@ class ResourceDistributor:
         result = self.resource_manager.last_result
         return result.grant_set if result is not None else None
 
+    def capacity_snapshot(self):
+        """Capacity/headroom/QOS introspection (see
+        :class:`repro.core.resource_manager.CapacitySnapshot`) — the
+        hook a multi-node coordinator polls for load feedback."""
+        return self.resource_manager.capacity_snapshot()
+
     def thread(self, tid: int) -> SimThread:
         return self.kernel.thread(tid)

@@ -40,6 +40,35 @@ class _AdmittedRecord:
 
 
 @dataclass(frozen=True)
+class CapacitySnapshot:
+    """Point-in-time capacity/headroom accounting for one distributor.
+
+    The narrow introspection surface a coordinator above core (e.g. a
+    cluster broker) needs to reason about placement: how much of the
+    schedulable capacity is committed to admitted minima, how much
+    headroom remains, and how far the current grant set sits below the
+    admitted tasks' maximum entries.  Core computes it; core never
+    learns who reads it.
+    """
+
+    capacity: float
+    committed: float
+    headroom: float
+    bandwidth_capacity: float
+    committed_bandwidth: float
+    admitted: int
+    quiescent: int
+    #: Threads whose current grant entry sits below their maximum entry.
+    degraded: int
+    #: Histogram of current grant entry indices: (entry_index, count),
+    #: sorted by index.  Index 0 is each task's maximum QOS.
+    qos_levels: tuple[tuple[int, int], ...]
+    #: Sum over granted threads of (granted rate / maximum rate) — the
+    #: fraction of requested top QOS the grant set is delivering.
+    qos_fraction: float
+
+
+@dataclass(frozen=True)
 class UsageRecord:
     """Per-thread accounting the Resource Manager reports."""
 
@@ -256,3 +285,38 @@ class ResourceManager:
     def usage_summary(self) -> list["UsageRecord"]:
         """Accounting for the whole admitted population."""
         return [self.usage(tid) for tid in sorted(self._records)]
+
+    def capacity_snapshot(self) -> CapacitySnapshot:
+        """Capacity/headroom introspection for coordinators above core.
+
+        Derived entirely from admission sums and the last grant set, so
+        it costs O(admitted) and never perturbs scheduling state.
+        """
+        histogram: dict[int, int] = {}
+        degraded = 0
+        qos_sum = 0.0
+        granted = 0
+        if self.last_result is not None:
+            for grant in self.last_result.grant_set:
+                record = self._records.get(grant.thread_id)
+                if record is None:
+                    continue
+                granted += 1
+                histogram[grant.entry_index] = histogram.get(grant.entry_index, 0) + 1
+                if grant.entry_index > 0:
+                    degraded += 1
+                maximum = record.definition.resource_list.maximum.rate
+                if maximum > 0:
+                    qos_sum += grant.entry.rate / maximum
+        return CapacitySnapshot(
+            capacity=self.admission.capacity,
+            committed=self.admission.committed,
+            headroom=self.admission.headroom,
+            bandwidth_capacity=self.admission.bandwidth_capacity,
+            committed_bandwidth=self.admission.committed_bandwidth,
+            admitted=len(self._records),
+            quiescent=sum(1 for r in self._records.values() if r.quiescent),
+            degraded=degraded,
+            qos_levels=tuple(sorted(histogram.items())),
+            qos_fraction=qos_sum / granted if granted else 1.0,
+        )

@@ -29,14 +29,21 @@ class LayeringRule(Rule):
     prefixes it must never import:
 
     * ``repro.core`` -> ``repro.viz``, ``repro.cli``,
-      ``repro.metrics.report`` (presentation and reporting sit above
-      the mechanism layer);
+      ``repro.metrics.report``, ``repro.cluster`` (presentation,
+      reporting, and cluster coordination sit above the mechanism
+      layer: a distributor never learns it is being clustered);
     * ``repro.core.scheduler`` -> ``repro.core.policy_box`` (the
       mechanism/policy separation: the Scheduler talks only to the
       Resource Manager);
     * ``repro.sim`` -> ``repro.core``, ``repro.viz``, ``repro.cli``,
-      ``repro.metrics`` (the simulation substrate is the lowest layer);
+      ``repro.metrics``, ``repro.cluster`` (the simulation substrate is
+      the lowest layer; the message bus carries envelopes for the
+      cluster broker without knowing it exists);
     * ``repro.units`` -> any ``repro.`` module (units is ground).
+
+    ``repro.cluster`` itself may import ``repro.core``, ``repro.sim``,
+    and ``repro.metrics`` — it is a coordinator *above* core, not a
+    peer of it.
     """
 
     id = "layering"
@@ -49,8 +56,14 @@ class LayeringRule(Rule):
     #: the most specific source prefix, but all matching rows apply.
     table: tuple[tuple[str, tuple[str, ...]], ...] = (
         ("repro.core.scheduler", ("repro.core.policy_box",)),
-        ("repro.core", ("repro.viz", "repro.cli", "repro.metrics.report")),
-        ("repro.sim", ("repro.core", "repro.viz", "repro.cli", "repro.metrics")),
+        (
+            "repro.core",
+            ("repro.viz", "repro.cli", "repro.metrics.report", "repro.cluster"),
+        ),
+        (
+            "repro.sim",
+            ("repro.core", "repro.viz", "repro.cli", "repro.metrics", "repro.cluster"),
+        ),
         (
             "repro.units",
             (
@@ -63,6 +76,7 @@ class LayeringRule(Rule):
                 "repro.config",
                 "repro.workloads",
                 "repro.baselines",
+                "repro.cluster",
             ),
         ),
     )

@@ -157,6 +157,65 @@ def av_pipeline(seed: int = 61, fixed: bool = True) -> Scenario:
     )
 
 
+def cluster_rack(
+    seed: int = 0,
+    nodes: int = 4,
+    sessions: int | None = None,
+    policy: str = "aimd",
+    drop_rate: float = 0.0,
+    latency_us: float = 100.0,
+    horizon_sec: float = 1.0,
+    migrate: bool = True,
+    sanitize: bool = True,
+):
+    """A rack of set-top boxes behind one admission broker.
+
+    ``sessions`` A/V sessions (an MPEG video decoder plus an AC3 audio
+    decoder each, both with their real multi-level Table 2 resource
+    lists) arrive staggered across the run; a fraction of the early
+    sessions hang up partway through, so capacity churns and the
+    broker's load-feedback view matters.  The default session count
+    (3 per node) pushes the rack into the degraded-QOS regime where
+    grant control, AIMD weighting, and migration all have work to do.
+
+    Returns a ready-to-run
+    :class:`repro.cluster.simulation.ClusterSimulation`.
+    """
+    from repro.cluster import BrokerConfig, ClusterSimulation
+    from repro.tasks.ac3 import Ac3Decoder
+    from repro.tasks.mpeg import MpegDecoder
+
+    if sessions is None:
+        sessions = 3 * nodes
+    horizon = units.sec_to_ticks(horizon_sec)
+    sim = ClusterSimulation(
+        node_count=nodes,
+        seed=seed,
+        policy=policy,
+        horizon=horizon,
+        latency_ticks=units.us_to_ticks(latency_us),
+        jitter_ticks=units.us_to_ticks(latency_us) // 2,
+        drop_rate=drop_rate,
+        machine=_machine("quiet"),
+        broker_config=BrokerConfig(migrate=migrate),
+        sanitize=sanitize,
+    )
+    # Stagger arrivals over the first third of the run; every fourth
+    # session hangs up two thirds of the way through (churn).
+    stagger = max(1, (horizon // 3) // max(1, sessions))
+    for i in range(sessions):
+        arrival = units.ms_to_ticks(1) + i * stagger
+        video = MpegDecoder(f"stb{i:02d}-video")
+        audio = Ac3Decoder(f"stb{i:02d}-audio")
+        sim.submit_at(arrival, video.name, video.definition())
+        sim.submit_at(arrival, audio.name, audio.definition())
+        if i % 4 == 0:
+            depart = (2 * horizon) // 3 + i * stagger // 4
+            sim.withdraw_at(depart, video.name)
+            sim.withdraw_at(depart, audio.name)
+    return sim
+
+
 def dual_stream(seed: int = 0, skew_ppm: float = 2_000.0, horizon_sec: float = 10.0) -> Scenario:
     """Two live MPEG transport streams: the first defines the timebase,
     the second drifts and must phase-lock in software (§5.4)."""

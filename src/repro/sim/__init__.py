@@ -9,6 +9,7 @@ metrics and visualization layers need.
 
 from repro.sim.clock import DriftingClock, SimClock, TCIClock
 from repro.sim.events import EventQueue, ScheduledEvent
+from repro.sim.messages import BusStats, Envelope, MessageBus
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import (
     BlockRecord,
@@ -22,10 +23,13 @@ from repro.sim.trace import (
 
 __all__ = [
     "BlockRecord",
+    "BusStats",
     "ContextSwitchRecord",
     "DeadlineRecord",
     "DriftingClock",
+    "Envelope",
     "EventQueue",
+    "MessageBus",
     "GrantChangeRecord",
     "RngRegistry",
     "RunSegment",

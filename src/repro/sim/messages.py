@@ -1,0 +1,133 @@
+"""Deterministic message layer: seeded latency, drops, and ordering.
+
+A :class:`MessageBus` carries envelopes between named endpoints of a
+simulation (for `repro.cluster`, broker <-> distributor nodes).  It is
+pure transport: delivery times are computed when a message is sent, from
+a configured base latency plus seeded jitter, and each message is
+independently dropped with a configured probability — all drawn from an
+explicit ``random.Random`` stream so a run is exactly reproducible from
+its seed.  Retries, timeouts, and idempotency are the *sender's* job
+(the bus never re-sends); the bus only promises that what is delivered
+arrives in deterministic ``(deliver_at, seq)`` order.
+
+This module sits in the simulation substrate: it knows nothing about
+resource lists, grants, or brokers, and must stay importable without
+``repro.core`` or ``repro.cluster``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True, order=True)
+class Envelope:
+    """One message in flight, ordered by ``(deliver_at, seq)``."""
+
+    deliver_at: int
+    seq: int
+    src: str = field(compare=False)
+    dst: str = field(compare=False)
+    kind: str = field(compare=False)
+    payload: object = field(compare=False)
+    sent_at: int = field(compare=False)
+
+
+@dataclass
+class BusStats:
+    """Counters the bus maintains; read them, never write them."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+
+
+class MessageBus:
+    """Seeded, fault-injectable point-to-point message transport.
+
+    Args:
+        rng: an explicit ``random.Random`` (use a ``RngRegistry`` stream)
+            driving jitter and drop decisions.
+        latency_ticks: base one-way latency applied to every message.
+        jitter_ticks: uniform extra latency in ``[0, jitter_ticks]``,
+            drawn per message.
+        drop_rate: probability in ``[0, 1)`` that a message is silently
+            lost.  With ``0.0`` no drop draw is made, so fault-free runs
+            consume no randomness for drops.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        latency_ticks: int = 0,
+        jitter_ticks: int = 0,
+        drop_rate: float = 0.0,
+    ) -> None:
+        if latency_ticks < 0 or jitter_ticks < 0:
+            raise SimulationError(
+                f"latency/jitter must be non-negative tick counts, got "
+                f"{latency_ticks}/{jitter_ticks}"
+            )
+        if not 0.0 <= drop_rate < 1.0:
+            raise SimulationError(f"drop_rate must be in [0, 1), got {drop_rate}")
+        self._rng = rng
+        self.latency_ticks = int(latency_ticks)
+        self.jitter_ticks = int(jitter_ticks)
+        self.drop_rate = drop_rate
+        self.stats = BusStats()
+        self._heap: list[Envelope] = []
+        self._seq = 0
+        #: Dropped envelopes, for inspection and fault-injection tests.
+        self.dropped: list[Envelope] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def send(self, src: str, dst: str, kind: str, payload: object, now: int) -> Envelope:
+        """Enqueue a message; returns the envelope (even when dropped).
+
+        The delivery time is ``now + latency + jitter``.  A dropped
+        message is recorded in :attr:`dropped` and never delivered — the
+        sender learns of the loss only through its own timeout.
+        """
+        if now < 0:
+            raise SimulationError(f"cannot send a message at negative time {now}")
+        delay = self.latency_ticks
+        if self.jitter_ticks:
+            delay += self._rng.randrange(self.jitter_ticks + 1)
+        envelope = Envelope(
+            deliver_at=now + delay,
+            seq=self._seq,
+            src=src,
+            dst=dst,
+            kind=kind,
+            payload=payload,
+            sent_at=now,
+        )
+        self._seq += 1
+        self.stats.sent += 1
+        if self.drop_rate and self._rng.random() < self.drop_rate:
+            self.stats.dropped += 1
+            self.dropped.append(envelope)
+            return envelope
+        heapq.heappush(self._heap, envelope)
+        return envelope
+
+    def next_time(self) -> int | None:
+        """Delivery time of the earliest in-flight message, or None."""
+        if not self._heap:
+            return None
+        return self._heap[0].deliver_at
+
+    def pop_due(self, now: int) -> list[Envelope]:
+        """Remove and return every envelope with ``deliver_at <= now``,
+        in deterministic ``(deliver_at, seq)`` order."""
+        due: list[Envelope] = []
+        while self._heap and self._heap[0].deliver_at <= now:
+            due.append(heapq.heappop(self._heap))
+        self.stats.delivered += len(due)
+        return due

@@ -108,6 +108,116 @@ class TestBlockingSporadic:
         assert task.state is ThreadState.EXITED
 
 
+class TestReplenishment:
+    def test_budget_replenishes_every_server_period(self, ideal_rd):
+        """With the machine saturated by a greedy real-time task, the
+        server gets exactly its 1 ms budget per 100 ms period: service
+        stops when the budget exhausts and resumes at replenishment."""
+        server = SporadicServer(ideal_rd, greedy=False)
+        admit_simple(ideal_rd, "load", period_ms=10, rate=0.9, greedy=True)
+        task = server.spawn("batch", finite_job(10))
+        progress = []
+        for _ in range(4):
+            ideal_rd.run_for(ms(100))
+            progress.append(ideal_rd.trace.busy_ticks(task.tid))
+        # Each period window delivered some service (replenishment
+        # happened) but never much more than the 1 ms budget (exhaustion
+        # actually stopped the server mid-period).
+        deltas = [b - a for a, b in zip([0] + progress, progress)]
+        assert all(delta >= ms(0.5) for delta in deltas)
+        assert all(delta <= ms(2) for delta in deltas)
+
+    def test_service_pauses_between_exhaustion_and_replenishment(self, ideal_rd):
+        """Once the budget is gone, no assigned segment appears until the
+        next server period opens."""
+        server = SporadicServer(ideal_rd, greedy=False)
+        admit_simple(ideal_rd, "load", period_ms=10, rate=0.9, greedy=True)
+        task = server.spawn("batch", finite_job(10))
+        ideal_rd.run_for(ms(400))
+        assigned = [
+            s
+            for s in ideal_rd.trace.segments
+            if s.thread_id == task.tid and s.kind is SegmentKind.ASSIGNED
+        ]
+        assert assigned
+        gaps = [b.start - a.end for a, b in zip(assigned, assigned[1:])]
+        # At least one exhaustion gap spanning most of the 100 ms period
+        # (the server serves around each boundary it wins, then starves
+        # until its budget replenishes at the next one).
+        assert max(gaps) >= ms(80)
+
+
+class TestFullGrantSet:
+    def test_assignment_still_works_when_admission_is_full(self, ideal_rd):
+        """A grant set using every schedulable cycle leaves the server
+        exactly its admitted minimum — sporadic liveness survives."""
+        server = SporadicServer(ideal_rd, greedy=False)
+        admit_simple(ideal_rd, "a", period_ms=10, rate=0.50, greedy=True)
+        admit_simple(ideal_rd, "b", period_ms=10, rate=0.49, greedy=True)
+        # The machine is now exactly full: server 1% + 50% + 49%.
+        with pytest.raises(Exception):
+            admit_simple(ideal_rd, "c", period_ms=10, rate=0.01)
+        task = server.spawn("batch", finite_job(3))
+        ideal_rd.run_for(ms(400))
+        progress = ideal_rd.trace.busy_ticks(task.tid)
+        # ~1 ms per 100 ms period, no overtime available anywhere.
+        assert ms(2) <= progress <= ms(5)
+        assigned = [
+            s
+            for s in ideal_rd.trace.segments
+            if s.thread_id == task.tid and s.kind is SegmentKind.ASSIGNED
+        ]
+        assert all(s.charged_to == server.thread.tid for s in assigned)
+
+
+class TestQuiescentInteraction:
+    def test_greedy_server_soaks_time_released_by_quiescent_task(self, ideal_rd):
+        """A task going quiescent releases its grant; the greedy server
+        absorbs the freed time, and loses it again on wake (§5.3 + §5.1)."""
+        server = SporadicServer(ideal_rd, greedy=True)
+        heavy = admit_simple(ideal_rd, "heavy", period_ms=10, rate=0.8, greedy=True)
+        batch = server.spawn("batch", finite_job(1000))
+        ideal_rd.at(ms(200), lambda: ideal_rd.enter_quiescent(heavy.tid))
+        ideal_rd.at(ms(400), lambda: ideal_rd.wake(heavy.tid))
+        ideal_rd.run_for(ms(600))
+        # The server's soaked time shows up as ASSIGNED segments under
+        # the sporadic task (charged to the server) plus the server's
+        # own poll slices — count both.
+        segs = ideal_rd.trace.segments_for(server.thread.tid) + [
+            s
+            for s in ideal_rd.trace.segments_for(batch.tid)
+            if s.charged_to == server.thread.tid
+        ]
+
+        def busy(lo, hi):
+            return sum(
+                min(s.end, hi) - max(s.start, lo)
+                for s in segs
+                if s.end > lo and s.start < hi
+            )
+
+        active_before = busy(ms(100), ms(200))
+        quiescent_window = busy(ms(250), ms(350))
+        active_after = busy(ms(450), ms(550))
+        # While the heavy task is quiescent the server owns almost the
+        # whole machine; before and after, at most the ~20% leftover.
+        assert quiescent_window >= ms(80)
+        assert active_before <= ms(35)
+        assert active_after <= ms(35)
+
+    def test_wake_after_quiescence_is_never_denied(self, ideal_rd):
+        server = SporadicServer(ideal_rd, greedy=True)
+        heavy = admit_simple(ideal_rd, "heavy", period_ms=10, rate=0.8, greedy=True)
+        ideal_rd.at(ms(100), lambda: ideal_rd.enter_quiescent(heavy.tid))
+        ideal_rd.at(ms(200), lambda: ideal_rd.wake(heavy.tid))
+        ideal_rd.run_for(ms(400))
+        # The quiescent task's minimum stayed committed: it is granted
+        # again after the wake and misses nothing.
+        assert heavy.state is ThreadState.ACTIVE
+        assert ideal_rd.trace.misses(heavy.tid) == []
+        assert server.thread.state is ThreadState.ACTIVE
+
+
 class TestGreedyServer:
     def test_greedy_server_soaks_unallocated_time(self, ideal_rd):
         server = SporadicServer(ideal_rd, greedy=True)

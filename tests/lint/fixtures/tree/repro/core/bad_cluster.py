@@ -1,0 +1,7 @@
+"""Fixture: core reaching up into the cluster coordinator (layering)."""
+
+from repro.cluster.broker import ClusterBroker
+
+
+def coordinate():
+    return ClusterBroker

@@ -1,0 +1,7 @@
+"""Fixture: the simulation substrate importing the cluster layer."""
+
+import repro.cluster
+
+
+def build():
+    return repro.cluster

@@ -35,6 +35,16 @@ class TestLayering:
         violations = lint("repro/sim/bad_layering.py")
         assert rule_ids(violations) == ["layering", "layering"]
 
+    def test_core_importing_cluster_is_flagged(self):
+        violations = lint("repro/core/bad_cluster.py")
+        assert rule_ids(violations) == ["layering"]
+        assert "repro.cluster" in violations[0].message
+
+    def test_sim_importing_cluster_is_flagged(self):
+        violations = lint("repro/sim/bad_cluster.py")
+        assert rule_ids(violations) == ["layering"]
+        assert "repro.cluster" in violations[0].message
+
     def test_clean_core_module_passes(self):
         assert lint("repro/core/clean.py") == []
 

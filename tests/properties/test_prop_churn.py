@@ -72,7 +72,12 @@ def run_script(seed, steps):
                 live.append(thread)
 
         rd.at(ms(time_ms), do)
-    rd.run_for(ms(time_ms + 100))
+    # Settle long enough for every deferred change to land: an exiting
+    # thread keeps its grant through its current period (up to 100 ms,
+    # the longest generated period) during which the machine can be
+    # transiently over-committed, and only after that boundary does
+    # unallocated time exist to activate a pending first grant.
+    rd.run_for(ms(time_ms + 400))
     return rd, live, quiescent
 
 

@@ -1,0 +1,110 @@
+"""MessageBus: deterministic delivery order, latency, jitter, drops."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.messages import Envelope, MessageBus
+from repro.sim.rng import RngRegistry
+
+
+def bus(**kwargs) -> MessageBus:
+    return MessageBus(RngRegistry(7).stream("bus"), **kwargs)
+
+
+class TestDelivery:
+    def test_zero_latency_delivers_at_send_time(self):
+        b = bus()
+        b.send("a", "b", "ping", None, now=100)
+        assert b.next_time() == 100
+        (env,) = b.pop_due(100)
+        assert (env.src, env.dst, env.kind, env.sent_at) == ("a", "b", "ping", 100)
+
+    def test_latency_delays_delivery(self):
+        b = bus(latency_ticks=50)
+        b.send("a", "b", "ping", None, now=100)
+        assert b.pop_due(149) == []
+        assert len(b) == 1
+        assert [e.deliver_at for e in b.pop_due(150)] == [150]
+
+    def test_fifo_between_same_endpoints(self):
+        """Equal latency means send order is delivery order (seq tiebreak)."""
+        b = bus(latency_ticks=10)
+        for i in range(5):
+            b.send("a", "b", "m", i, now=0)
+        assert [e.payload for e in b.pop_due(10)] == [0, 1, 2, 3, 4]
+
+    def test_pop_due_orders_by_deliver_time_then_seq(self):
+        # Heap order is (deliver_at, seq): the earlier *delivery* pops
+        # first even when it was sent second.
+        b = bus()
+        late = b.send("a", "b", "m", "late", now=30)
+        early = b.send("a", "b", "m", "early", now=10)
+        assert early.seq > late.seq
+        assert [e.payload for e in b.pop_due(30)] == ["early", "late"]
+        b2 = bus(latency_ticks=20)
+        b2.send("a", "b", "m", "x", now=10)  # deliver 30
+        b2.send("c", "d", "m", "y", now=5)  # deliver 25
+        assert [e.payload for e in b2.pop_due(30)] == ["y", "x"]
+
+    def test_jitter_is_seeded_and_bounded(self):
+        deliveries = []
+        for _ in range(2):
+            b = bus(latency_ticks=100, jitter_ticks=20)
+            times = [b.send("a", "b", "m", i, now=0).deliver_at for i in range(50)]
+            deliveries.append(times)
+        assert deliveries[0] == deliveries[1]  # same seed, same jitter
+        assert all(100 <= t <= 120 for t in deliveries[0])
+        assert len(set(deliveries[0])) > 1  # jitter actually varies
+
+
+class TestDrops:
+    def test_drop_rate_zero_never_consumes_randomness(self):
+        b = MessageBus(random.Random(1), latency_ticks=5)
+        state = b._rng.getstate()
+        b.send("a", "b", "m", None, now=0)
+        assert b._rng.getstate() == state
+
+    def test_drops_are_seeded_and_recorded(self):
+        counts = []
+        for _ in range(2):
+            b = bus(drop_rate=0.3)
+            for i in range(200):
+                b.send("a", "b", "m", i, now=0)
+            counts.append([e.payload for e in b.dropped])
+        assert counts[0] == counts[1]
+        assert 20 < len(counts[0]) < 120  # ~60 expected
+        b_stats = bus(drop_rate=0.3)
+        for i in range(50):
+            b_stats.send("a", "b", "m", i, now=0)
+        assert b_stats.stats.sent == 50
+        assert b_stats.stats.dropped == len(b_stats.dropped)
+        assert len(b_stats) == b_stats.stats.sent - b_stats.stats.dropped
+
+    def test_dropped_envelope_is_never_delivered(self):
+        b = bus(drop_rate=0.5)
+        sent = [b.send("a", "b", "m", i, now=0) for i in range(100)]
+        delivered = {e.seq for e in b.pop_due(10**9)}
+        dropped = {e.seq for e in b.dropped}
+        assert delivered | dropped == {e.seq for e in sent}
+        assert delivered & dropped == set()
+
+
+class TestValidation:
+    def test_negative_latency_rejected(self):
+        with pytest.raises(SimulationError):
+            bus(latency_ticks=-1)
+
+    def test_drop_rate_one_rejected(self):
+        with pytest.raises(SimulationError):
+            bus(drop_rate=1.0)
+
+    def test_negative_send_time_rejected(self):
+        with pytest.raises(SimulationError):
+            bus().send("a", "b", "m", None, now=-5)
+
+    def test_envelope_ordering_ignores_payload(self):
+        a = Envelope(deliver_at=5, seq=1, src="x", dst="y", kind="k", payload="zzz", sent_at=0)
+        b = Envelope(deliver_at=5, seq=2, src="a", dst="b", kind="k", payload="aaa", sent_at=0)
+        assert a < b
