@@ -1,0 +1,70 @@
+"""Observability overhead: instrumented-but-unsinked must be near-free.
+
+The tentpole claim for ``repro.obs`` is that instrumentation is off by
+default and costs next to nothing until a sink subscribes: every hook
+site is one attribute read plus a falsy branch when ``obs is None``,
+and one event construction plus a length check when a bus is attached
+with no subscribers.  This bench measures that claim on the Figure 5
+load-shedding scenario (five busy loops — context-switch heavy, so the
+hottest hook dominates) and fails if the enabled-but-no-sink
+configuration costs more than 5 % over the uninstrumented baseline.
+
+Baseline and candidate runs are interleaved so clock drift and thermal
+effects hit both alike; the gate compares medians.
+"""
+
+import statistics
+import time
+
+from repro import units
+from repro.obs.events import ObsBus
+from repro.obs.session import ObsSession
+from repro.scenarios import figure5
+from repro.viz import format_table
+
+HORIZON_MS = 400
+REPEATS = 7
+BUDGET = 0.05  # enabled-but-no-sink may cost at most 5 % over baseline
+
+
+def run_once(obs) -> float:
+    start = time.perf_counter()
+    figure5(seed=11, obs=obs).run_for(units.ms_to_ticks(HORIZON_MS))
+    return time.perf_counter() - start
+
+
+def interleaved_medians() -> dict[str, float]:
+    variants = {
+        "disabled (obs=None)": lambda: None,
+        "no-sink (ObsBus, 0 subscribers)": ObsBus,
+        "full session (collector + metrics)": ObsSession,
+    }
+    for make in variants.values():
+        run_once(make())  # warm-up: imports, allocator, caches
+    samples: dict[str, list[float]] = {name: [] for name in variants}
+    for _ in range(REPEATS):
+        for name, make in variants.items():
+            samples[name].append(run_once(make()))
+    return {name: statistics.median(times) for name, times in samples.items()}
+
+
+def test_obs_disabled_overhead_within_budget(report):
+    medians = interleaved_medians()
+    baseline = medians["disabled (obs=None)"]
+    rows = [
+        [name, f"{median * 1e3:.1f}", f"{median / baseline - 1:+.1%}"]
+        for name, median in medians.items()
+    ]
+    table = format_table(
+        ["configuration", f"median of {REPEATS} runs (ms)", "vs disabled"],
+        rows,
+        title=f"repro.obs overhead — figure5, {HORIZON_MS} ms simulated",
+    )
+    report("obs_overhead", table)
+
+    no_sink = medians["no-sink (ObsBus, 0 subscribers)"]
+    overhead = no_sink / baseline - 1
+    assert overhead <= BUDGET, (
+        f"enabled-but-no-sink costs {overhead:+.1%} over the uninstrumented "
+        f"baseline (budget {BUDGET:.0%}): the hook sites are no longer cheap"
+    )

@@ -11,11 +11,13 @@ metrics JSON — the CI determinism gate runs this script twice and
 compares the bytes.
 
 Run:  python examples/cluster_rack.py [--seed N] [--drop-rate R] [--json]
+      python examples/cluster_rack.py --obs-out /tmp/rack-obs
 """
 
 import argparse
 
 from repro.cluster import cluster_metrics_json, cluster_report
+from repro.obs.session import ObsSession
 from repro.scenarios import cluster_rack
 
 
@@ -28,15 +30,27 @@ def main() -> int:
     parser.add_argument(
         "--json", action="store_true", help="emit canonical metrics JSON only"
     )
+    parser.add_argument(
+        "--obs-out",
+        metavar="DIR",
+        help="write events.jsonl / metrics.prom / trace.perfetto.json to DIR",
+    )
     args = parser.parse_args()
 
+    session = ObsSession() if args.obs_out else None
     sim = cluster_rack(
         seed=args.seed,
         nodes=args.nodes,
         policy=args.policy,
         drop_rate=args.drop_rate,
+        obs=session,
     )
     sim.run_until(sim.horizon)
+
+    if session is not None:
+        for path in session.write(args.obs_out, sim.now).values():
+            print(f"wrote {path}")
+        print(session.summary())
 
     if args.json:
         print(cluster_metrics_json(sim), end="")

@@ -10,6 +10,8 @@
     python -m repro settop              # the section 5.3 scenario
     python -m repro validate --seed 7   # fuzz one run and audit the trace
     python -m repro cluster --nodes 4   # multi-node rack behind a broker
+    python -m repro run --scenario settop --obs-out out/  # observed run
+    python -m repro obs                 # describe the telemetry surface
 
 Every command is deterministic for a given ``--seed``.  Shared options
 (``--seed``, ``--duration-ms``, ``--sanitize``) are defined once on a
@@ -269,6 +271,11 @@ def cmd_cluster(args) -> int:
     from repro.cluster import cluster_metrics_json, cluster_report
     from repro.scenarios import cluster_rack
 
+    session = None
+    if args.obs_out:
+        from repro.obs import ObsSession
+
+        session = ObsSession()
     sim = cluster_rack(
         seed=args.seed,
         nodes=args.nodes,
@@ -278,17 +285,98 @@ def cmd_cluster(args) -> int:
         horizon_sec=max(args.duration_ms, 200.0) / 1000.0,
         migrate=not args.no_migrate,
         sanitize=True,
+        obs=session,
     )
     sim.run_until(sim.horizon)
     if args.format == "json":
         print(cluster_metrics_json(sim), end="")
     else:
         print(cluster_report(sim), end="")
+    if session is not None:
+        _write_obs(session, args.obs_out, sim.now)
     clean = all(
         node.rd.sanitizer is None or node.rd.sanitizer.ok
         for node in sim.nodes.values()
     )
     return 0 if clean else 1
+
+
+def cmd_run(args) -> int:
+    """Run a named scenario with full observability instrumentation."""
+    from repro import scenarios
+    from repro.obs import ObsSession
+
+    session = ObsSession()
+    builders = {
+        "table4": lambda: scenarios.table4_trio(seed=args.seed, obs=session),
+        "figure4": lambda: scenarios.figure4(seed=args.seed, obs=session),
+        "figure5": lambda: scenarios.figure5(seed=args.seed, obs=session),
+        "settop": lambda: scenarios.settop(seed=args.seed, obs=session),
+        "av": lambda: scenarios.av_pipeline(seed=args.seed, obs=session),
+        "dual-stream": lambda: scenarios.dual_stream(seed=args.seed, obs=session),
+    }
+    if args.scenario not in builders:
+        print(f"unknown scenario {args.scenario!r}; pick one of "
+              f"{', '.join(sorted(builders))}")
+        return 2
+    scenario = builders[args.scenario]()
+    rd = scenario.rd
+    if args.sanitize and rd.sanitizer is None:
+        # Non-strict, so a violation is logged as an event instead of
+        # aborting the run.
+        from repro.metrics.sanitizer import InvariantSanitizer
+
+        rd.sanitizer = InvariantSanitizer(rd.kernel, rd.resource_manager, strict=False)
+        rd.kernel.sanitizer = rd.sanitizer
+        rd.sanitizer.obs = session.bus
+    session.add_schedule(
+        "",
+        rd.trace.segments,
+        lambda: {t.tid: t.name for t in rd.kernel.threads.values()},
+    )
+    rd.run_for(_ms(max(args.duration_ms, 200)))
+    print(session.summary())
+    print(f"deadline misses: {len(rd.trace.misses())}")
+    if rd.sanitizer is not None:
+        print(rd.sanitizer.summary())
+    if args.obs_out:
+        _write_obs(session, args.obs_out, rd.now)
+    return 0
+
+
+def _write_obs(session, directory: str, now: int) -> None:
+    paths = session.write(directory, now)
+    for name in sorted(paths):
+        print(f"wrote {paths[name]}")
+
+
+def cmd_obs(args) -> int:
+    """Describe the telemetry surface: events, metrics, artifacts."""
+    import dataclasses
+
+    from repro.obs import EVENT_TYPES, ObsSession
+
+    print("Event taxonomy (events.jsonl, one canonical JSON object per line;")
+    print("'time' is simulated 27 MHz ticks, 'node' is \"\" on a single machine):\n")
+    for tag in sorted(EVENT_TYPES):
+        cls = EVENT_TYPES[tag]
+        doc = (cls.__doc__ or "").strip().splitlines()[0]
+        names = ", ".join(f.name for f in dataclasses.fields(cls))
+        print(f"  {tag:18} {doc}")
+        print(f"  {'':18} fields: {names}")
+    print("\nMetrics (metrics.prom, Prometheus text exposition format):\n")
+    for metric in ObsSession().registry.all_metrics():
+        labels = ",".join(metric.label_names)
+        suffix = f"{{{labels}}}" if labels else ""
+        print(f"  {metric.kind:9} {metric.name}{suffix}")
+        print(f"  {'':9} {metric.help}")
+    print("\nArtifacts written by --obs-out DIR (run/cluster commands):\n")
+    print("  events.jsonl          every event, one JSON object per line")
+    print("  metrics.prom          the metrics registry, Prometheus text format")
+    print("  trace.perfetto.json   scheduler segments + cluster span trees +")
+    print("                        decision markers, for https://ui.perfetto.dev")
+    print("\nAll artifacts are byte-identical across same-seed runs.")
+    return 0
 
 
 def cmd_validate(args) -> int:
@@ -363,7 +451,26 @@ def build_parser() -> argparse.ArgumentParser:
         default="settop",
         help="scenario name (table4, figure4, figure5, settop, av, dual-stream)",
     )
+    p = command("run", cmd_run, "observed run of a named scenario")
+    p.add_argument(
+        "--scenario",
+        default="settop",
+        help="scenario name (table4, figure4, figure5, settop, av, dual-stream)",
+    )
+    p.add_argument(
+        "--obs-out",
+        metavar="DIR",
+        default=None,
+        help="write events.jsonl, metrics.prom, trace.perfetto.json to DIR",
+    )
+    command("obs", cmd_obs, "describe the telemetry surface")
     p = command("cluster", cmd_cluster, "multi-node rack behind a broker")
+    p.add_argument(
+        "--obs-out",
+        metavar="DIR",
+        default=None,
+        help="write events.jsonl, metrics.prom, trace.perfetto.json to DIR",
+    )
     p.add_argument("--nodes", type=int, default=4, help="distributor node count")
     p.add_argument(
         "--policy",

@@ -44,6 +44,7 @@ from dataclasses import dataclass, field
 from repro import units
 from repro.cluster.node import NodeLoadReport
 from repro.cluster.placement import NodeView, PlacementPolicy
+from repro.obs.events import MigrationEvent, RpcEvent
 from repro.sim.messages import Envelope, MessageBus
 from repro.tasks.base import TaskDefinition
 
@@ -115,6 +116,10 @@ class _PendingRpc:
     candidates: list[str] = field(default_factory=list)
     #: Source node of an in-flight migration (purpose == "migrate").
     source: str | None = None
+    #: Telemetry: root span of the whole place/migrate operation and the
+    #: child span of the current node attempt (None when obs is off).
+    op_span: object = None
+    span: object = None
 
 
 class ClusterBroker:
@@ -126,12 +131,20 @@ class ClusterBroker:
         nodes: dict[str, float],
         policy: PlacementPolicy,
         config: BrokerConfig | None = None,
+        obs=None,
     ) -> None:
         """``nodes`` maps node name -> schedulable capacity (the initial
-        headroom of an empty node)."""
+        headroom of an empty node).  ``obs`` is an optional
+        :class:`repro.obs.session.ObsSession`: each place/migrate
+        operation becomes one span tree (root span for the operation, a
+        child span per node attempt) and retries/timeouts/migrations
+        become structured events."""
         self.bus = bus
         self.policy = policy
         self.config = config or BrokerConfig()
+        self.obs = obs
+        self._obs_bus = obs.scoped(BROKER) if obs is not None else None
+        self._spans = obs.spans if obs is not None else None
         self.views: dict[str, NodeView] = {
             name: NodeView(name=name, index=i, capacity=cap, headroom=cap)
             for i, (name, cap) in enumerate(nodes.items())
@@ -155,7 +168,12 @@ class ClusterBroker:
         """Place ``task`` somewhere in the cluster (asynchronously)."""
         self.stats.submitted += 1
         order = self.policy.order(self._view_list(), definition.resource_list.minimum.rate)
-        self._start_admit(task, definition, order, "place", None, now)
+        op_span = None
+        if self._spans is not None:
+            op_span = self._spans.start(
+                f"place:{task}", now, task=task, candidates=len(order)
+            )
+        self._start_admit(task, definition, order, "place", None, now, op_span)
 
     def withdraw(self, task: str, now: int) -> None:
         """Remove a placed task from the cluster (task finished)."""
@@ -198,11 +216,17 @@ class ClusterBroker:
         purpose: str,
         source: str | None,
         now: int,
+        op_span: object = None,
     ) -> None:
         if not candidates:
-            self._admit_failed(task, purpose, "no candidate nodes", now)
+            self._admit_failed(task, purpose, "no candidate nodes", now, op_span, source)
             return
         node, rest = candidates[0], candidates[1:]
+        span = None
+        if self._spans is not None:
+            if op_span is None:
+                op_span = self._spans.start(f"{purpose}:{task}", now, task=task)
+            span = self._spans.start(f"admit:{node}", now, parent=op_span, task=task)
         pending = _PendingRpc(
             request_id=self._request_id("admit", task),
             kind="admit",
@@ -213,6 +237,8 @@ class ClusterBroker:
             definition=definition,
             candidates=rest,
             source=source,
+            op_span=op_span,
+            span=span,
         )
         self._pending[pending.request_id] = pending
         self._transmit(pending, now)
@@ -233,7 +259,8 @@ class ClusterBroker:
         payload: dict = {"request_id": pending.request_id, "task": pending.task}
         if pending.kind == "admit":
             payload["definition"] = pending.definition
-        self.bus.send(BROKER, pending.node, pending.kind, payload, now)
+        trace = pending.span.context() if pending.span is not None else None
+        self.bus.send(BROKER, pending.node, pending.kind, payload, now, trace=trace)
         pending.deadline = now + self.config.rpc_timeout_ticks
 
     def check_timeouts(self, now: int) -> None:
@@ -248,11 +275,15 @@ class ClusterBroker:
             if pending.attempts < self.config.max_attempts_per_node:
                 pending.attempts += 1
                 self.stats.retries += 1
+                self._emit_rpc("retry", pending, now)
                 self._transmit(pending, now)
                 continue
             # The node never answered: give up on it.
             self.stats.timeouts += 1
             del self._pending[pending.request_id]
+            self._emit_rpc("timeout", pending, now)
+            if self._spans is not None and pending.span is not None:
+                self._spans.finish(pending.span, now, status="timeout")
             if pending.kind == "admit":
                 # The node may have admitted silently (reply lost every
                 # time): remember the id for late replies and send a
@@ -273,16 +304,53 @@ class ClusterBroker:
             pending.purpose,
             pending.source,
             now,
+            pending.op_span,
         )
 
-    def _admit_failed(self, task: str, purpose: str, error: str, now: int) -> None:
+    def _admit_failed(
+        self,
+        task: str,
+        purpose: str,
+        error: str,
+        now: int,
+        op_span: object = None,
+        source: str | None = None,
+    ) -> None:
+        if self._spans is not None and op_span is not None:
+            self._spans.finish(op_span, now, status="failed", error=error)
         if purpose == "migrate":
             self.stats.migrations_failed += 1
             self._migrating.discard(task)
             self._cooldown_until[task] = self._epoch + self.config.migration_cooldown_epochs
+            if self._obs_bus is not None:
+                self._obs_bus.emit(
+                    MigrationEvent(
+                        time=now,
+                        task=task,
+                        source=source or "",
+                        outcome="failed",
+                        reason=error,
+                    )
+                )
             return
         self.stats.denied += 1
         self.denials.append((task, error))
+
+    def _emit_rpc(self, action: str, pending: _PendingRpc, now: int) -> None:
+        if self._obs_bus is None:
+            return
+        self._obs_bus.emit(
+            RpcEvent(
+                time=now,
+                action=action,
+                src=BROKER,
+                dst=pending.node,
+                kind=pending.kind,
+                request_id=pending.request_id,
+                attempt=pending.attempts,
+                trace_id=pending.span.trace_id if pending.span is not None else "",
+            )
+        )
 
     # -- message handling ---------------------------------------------------
 
@@ -298,6 +366,10 @@ class ClusterBroker:
             self._on_stale_reply(envelope, now)
             return
         if envelope.kind == "admit-reply":
+            if self._spans is not None and pending.span is not None:
+                self._spans.finish(
+                    pending.span, now, status="ok" if payload["ok"] else "denied"
+                )
             if payload["ok"]:
                 self._admit_succeeded(pending, now)
             else:
@@ -316,6 +388,8 @@ class ClusterBroker:
                 # admission we just won.
                 self._send_remove(task, node, "cleanup", now)
                 self._migrating.discard(task)
+                if self._spans is not None and pending.op_span is not None:
+                    self._spans.finish(pending.op_span, now, status="cancelled")
                 return
             assert pending.source is not None
             placed.node = node
@@ -325,6 +399,18 @@ class ClusterBroker:
             self.stats.migrations_completed += 1
             self._migrating.discard(task)
             self._cooldown_until[task] = self._epoch + self.config.migration_cooldown_epochs
+            if self._obs_bus is not None:
+                self._obs_bus.emit(
+                    MigrationEvent(
+                        time=now,
+                        task=task,
+                        source=pending.source,
+                        target=node,
+                        outcome="completed",
+                    )
+                )
+            if self._spans is not None and pending.op_span is not None:
+                self._spans.finish(pending.op_span, now, status="completed", node=node)
             # Only now — with the new grant guaranteed — does the old
             # node release the task (never-terminated across nodes).
             self._send_remove(task, pending.source, "migrate-remove", now)
@@ -338,6 +424,8 @@ class ClusterBroker:
         )
         self.views[node].headroom -= resource_list.minimum.rate
         self.stats.admitted += 1
+        if self._spans is not None and pending.op_span is not None:
+            self._spans.finish(pending.op_span, now, status="admitted", node=node)
 
     def _on_stale_reply(self, envelope: Envelope, now: int) -> None:
         """A reply for an RPC we already gave up on."""
@@ -410,8 +498,24 @@ class ClusterBroker:
                 continue  # nowhere to go: stay degraded rather than risk denial
             self.stats.migrations_started += 1
             self._migrating.add(victim.name)
+            if self._obs_bus is not None:
+                self._obs_bus.emit(
+                    MigrationEvent(
+                        time=now,
+                        task=victim.name,
+                        source=source,
+                        target=viable[0],
+                        outcome="started",
+                        reason=f"overload streak {self._overload_streak[source]}",
+                    )
+                )
+            op_span = None
+            if self._spans is not None:
+                op_span = self._spans.start(
+                    f"migrate:{victim.name}", now, task=victim.name, source=source
+                )
             self._start_admit(
-                victim.name, victim.definition, viable, "migrate", source, now
+                victim.name, victim.definition, viable, "migrate", source, now, op_span
             )
             return True
         return False

@@ -23,6 +23,7 @@ from repro.config import MachineConfig, SimConfig
 from repro.core.distributor import ResourceDistributor
 from repro.core.resource_manager import CapacitySnapshot
 from repro.errors import AdmissionError
+from repro.obs.events import RpcEvent
 from repro.tasks.base import TaskDefinition
 
 
@@ -56,13 +57,18 @@ class ClusterNode:
         sim: SimConfig | None = None,
         sanitize: bool = True,
         sanitize_strict: bool = True,
+        obs=None,
     ) -> None:
         self.name = name
+        #: Optional telemetry bus (usually an ``ObsSession.scoped(name)``
+        #: view, so this node's events carry its name).
+        self.obs = obs
         self.rd = ResourceDistributor(
             machine=machine,
             sim=sim,
             sanitize=sanitize,
             sanitize_strict=sanitize_strict,
+            obs=obs,
         )
         #: task name -> thread id on this node.
         self.tasks: dict[str, int] = {}
@@ -84,6 +90,19 @@ class ClusterNode:
         request_id = payload["request_id"]
         cached = self._replies.get(request_id)
         if cached is not None:
+            if self.obs is not None:
+                # A broker retry hit the idempotency cache: the reply is
+                # re-served without repeating the side effect.
+                self.obs.emit(
+                    RpcEvent(
+                        time=now,
+                        action="dedup",
+                        src=self.name,
+                        dst="broker",
+                        kind=kind,
+                        request_id=request_id,
+                    )
+                )
             return cached["kind"], cached["payload"]
         if kind == "admit":
             reply = self._admit(payload)

@@ -53,7 +53,12 @@ class ClusterSimulation:
         broker_config: BrokerConfig | None = None,
         sanitize: bool = True,
         sanitize_strict: bool = True,
+        obs=None,
     ) -> None:
+        """``obs`` is an optional :class:`repro.obs.session.ObsSession`:
+        the bus, every node (scoped to its name), and the broker all
+        report into it, and each node's scheduler trace is registered so
+        the Perfetto export shows per-node scheduling tracks."""
         if node_count < 1:
             raise SimulationError(f"node_count must be >= 1, got {node_count}")
         if node_count > 99:
@@ -69,12 +74,15 @@ class ClusterSimulation:
             latency_ticks = units.us_to_ticks(100.0)
         self.machine = machine or MachineConfig()
         self.rngs = RngRegistry(seed)
+        self.obs = obs
         self.bus = MessageBus(
             self.rngs.stream("cluster.bus"),
             latency_ticks=latency_ticks,
             jitter_ticks=jitter_ticks,
             drop_rate=drop_rate,
         )
+        if obs is not None:
+            self.bus.obs = obs.bus
         # Zero-padded names keep name order == index order past 9 nodes.
         self.nodes: dict[str, ClusterNode] = {}
         for i in range(node_count):
@@ -85,13 +93,24 @@ class ClusterSimulation:
                 sim=SimConfig(horizon=self.horizon, seed=seed + 7919 * (i + 1)),
                 sanitize=sanitize,
                 sanitize_strict=sanitize_strict,
+                obs=obs.scoped(name) if obs is not None else None,
             )
+            if obs is not None:
+                kernel = self.nodes[name].rd.kernel
+                obs.add_schedule(
+                    name,
+                    kernel.trace.segments,
+                    lambda k=kernel: {
+                        t.tid: t.name for t in k.threads.values()
+                    },
+                )
         self.policy = make_policy(policy)
         self.broker = ClusterBroker(
             self.bus,
             {name: self.machine.schedulable_capacity for name in self.nodes},
             self.policy,
             broker_config,
+            obs=obs,
         )
         self.events = EventQueue()
         self._now = 0
@@ -176,7 +195,12 @@ class ClusterSimulation:
                     kind, payload = node.handle(
                         envelope.kind, envelope.payload, self._now
                     )
-                    self.bus.send(node.name, BROKER, kind, payload, self._now)
+                    # Replies echo the request's trace context, so the
+                    # round trip lands in the originating span tree.
+                    self.bus.send(
+                        node.name, BROKER, kind, payload, self._now,
+                        trace=envelope.trace,
+                    )
 
     def _epoch(self) -> None:
         """Epoch boundary: nodes report load, the broker reacts."""

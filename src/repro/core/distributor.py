@@ -35,7 +35,12 @@ class ResourceDistributor:
         sim: SimConfig | None = None,
         sanitize: bool = False,
         sanitize_strict: bool = True,
+        obs=None,
     ) -> None:
+        """``obs`` is an optional telemetry bus — an
+        :class:`repro.obs.events.ObsBus`, a node-scoped view of one, or
+        an :class:`repro.obs.session.ObsSession` (its bus is used).
+        None (the default) leaves every hook site uninstrumented."""
         self.machine = machine or MachineConfig()
         self.sim = sim or SimConfig()
         self.kernel = Kernel(self.machine, self.sim)
@@ -45,6 +50,12 @@ class ResourceDistributor:
             self.kernel, self.scheduler, self.policy_box
         )
         self.kernel.crash_handler = self._on_crash
+        self.obs = getattr(obs, "bus", obs)
+        if self.obs is not None:
+            self.kernel.obs = self.obs
+            self.resource_manager.obs = self.obs
+            self.policy_box.obs = self.obs
+            self.policy_box.clock = lambda: self.kernel.now
         self.sanitizer = None
         if sanitize:
             # Imported lazily: repro.metrics.report (pulled in by the
@@ -55,6 +66,7 @@ class ResourceDistributor:
                 self.kernel, self.resource_manager, strict=sanitize_strict
             )
             self.kernel.sanitizer = self.sanitizer
+            self.sanitizer.obs = self.obs
 
     def _on_crash(self, thread: SimThread, exc: Exception) -> None:
         """A task raised: release its admission so its capacity flows

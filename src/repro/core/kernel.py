@@ -27,6 +27,12 @@ from repro.errors import SchedulerError, SimulationError, TaskError
 from repro.machine.cpu import ContextSwitchModel
 from repro.machine.exclusive import ExclusiveUnitRegistry
 from repro.machine.interrupts import InterruptReserve
+from repro.obs.events import (
+    GraceEvent,
+    GrantChangeEvent,
+    PeriodCloseEvent,
+    SwitchEvent,
+)
 from repro.sim.clock import SimClock
 from repro.sim.events import EventQueue
 from repro.sim.rng import RngRegistry
@@ -100,6 +106,10 @@ class Kernel:
         #: set, the dispatch loop reports every scheduling decision and
         #: period close to it.
         self.sanitizer = None
+        #: Optional telemetry bus (:class:`repro.obs.events.ObsBus` or a
+        #: node-scoped view); None means uninstrumented — every hook
+        #: site costs one attribute read and a falsy branch.
+        self.obs = None
 
     # -- properties ----------------------------------------------------------
 
@@ -208,7 +218,7 @@ class Kernel:
             grant=grant,
             period_start=now,
         )
-        self.trace.record_grant_change(
+        self._record_grant_change(
             GrantChangeRecord(
                 time=now,
                 thread_id=thread.tid,
@@ -220,6 +230,20 @@ class Kernel:
         )
         self._notify_period_open(thread)
         self._reschedule = True
+
+    def _record_grant_change(self, record: GrantChangeRecord) -> None:
+        self.trace.record_grant_change(record)
+        if self.obs is not None:
+            self.obs.emit(
+                GrantChangeEvent(
+                    time=record.time,
+                    thread_id=record.thread_id,
+                    period=record.period,
+                    cpu_ticks=record.cpu_ticks,
+                    entry_index=record.entry_index,
+                    reason=record.reason,
+                )
+            )
 
     def _notify_period_open(self, thread: SimThread) -> None:
         """Give the policy a chance to act at a period boundary (used by
@@ -323,6 +347,16 @@ class Kernel:
                     cost_ticks=cost,
                 )
             )
+            if self.obs is not None:
+                self.obs.emit(
+                    SwitchEvent(
+                        time=self.now,
+                        from_thread=prev.tid,
+                        to_thread=thread.tid,
+                        kind=kind.value,
+                        cost_ticks=cost,
+                    )
+                )
         self._current = thread
         self._pending_switch_kind = SwitchKind.VOLUNTARY
 
@@ -377,6 +411,15 @@ class Kernel:
                 # The task's next preemption check falls inside the grace
                 # period; it yields voluntarily once it notices.
                 self._execute(thread, self.now + notice)
+                if self.obs is not None:
+                    self.obs.emit(
+                        GraceEvent(
+                            time=self.now,
+                            thread_id=thread.tid,
+                            honoured=True,
+                            grace_ticks=grace,
+                        )
+                    )
                 return SwitchKind.VOLUNTARY
             # The task cannot notice in time: it burns the whole grace
             # period and is involuntarily preempted, with an exception
@@ -386,6 +429,15 @@ class Kernel:
             thread.ctx.missed_grace = True
             if definition.exception_callback is not None:
                 definition.exception_callback(self.now)
+            if self.obs is not None:
+                self.obs.emit(
+                    GraceEvent(
+                        time=self.now,
+                        thread_id=thread.tid,
+                        honoured=False,
+                        grace_ticks=grace,
+                    )
+                )
             return SwitchKind.INVOLUNTARY
         finally:
             thread.grace_pending = False
@@ -672,6 +724,20 @@ class Kernel:
             voided=voided,
         )
         self.trace.record_deadline(record)
+        if self.obs is not None and (missed or voided):
+            # Healthy periods stay out of the stream: the telemetry
+            # records exceptions to the guarantee, not its routine.
+            self.obs.emit(
+                PeriodCloseEvent(
+                    time=thread.deadline,
+                    thread_id=thread.tid,
+                    period_index=thread.period_index,
+                    granted=grant.cpu_ticks,
+                    delivered=delivered,
+                    missed=missed,
+                    voided=voided,
+                )
+            )
         if self.sanitizer is not None:
             self.sanitizer.on_period_close(thread, record)
         thread.periods_completed += 1
@@ -707,7 +773,7 @@ class Kernel:
 
         changed = new_grant.entry is not old_grant.entry
         if changed:
-            self.trace.record_grant_change(
+            self._record_grant_change(
                 GrantChangeRecord(
                     time=start,
                     thread_id=thread.tid,
@@ -777,7 +843,7 @@ class Kernel:
         if thread.state is not ThreadState.BLOCKED or new_state is ThreadState.EXITED:
             thread.state = new_state
         self.exclusive.release_thread(thread.tid)
-        self.trace.record_grant_change(
+        self._record_grant_change(
             GrantChangeRecord(
                 time=self.now,
                 thread_id=thread.tid,

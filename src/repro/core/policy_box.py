@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import PolicyError
+from repro.obs.events import PolicyResolutionEvent
 
 
 @dataclass(frozen=True)
@@ -67,6 +68,11 @@ class PolicyBox:
         self._overrides: dict[frozenset[int], dict[int, float]] = {}
         self._lookups = 0
         self._inventions = 0
+        #: Optional telemetry bus, plus the clock it stamps events with
+        #: (the box itself has no notion of simulated time; the
+        #: distributor wires ``clock`` to the kernel's).
+        self.obs = None
+        self.clock = lambda: 0
 
     # -- task identity ---------------------------------------------------
 
@@ -142,8 +148,21 @@ class PolicyBox:
         if rankings is not None:
             shares = {pid: pct / 100.0 for pid, pct in rankings.items()}
             preference = max(shares, key=lambda pid: (shares[pid], -pid))
+            self._emit_resolution(key, invented=False)
             return Policy(shares=shares, exclusive_preference=preference)
+        self._emit_resolution(key, invented=True)
         return self._invent(key)
+
+    def _emit_resolution(self, key: frozenset[int], invented: bool) -> None:
+        if self.obs is not None:
+            self.obs.emit(
+                PolicyResolutionEvent(
+                    time=self.clock(),
+                    task_count=len(key),
+                    invented=invented,
+                    lookups=self._lookups,
+                )
+            )
 
     def _invent(self, key: frozenset[int]) -> Policy:
         self._inventions += 1

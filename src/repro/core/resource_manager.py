@@ -29,6 +29,7 @@ from repro.core.policy_box import PolicyBox
 from repro.core.scheduler import RDScheduler
 from repro.core.threads import SimThread, ThreadState
 from repro.errors import AdmissionError, ResourceListError
+from repro.obs.events import AdmissionEvent, GrantRecomputeEvent
 from repro.tasks.base import TaskDefinition
 
 
@@ -106,6 +107,8 @@ class ResourceManager:
         self.grant_control = GrantController(capacity, policy_box, bandwidth)
         self._records: dict[int, _AdmittedRecord] = {}
         self.last_result: GrantSetResult | None = None
+        #: Optional telemetry bus; set alongside :attr:`Kernel.obs`.
+        self.obs = None
 
     # -- admission ---------------------------------------------------------
 
@@ -121,7 +124,7 @@ class ResourceManager:
         self._validate_definition(definition)
         minimum = definition.resource_list.minimum
         if not self.admission.can_admit(minimum.rate, minimum.bandwidth):
-            raise AdmissionError(
+            error = (
                 f"cannot admit {definition.name!r}: minimum "
                 f"({minimum.rate:.1%} CPU, {minimum.bandwidth:.1%} bandwidth) "
                 f"does not fit beside the committed "
@@ -130,6 +133,19 @@ class ResourceManager:
                 f"(capacities {self.admission.capacity:.1%} / "
                 f"{self.admission.bandwidth_capacity:.1%})"
             )
+            if self.obs is not None:
+                self.obs.emit(
+                    AdmissionEvent(
+                        time=self.kernel.now,
+                        task=definition.name,
+                        outcome="denied",
+                        min_rate=minimum.rate,
+                        committed=self.admission.committed,
+                        headroom=self.admission.headroom,
+                        error=error,
+                    )
+                )
+            raise AdmissionError(error)
         policy_id = self.policy_box.register_task(definition.name)
         thread = self.kernel.create_periodic(definition, policy_id)
         self.admission.admit(thread.tid, minimum.rate, minimum.bandwidth)
@@ -138,6 +154,18 @@ class ResourceManager:
             definition=definition,
             quiescent=definition.start_quiescent,
         )
+        if self.obs is not None:
+            self.obs.emit(
+                AdmissionEvent(
+                    time=self.kernel.now,
+                    task=definition.name,
+                    outcome="accepted",
+                    thread_id=thread.tid,
+                    min_rate=minimum.rate,
+                    committed=self.admission.committed,
+                    headroom=self.admission.headroom,
+                )
+            )
         self._recompute()
         return thread
 
@@ -241,6 +269,20 @@ class ResourceManager:
         if self.kernel.sanitizer is not None:
             self.kernel.sanitizer.on_grant_set(result)
         self.last_result = result
+        if self.obs is not None:
+            degraded = sum(1 for g in result.grant_set if g.entry_index > 0)
+            self.obs.emit(
+                GrantRecomputeEvent(
+                    time=self.kernel.now,
+                    requests=len(requests),
+                    granted=len(result.grant_set),
+                    degraded=degraded,
+                    passes=result.passes,
+                    minimum_fallback=result.minimum_fallback,
+                    qos_fraction=self.capacity_snapshot().qos_fraction,
+                    headroom=self.admission.headroom,
+                )
+            )
         assignment: dict[str, int | None] = {
             unit: None for unit in self.kernel.exclusive.unit_names
         }

@@ -34,6 +34,7 @@ from repro.core.grant_control import GrantSetResult
 from repro.core.grants import Grant
 from repro.core.kernel import Kernel
 from repro.core.threads import SimThread, ThreadState
+from repro.obs.events import ActivationEvent
 
 
 def _edf_key(thread: SimThread) -> tuple[int, int]:
@@ -100,6 +101,9 @@ class RDScheduler:
         """The unallocated-time callback: start new grants."""
         self.activation_count += 1
         pending, self._pending_activation = self._pending_activation, {}
+        obs = self.kernel.obs
+        if obs is not None:
+            obs.emit(ActivationEvent(time=now, pending=len(pending)))
         for tid, grant in pending.items():
             thread = self.kernel.threads.get(tid)
             if thread is None or thread.state is ThreadState.EXITED:

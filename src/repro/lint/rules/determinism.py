@@ -64,18 +64,21 @@ GLOBAL_RANDOM_FUNCS = frozenset(
 class WallClockRule(Rule):
     """Forbid wall-clock reads inside the simulation core.
 
-    All time in ``repro.core`` and ``repro.sim`` is the simulated 27 MHz
-    tick clock (``kernel.now`` / ``SimClock``).  ``time.time()``,
-    ``time.monotonic()`` and ``datetime.now()`` read the host's clock,
-    which differs between runs and machines.
+    All time in ``repro.core``, ``repro.sim``, and ``repro.obs`` is the
+    simulated 27 MHz tick clock (``kernel.now`` / ``SimClock``).
+    ``time.time()``, ``time.monotonic()`` and ``datetime.now()`` read
+    the host's clock, which differs between runs and machines.  The
+    telemetry layer is in scope because its artifacts must be
+    byte-identical across same-seed runs — a wall-clock timestamp in an
+    event record would break the determinism gate.
     """
 
     id = "wallclock"
     rationale = (
-        "sim/core must use simulated ticks, never the host wall clock "
-        "(reproducibility from the seed)"
+        "sim/core/obs must use simulated ticks, never the host wall "
+        "clock (reproducibility from the seed)"
     )
-    scope_prefixes = ("repro.core", "repro.sim")
+    scope_prefixes = ("repro.core", "repro.sim", "repro.obs")
 
     def check(self, module: ModuleInfo) -> Iterator[LintViolation]:
         for node in ast.walk(module.tree):

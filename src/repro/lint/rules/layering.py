@@ -39,11 +39,16 @@ class LayeringRule(Rule):
       ``repro.metrics``, ``repro.cluster`` (the simulation substrate is
       the lowest layer; the message bus carries envelopes for the
       cluster broker without knowing it exists);
+    * ``repro.obs`` -> ``repro.core``, ``repro.sim``, ``repro.cluster``,
+      ``repro.viz``, ``repro.cli``, ``repro.metrics`` (telemetry sits
+      at the bottom beside ``repro.sim``: core, sim, and cluster may
+      emit into it, but it may depend on nothing above ``repro.units`` /
+      ``repro.errors`` — the mirror of core never importing cluster);
     * ``repro.units`` -> any ``repro.`` module (units is ground).
 
     ``repro.cluster`` itself may import ``repro.core``, ``repro.sim``,
-    and ``repro.metrics`` — it is a coordinator *above* core, not a
-    peer of it.
+    ``repro.obs``, and ``repro.metrics`` — it is a coordinator *above*
+    core, not a peer of it.
     """
 
     id = "layering"
@@ -63,6 +68,20 @@ class LayeringRule(Rule):
         (
             "repro.sim",
             ("repro.core", "repro.viz", "repro.cli", "repro.metrics", "repro.cluster"),
+        ),
+        (
+            "repro.obs",
+            (
+                "repro.core",
+                "repro.sim",
+                "repro.cluster",
+                "repro.viz",
+                "repro.cli",
+                "repro.metrics",
+                "repro.tasks",
+                "repro.workloads",
+                "repro.baselines",
+            ),
         ),
         (
             "repro.units",

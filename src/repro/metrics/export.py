@@ -18,7 +18,9 @@ from repro.sim.trace import TraceRecorder
 def segments_to_csv(trace: TraceRecorder) -> str:
     """Run segments as CSV: thread, start, end, kind, period, charged_to."""
     out = io.StringIO()
-    writer = csv.writer(out)
+    # csv defaults to "\r\n" line endings; exports must be byte-identical
+    # across platforms, so pin plain "\n".
+    writer = csv.writer(out, lineterminator="\n")
     writer.writerow(["thread_id", "start", "end", "kind", "period_index", "charged_to"])
     for seg in trace.segments:
         writer.writerow(
@@ -37,7 +39,7 @@ def segments_to_csv(trace: TraceRecorder) -> str:
 def deadlines_to_csv(trace: TraceRecorder) -> str:
     """Per-period outcomes as CSV."""
     out = io.StringIO()
-    writer = csv.writer(out)
+    writer = csv.writer(out, lineterminator="\n")
     writer.writerow(
         [
             "thread_id",

@@ -34,6 +34,7 @@ from typing import TYPE_CHECKING
 
 from repro.errors import SanitizerViolation
 from repro.metrics.validate import ValidationReport, Violation
+from repro.obs.events import ViolationEvent
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.grant_control import GrantSetResult
@@ -74,6 +75,10 @@ class InvariantSanitizer:
         self.grant_sets_checked = 0
         #: Number of period closes audited.
         self.periods_checked = 0
+        #: Optional telemetry bus; violations become structured
+        #: ``ViolationEvent`` records *before* strict mode raises, so a
+        #: ``--sanitize --obs-out`` run leaves a machine-readable log.
+        self.obs = None
 
     @property
     def ok(self) -> bool:
@@ -84,6 +89,10 @@ class InvariantSanitizer:
     def _fail(self, rule: str, time: int, detail: str) -> None:
         violation = Violation(rule=rule, time=time, detail=detail)
         self.report.violations.append(violation)
+        if self.obs is not None:
+            self.obs.emit(
+                ViolationEvent(time=time, rule=rule, detail=detail, severity="error")
+            )
         if self.strict:
             raise SanitizerViolation(f"{violation}\n{self._trace_excerpt()}")
 

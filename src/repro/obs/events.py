@@ -1,0 +1,241 @@
+"""Typed telemetry events and the bus that carries them.
+
+Every event is a frozen dataclass with a stable ``type`` tag, a
+``time`` in simulated ticks (never wall-clock), and a ``node`` field
+("" for a single-machine run; the node name in a cluster).  Events are
+plain data — no references to live scheduler objects — so a collected
+event stream serializes deterministically and survives the run.
+
+The :class:`ObsBus` is deliberately tiny: ``emit`` hands the event to
+each subscriber in subscription order.  With no subscribers an emit is
+a single length check, so an instrumented-but-unsinked system stays
+within the benchmark's overhead budget; with no bus attached at all
+(``obs is None`` at the hook site) the cost is one attribute read.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class ObsEvent:
+    """Base record: what happened, when (sim ticks), and where."""
+
+    time: int
+    #: Node name in a cluster run; "" on a single machine.
+    node: str = field(default="", kw_only=True)
+
+    #: Stable wire tag; subclasses override.
+    type = "event"
+
+
+@dataclass(frozen=True)
+class AdmissionEvent(ObsEvent):
+    """The Resource Manager decided an admission request."""
+
+    task: str = ""
+    outcome: str = "accepted"  # accepted | denied
+    thread_id: int = -1
+    min_rate: float = 0.0
+    committed: float = 0.0
+    headroom: float = 0.0
+    error: str = ""
+
+    type = "admission"
+
+
+@dataclass(frozen=True)
+class PolicyResolutionEvent(ObsEvent):
+    """The Policy Box resolved (or invented) a ranking."""
+
+    task_count: int = 0
+    invented: bool = False
+    #: Cumulative lookups so far, so a stream shows invocation rate.
+    lookups: int = 0
+
+    type = "policy-resolution"
+
+
+@dataclass(frozen=True)
+class GrantRecomputeEvent(ObsEvent):
+    """Grant control produced a new grant set."""
+
+    requests: int = 0
+    granted: int = 0
+    degraded: int = 0
+    passes: int = 0
+    minimum_fallback: bool = False
+    qos_fraction: float = 1.0
+    headroom: float = 0.0
+    #: Ticks the policy-box consultation was "charged" in simulated
+    #: time: recomputation runs in the requesting application's context
+    #: at one instant, so this is the recompute's span in sim ticks
+    #: (zero unless a model charges for it).
+    latency_ticks: int = 0
+
+    type = "grant-recompute"
+
+
+@dataclass(frozen=True)
+class GrantChangeEvent(ObsEvent):
+    """One thread's grant changed (first grant, change, or removal)."""
+
+    thread_id: int = -1
+    period: int = 0
+    cpu_ticks: int = 0
+    entry_index: int = -1
+    reason: str = ""
+
+    type = "grant-change"
+
+
+@dataclass(frozen=True)
+class SwitchEvent(ObsEvent):
+    """A context switch, with its kind and sampled cost."""
+
+    from_thread: int = -1
+    to_thread: int = -1
+    kind: str = "voluntary"  # SwitchKind.value
+    cost_ticks: int = 0
+
+    type = "context-switch"
+
+
+@dataclass(frozen=True)
+class GraceEvent(ObsEvent):
+    """A controlled-preemption grace period was granted (section 5.6)."""
+
+    thread_id: int = -1
+    honoured: bool = True  # yielded in time vs. burned the grace period
+    grace_ticks: int = 0
+
+    type = "grace-period"
+
+
+@dataclass(frozen=True)
+class PeriodCloseEvent(ObsEvent):
+    """A thread's period closed; emitted only for misses/voids so the
+    stream records exceptions, not every healthy period."""
+
+    thread_id: int = -1
+    period_index: int = -1
+    granted: int = 0
+    delivered: int = 0
+    missed: bool = False
+    voided: bool = False
+
+    type = "period-close"
+
+
+@dataclass(frozen=True)
+class ActivationEvent(ObsEvent):
+    """The Scheduler's unallocated-time callback delivered new grants."""
+
+    pending: int = 0
+
+    type = "activation"
+
+
+@dataclass(frozen=True)
+class RpcEvent(ObsEvent):
+    """One hop of broker <-> node traffic on the MessageBus.
+
+    ``action`` is ``send``/``receive``/``drop`` at the bus,
+    ``retry``/``timeout`` at the sender's RPC layer, and ``dedup`` at a
+    receiver whose idempotency cache absorbed a duplicate request.
+    ``request_id`` names the logical RPC so retries correlate;
+    ``trace_id`` ties the hop into its admission/migration span tree.
+    """
+
+    action: str = "send"
+    src: str = ""
+    dst: str = ""
+    kind: str = ""
+    request_id: str = ""
+    attempt: int = 0
+    trace_id: str = ""
+
+    type = "rpc"
+
+
+@dataclass(frozen=True)
+class MigrationEvent(ObsEvent):
+    """The broker moved (or failed to move) a task between nodes."""
+
+    task: str = ""
+    source: str = ""
+    target: str = ""
+    outcome: str = "started"  # started | completed | failed
+    reason: str = ""
+
+    type = "migration"
+
+
+@dataclass(frozen=True)
+class ViolationEvent(ObsEvent):
+    """The runtime invariant sanitizer detected a broken guarantee."""
+
+    rule: str = ""
+    detail: str = ""
+    severity: str = "error"
+
+    type = "violation"
+
+
+#: Wire tag -> event class, for documentation and decoding.
+EVENT_TYPES: dict[str, type[ObsEvent]] = {
+    cls.type: cls
+    for cls in (
+        ActivationEvent,
+        AdmissionEvent,
+        PolicyResolutionEvent,
+        GrantRecomputeEvent,
+        GrantChangeEvent,
+        SwitchEvent,
+        GraceEvent,
+        PeriodCloseEvent,
+        RpcEvent,
+        MigrationEvent,
+        ViolationEvent,
+    )
+}
+
+
+class ObsBus:
+    """Fan-out of events to subscribers, in subscription order."""
+
+    def __init__(self) -> None:
+        self._subscribers: list[Callable[[ObsEvent], None]] = []
+
+    def subscribe(self, sink: Callable[[ObsEvent], None]) -> None:
+        self._subscribers.append(sink)
+
+    def emit(self, event: ObsEvent) -> None:
+        if not self._subscribers:
+            return
+        for sink in self._subscribers:
+            sink(event)
+
+
+class ScopedBus:
+    """A bus view that stamps every event with a node name.
+
+    A cluster run shares one :class:`ObsBus` across all nodes; each
+    node's distributor holds a scope so its events say where they
+    happened without core ever learning it is clustered.
+    """
+
+    def __init__(self, bus: ObsBus, node: str) -> None:
+        self._bus = bus
+        self.node = node
+
+    def subscribe(self, sink: Callable[[ObsEvent], None]) -> None:
+        self._bus.subscribe(sink)
+
+    def emit(self, event: ObsEvent) -> None:
+        if not event.node:
+            event = dataclasses.replace(event, node=self.node)
+        self._bus.emit(event)

@@ -1,0 +1,52 @@
+"""Deterministic structured logging: events -> JSON lines.
+
+One event per line, keys sorted, no floats formatted with locale or
+platform variance — ``json.dumps`` with ``sort_keys=True`` over plain
+dataclass fields.  Two runs with the same seed therefore produce
+byte-identical ``events.jsonl`` files, which the CI determinism gate
+diffs directly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Iterable
+
+from repro.obs.events import ObsEvent
+
+
+def event_to_dict(event: ObsEvent) -> dict:
+    """Plain-data view of an event, with its wire ``type`` tag."""
+    payload = dataclasses.asdict(event)
+    payload["type"] = event.type
+    return payload
+
+
+def event_to_json(event: ObsEvent) -> str:
+    return json.dumps(event_to_dict(event), sort_keys=True, separators=(",", ":"))
+
+
+def events_to_jsonl(events: Iterable[ObsEvent]) -> str:
+    """The whole stream as JSONL (one canonical JSON object per line)."""
+    lines = [event_to_json(event) for event in events]
+    return "".join(line + "\n" for line in lines)
+
+
+class EventCollector:
+    """The default sink: append every event to an in-memory list."""
+
+    def __init__(self) -> None:
+        self.events: list[ObsEvent] = []
+
+    def __call__(self, event: ObsEvent) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def of_type(self, type_tag: str) -> list[ObsEvent]:
+        return [e for e in self.events if e.type == type_tag]
+
+    def to_jsonl(self) -> str:
+        return events_to_jsonl(self.events)

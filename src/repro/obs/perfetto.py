@@ -1,0 +1,187 @@
+"""Chrome trace-event / Perfetto JSON export.
+
+Renders three layers of one run on a single timeline:
+
+* **scheduler run segments** — one process ("track group") per node,
+  one thread row per simulated thread, a complete event ("ph": "X")
+  per contiguous run segment, categorized by segment kind
+  (granted/overtime/assigned/system/idle);
+* **cluster spans** — the broker's admission / fail-over / migration
+  trees as nestable async events ("ph": "b"/"e") sharing their trace
+  id, so one admission request that failed over across three nodes
+  renders as a single causal tree;
+* **decision events** — admissions, migrations, and invariant
+  violations as instant events ("ph": "i") pinned to the node where
+  they happened.
+
+Timestamps convert simulated ticks to microseconds (27 ticks/µs, the
+paper's 27 MHz timebase).  The output loads in https://ui.perfetto.dev
+or chrome://tracing.  Serialization is canonical (sorted keys), so a
+same-seed run writes a byte-identical file.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro import units
+from repro.obs.events import ObsEvent
+from repro.obs.spans import Span
+
+#: Events worth a timeline marker (the rest live in events.jsonl).
+_INSTANT_TYPES = frozenset({"admission", "migration", "violation", "grace-period"})
+
+_CLUSTER_PID = 0
+
+
+def _us(ticks: int) -> float:
+    value = units.ticks_to_us(ticks)
+    return round(value, 3)
+
+
+def _segment_events(pid: int, node: str, segments, names) -> list[dict]:
+    out: list[dict] = []
+    for seg in segments:
+        kind = getattr(seg.kind, "value", str(seg.kind))
+        if kind == "idle":
+            continue  # idle rows add noise, not information
+        tid = seg.thread_id
+        label = names.get(tid, f"thread{tid}") if names else f"thread{tid}"
+        out.append(
+            {
+                "ph": "X",
+                "name": f"{label} [{kind}]",
+                "cat": f"sched,{kind}",
+                "pid": pid,
+                "tid": tid,
+                "ts": _us(seg.start),
+                "dur": max(_us(seg.end) - _us(seg.start), 0.001),
+                "args": {"kind": kind, "node": node},
+            }
+        )
+    return out
+
+
+def _span_events(spans: Iterable[Span]) -> list[dict]:
+    out: list[dict] = []
+    for span in spans:
+        end = span.end if span.end is not None else span.start
+        common = {
+            "cat": "cluster",
+            "id": span.trace_id,
+            "pid": _CLUSTER_PID,
+            "tid": 0,
+            "name": span.name,
+        }
+        out.append(
+            {
+                **common,
+                "ph": "b",
+                "ts": _us(span.start),
+                "args": {
+                    "span_id": span.span_id,
+                    "parent_id": span.parent_id,
+                    "status": span.status,
+                    **{k: v for k, v in sorted(span.attrs.items())},
+                },
+            }
+        )
+        # A zero-length span still needs b before e on the timeline.
+        out.append({**common, "ph": "e", "ts": max(_us(end), _us(span.start) + 0.001)})
+    return out
+
+
+def _instant_events(events: Iterable[ObsEvent], node_pids: dict[str, int]) -> list[dict]:
+    out: list[dict] = []
+    for event in events:
+        if event.type not in _INSTANT_TYPES:
+            continue
+        pid = node_pids.get(event.node, _CLUSTER_PID)
+        detail = {
+            k: v
+            for k, v in sorted(vars(event).items())
+            if k not in ("time", "node") and v not in ("", -1)
+        }
+        out.append(
+            {
+                "ph": "i",
+                "s": "p",
+                "name": event.type,
+                "cat": "decision",
+                "pid": pid,
+                "tid": 0,
+                "ts": _us(event.time),
+                "args": detail,
+            }
+        )
+    return out
+
+
+def perfetto_trace(
+    spans: Iterable[Span] = (),
+    schedules: dict[str, tuple] | None = None,
+    events: Iterable[ObsEvent] = (),
+) -> dict:
+    """Build the trace document as a plain dict.
+
+    ``schedules`` maps a node name to ``(segments, names)`` where
+    ``segments`` is any iterable of objects with ``thread_id`` /
+    ``start`` / ``end`` / ``kind`` attributes (a
+    ``TraceRecorder.segments`` list fits) and ``names`` maps thread id
+    to display name.  Duck typing keeps this module import-free of the
+    simulation layers.
+    """
+    trace_events: list[dict] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": _CLUSTER_PID,
+            "tid": 0,
+            "args": {"name": "cluster (spans + decisions)"},
+        }
+    ]
+    node_pids: dict[str, int] = {}
+    for i, node in enumerate(sorted(schedules or {}), start=1):
+        node_pids[node] = i
+        segments, names = (schedules or {})[node]
+        trace_events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": i,
+                "tid": 0,
+                "args": {"name": node or "machine"},
+            }
+        )
+        for tid in sorted(names or {}):
+            trace_events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": i,
+                    "tid": tid,
+                    "args": {"name": names[tid]},
+                }
+            )
+        trace_events.extend(_segment_events(i, node, segments, names or {}))
+    trace_events.extend(_span_events(spans))
+    trace_events.extend(_instant_events(events, node_pids))
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"source": "repro.obs", "timebase": "27 ticks per microsecond"},
+    }
+
+
+def perfetto_trace_json(
+    spans: Iterable[Span] = (),
+    schedules: dict[str, tuple] | None = None,
+    events: Iterable[ObsEvent] = (),
+) -> str:
+    """The trace document serialized canonically (byte-stable)."""
+    return json.dumps(
+        perfetto_trace(spans, schedules, events),
+        sort_keys=True,
+        separators=(",", ":"),
+    )

@@ -1,0 +1,78 @@
+"""Prometheus text exposition of a :class:`MetricsRegistry`.
+
+Implements the subset of the text format the registry can express:
+``# HELP`` / ``# TYPE`` headers, labelled samples, and histogram
+``_bucket`` / ``_sum`` / ``_count`` series with cumulative ``le``
+bounds.  Metrics render in sorted name order and series in sorted
+label order, so the output is byte-stable for a deterministic run.
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+
+def _format_value(value: float) -> str:
+    """Integers without a trailing ``.0``; floats via repr (shortest
+    round-trip form, stable across platforms for the same bits)."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels(names: tuple[str, ...], values: tuple[str, ...], extra: str = "") -> str:
+    pairs = [f'{n}="{_escape(v)}"' for n, v in zip(names, values)]
+    if extra:
+        pairs.append(extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _render_simple(metric: Counter | Gauge, lines: list[str]) -> None:
+    series = metric.series()
+    if not series:
+        if not metric.label_names:
+            lines.append(f"{metric.name} 0")
+        return
+    for values, value in series:
+        lines.append(
+            f"{metric.name}{_labels(metric.label_names, values)} "
+            f"{_format_value(value)}"
+        )
+
+
+def _render_histogram(metric: Histogram, lines: list[str]) -> None:
+    for values, (counts, inf_count, total) in metric.series():
+        for bound, count in zip(metric.buckets, counts):
+            le = 'le="%s"' % _format_value(bound)
+            labels = _labels(metric.label_names, values, le)
+            lines.append(f"{metric.name}_bucket{labels} {count}")
+        labels = _labels(metric.label_names, values, 'le="+Inf"')
+        lines.append(f"{metric.name}_bucket{labels} {inf_count}")
+        lines.append(
+            f"{metric.name}_sum{_labels(metric.label_names, values)} "
+            f"{_format_value(total)}"
+        )
+        lines.append(
+            f"{metric.name}_count{_labels(metric.label_names, values)} {inf_count}"
+        )
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The whole registry in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for metric in registry.all_metrics():
+        lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, Histogram):
+            _render_histogram(metric, lines)
+        else:
+            _render_simple(metric, lines)
+    return "".join(line + "\n" for line in lines)

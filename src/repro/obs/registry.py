@@ -1,0 +1,162 @@
+"""Metrics registry: counters, gauges, and histograms with labels.
+
+A deliberately small, dependency-free subset of the Prometheus data
+model.  Metrics are identified by name; a metric with declared label
+names holds one child series per label-value tuple.  Histogram buckets
+are cumulative (``le`` upper bounds), matching the Prometheus text
+exposition rendered by :mod:`repro.obs.prom`.
+
+Everything is deterministic: series are rendered in sorted order and
+observations are plain integer/float arithmetic, so the exported
+``metrics.prom`` is byte-identical across same-seed runs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+def _label_key(
+    label_names: tuple[str, ...], labels: dict[str, str]
+) -> tuple[str, ...]:
+    if set(labels) != set(label_names):
+        raise SimulationError(
+            f"expected labels {sorted(label_names)}, got {sorted(labels)}"
+        )
+    return tuple(str(labels[name]) for name in label_names)
+
+
+class Counter:
+    """A monotonically increasing count, optionally per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str, label_names: tuple[str, ...] = ()) -> None:
+        self.name = name
+        self.help = help_text
+        self.label_names = label_names
+        self._series: dict[tuple[str, ...], float] = {}
+
+    def inc(self, amount: float = 1, **labels: str) -> None:
+        if amount < 0:
+            raise SimulationError(f"counter {self.name} cannot decrease")
+        key = _label_key(self.label_names, labels)
+        self._series[key] = self._series.get(key, 0) + amount
+
+    def value(self, **labels: str) -> float:
+        return self._series.get(_label_key(self.label_names, labels), 0)
+
+    def series(self) -> list[tuple[tuple[str, ...], float]]:
+        return sorted(self._series.items())
+
+
+class Gauge:
+    """A value that can go up and down (headroom, weights, queue depth)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str, label_names: tuple[str, ...] = ()) -> None:
+        self.name = name
+        self.help = help_text
+        self.label_names = label_names
+        self._series: dict[tuple[str, ...], float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        self._series[_label_key(self.label_names, labels)] = value
+
+    def add(self, amount: float, **labels: str) -> None:
+        key = _label_key(self.label_names, labels)
+        self._series[key] = self._series.get(key, 0) + amount
+
+    def value(self, **labels: str) -> float:
+        return self._series.get(_label_key(self.label_names, labels), 0)
+
+    def series(self) -> list[tuple[tuple[str, ...], float]]:
+        return sorted(self._series.items())
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus ``le`` semantics)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        buckets: tuple[float, ...],
+        label_names: tuple[str, ...] = (),
+    ) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise SimulationError(
+                f"histogram {name} needs sorted, non-empty buckets, got {buckets}"
+            )
+        self.name = name
+        self.help = help_text
+        self.label_names = label_names
+        self.buckets = tuple(buckets)
+        #: label key -> (per-bucket counts, +Inf count, sum)
+        self._series: dict[tuple[str, ...], list] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = _label_key(self.label_names, labels)
+        if key not in self._series:
+            self._series[key] = [[0] * len(self.buckets), 0, 0.0]
+        counts, inf_count, total = self._series[key]
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                counts[i] += 1
+        self._series[key][1] = inf_count + 1
+        self._series[key][2] = total + value
+
+    def count(self, **labels: str) -> int:
+        series = self._series.get(_label_key(self.label_names, labels))
+        return 0 if series is None else series[1]
+
+    def sum(self, **labels: str) -> float:
+        series = self._series.get(_label_key(self.label_names, labels))
+        return 0.0 if series is None else series[2]
+
+    def series(self) -> list[tuple[tuple[str, ...], list]]:
+        return sorted(self._series.items())
+
+
+class MetricsRegistry:
+    """Owns every metric of one observability session."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _register(self, metric):
+        if metric.name in self._metrics:
+            raise SimulationError(f"metric {metric.name!r} already registered")
+        self._metrics[metric.name] = metric
+        return metric
+
+    def counter(
+        self, name: str, help_text: str, label_names: tuple[str, ...] = ()
+    ) -> Counter:
+        return self._register(Counter(name, help_text, label_names))
+
+    def gauge(
+        self, name: str, help_text: str, label_names: tuple[str, ...] = ()
+    ) -> Gauge:
+        return self._register(Gauge(name, help_text, label_names))
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        buckets: tuple[float, ...],
+        label_names: tuple[str, ...] = (),
+    ) -> Histogram:
+        return self._register(Histogram(name, help_text, buckets, label_names))
+
+    def get(self, name: str) -> Counter | Gauge | Histogram:
+        try:
+            return self._metrics[name]
+        except KeyError:
+            raise SimulationError(f"no metric named {name!r}") from None
+
+    def all_metrics(self) -> list[Counter | Gauge | Histogram]:
+        return [self._metrics[name] for name in sorted(self._metrics)]

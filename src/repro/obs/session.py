@@ -1,0 +1,250 @@
+"""One observability session: bus + metrics + spans + exporters.
+
+An :class:`ObsSession` is what ``--obs-out DIR`` wires up: a single
+event bus shared by every instrumented component, an event collector,
+a metrics registry kept current by a built-in event->metric subscriber,
+and a span tracker for the cluster layer.  At the end of the run
+:meth:`write` emits the three artifacts —
+
+* ``events.jsonl``  — every event, one canonical JSON object per line;
+* ``metrics.prom``  — the registry in Prometheus text format;
+* ``trace.perfetto.json`` — scheduler segments + spans + decision
+  markers for Perfetto / chrome://tracing —
+
+all derived purely from sim-tick-stamped data, so two same-seed runs
+write byte-identical files (the CI determinism gate compares them).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.obs.events import ObsBus, ObsEvent, ScopedBus
+from repro.obs.log import EventCollector, events_to_jsonl
+from repro.obs.perfetto import perfetto_trace_json
+from repro.obs.prom import render_prometheus
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import SpanTracker
+
+_ATTEMPT_BUCKETS = (1.0, 2.0, 3.0, 5.0, 8.0)
+_TICK_BUCKETS = (0.0, 27.0, 270.0, 2_700.0, 27_000.0, 270_000.0, 2_700_000.0)
+_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+
+
+class ObsSession:
+    """Everything one observed run accumulates."""
+
+    def __init__(self) -> None:
+        self.bus = ObsBus()
+        self.registry = MetricsRegistry()
+        self.spans = SpanTracker()
+        self.collector = EventCollector()
+        self.bus.subscribe(self.collector)
+        self._build_metrics()
+        self.bus.subscribe(self._update_metrics)
+        #: node name -> (segments, {tid: name}) for the Perfetto export.
+        self._schedules: dict[str, tuple] = {}
+
+    # -- wiring ------------------------------------------------------------
+
+    def scoped(self, node: str) -> ScopedBus:
+        """A bus view for one cluster node (stamps ``event.node``)."""
+        return ScopedBus(self.bus, node)
+
+    def add_schedule(self, node: str, segments, names) -> None:
+        """Register a node's run segments for the Perfetto timeline.
+
+        ``segments`` is read lazily at export time, so passing a live
+        ``TraceRecorder.segments`` list before the run is fine.
+        ``names`` maps thread id -> display name; pass a zero-arg
+        callable returning that dict to defer it until export (threads
+        are created as tasks are admitted, mid-run).
+        """
+        self._schedules[node] = (segments, names)
+
+    # -- the built-in event -> metrics subscriber --------------------------
+
+    def _build_metrics(self) -> None:
+        r = self.registry
+        self.m_switches = r.counter(
+            "repro_context_switches_total",
+            "Context switches by SwitchKind",
+            ("node", "kind"),
+        )
+        self.m_switch_cost = r.counter(
+            "repro_context_switch_cost_ticks_total",
+            "Simulated ticks spent on context-switch overhead",
+            ("node", "kind"),
+        )
+        self.m_admissions = r.counter(
+            "repro_admissions_total",
+            "Admission decisions by outcome",
+            ("node", "outcome"),
+        )
+        self.m_headroom = r.gauge(
+            "repro_headroom_ratio",
+            "Uncommitted fraction of the schedulable capacity",
+            ("node",),
+        )
+        self.m_degraded = r.gauge(
+            "repro_degraded_tasks",
+            "Tasks currently granted below their maximum entry",
+            ("node",),
+        )
+        self.m_qos = r.gauge(
+            "repro_qos_fraction",
+            "Delivered fraction of requested top QOS",
+            ("node",),
+        )
+        self.m_recomputes = r.counter(
+            "repro_grant_recomputes_total",
+            "Grant-set recomputations",
+            ("node",),
+        )
+        self.m_recompute_size = r.histogram(
+            "repro_grant_recompute_requests",
+            "Admitted threads per grant-set recomputation",
+            _SIZE_BUCKETS,
+            ("node",),
+        )
+        self.m_policy = r.counter(
+            "repro_policy_resolutions_total",
+            "Policy Box resolutions (resolved vs invented)",
+            ("node", "invented"),
+        )
+        self.m_policy_latency = r.histogram(
+            "repro_policy_latency_ticks",
+            "Sim-tick latency charged to policy-box consultation",
+            _TICK_BUCKETS,
+            ("node",),
+        )
+        self.m_misses = r.counter(
+            "repro_deadline_misses_total",
+            "Periods closed with the grant undelivered",
+            ("node",),
+        )
+        self.m_voided = r.counter(
+            "repro_voided_periods_total",
+            "Periods voided by blocking (guarantee suspended)",
+            ("node",),
+        )
+        self.m_grace = r.counter(
+            "repro_grace_periods_total",
+            "Controlled-preemption grace periods by outcome",
+            ("node", "honoured"),
+        )
+        self.m_activations = r.counter(
+            "repro_scheduler_activations_total",
+            "Unallocated-time Resource Manager callbacks",
+            ("node",),
+        )
+        self.m_rpc = r.counter(
+            "repro_rpc_total",
+            "MessageBus RPC hops by action and message kind",
+            ("action", "kind"),
+        )
+        self.m_rpc_attempts = r.histogram(
+            "repro_rpc_retry_attempts",
+            "Transmissions per logical RPC at the point it was retried",
+            _ATTEMPT_BUCKETS,
+        )
+        self.m_migrations = r.counter(
+            "repro_migrations_total",
+            "Broker migrations by outcome",
+            ("outcome",),
+        )
+        self.m_violations = r.counter(
+            "repro_sanitizer_violations_total",
+            "Invariant sanitizer violations by rule",
+            ("node", "rule"),
+        )
+
+    def _update_metrics(self, event: ObsEvent) -> None:
+        kind = event.type
+        if kind == "context-switch":
+            self.m_switches.inc(node=event.node, kind=event.kind)
+            self.m_switch_cost.inc(event.cost_ticks, node=event.node, kind=event.kind)
+        elif kind == "admission":
+            self.m_admissions.inc(node=event.node, outcome=event.outcome)
+            self.m_headroom.set(event.headroom, node=event.node)
+        elif kind == "grant-recompute":
+            self.m_recomputes.inc(node=event.node)
+            self.m_recompute_size.observe(event.requests, node=event.node)
+            self.m_degraded.set(event.degraded, node=event.node)
+            self.m_qos.set(event.qos_fraction, node=event.node)
+            self.m_headroom.set(event.headroom, node=event.node)
+            self.m_policy_latency.observe(event.latency_ticks, node=event.node)
+        elif kind == "policy-resolution":
+            self.m_policy.inc(
+                node=event.node, invented="true" if event.invented else "false"
+            )
+        elif kind == "period-close":
+            if event.missed:
+                self.m_misses.inc(node=event.node)
+            if event.voided:
+                self.m_voided.inc(node=event.node)
+        elif kind == "grace-period":
+            self.m_grace.inc(
+                node=event.node, honoured="true" if event.honoured else "false"
+            )
+        elif kind == "activation":
+            self.m_activations.inc(node=event.node)
+        elif kind == "rpc":
+            self.m_rpc.inc(action=event.action, kind=event.kind)
+            if event.action == "retry":
+                self.m_rpc_attempts.observe(event.attempt)
+        elif kind == "migration":
+            self.m_migrations.inc(outcome=event.outcome)
+        elif kind == "violation":
+            self.m_violations.inc(node=event.node, rule=event.rule)
+
+    # -- exports -----------------------------------------------------------
+
+    @property
+    def events(self) -> list[ObsEvent]:
+        return self.collector.events
+
+    def events_jsonl(self) -> str:
+        return events_to_jsonl(self.collector.events)
+
+    def metrics_prom(self) -> str:
+        return render_prometheus(self.registry)
+
+    def perfetto_json(self, now: int) -> str:
+        self.spans.finish_open(now)
+        schedules = {
+            node: (segments, names() if callable(names) else names)
+            for node, (segments, names) in self._schedules.items()
+        }
+        return perfetto_trace_json(
+            spans=self.spans.spans,
+            schedules=schedules,
+            events=self.collector.events,
+        )
+
+    def write(self, directory: str | Path, now: int) -> dict[str, Path]:
+        """Write events.jsonl, metrics.prom, trace.perfetto.json."""
+        out = Path(directory)
+        out.mkdir(parents=True, exist_ok=True)
+        paths = {
+            "events": out / "events.jsonl",
+            "metrics": out / "metrics.prom",
+            "trace": out / "trace.perfetto.json",
+        }
+        paths["events"].write_text(self.events_jsonl(), encoding="utf-8")
+        paths["metrics"].write_text(self.metrics_prom(), encoding="utf-8")
+        paths["trace"].write_text(self.perfetto_json(now), encoding="utf-8")
+        return paths
+
+    def summary(self) -> str:
+        """One-paragraph operator view of what the session captured."""
+        by_type: dict[str, int] = {}
+        for event in self.collector.events:
+            by_type[event.type] = by_type.get(event.type, 0) + 1
+        parts = [f"{name}={count}" for name, count in sorted(by_type.items())]
+        return (
+            f"obs: {len(self.collector.events)} events "
+            f"({', '.join(parts) if parts else 'none'}), "
+            f"{len(self.spans.spans)} spans, "
+            f"{len(self.registry.all_metrics())} metrics"
+        )

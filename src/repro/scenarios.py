@@ -55,9 +55,9 @@ def _machine(kind: str) -> MachineConfig:
     return MachineConfig()
 
 
-def table4_trio(seed: int = 0, machine: str = "ideal") -> Scenario:
+def table4_trio(seed: int = 0, machine: str = "ideal", obs=None) -> Scenario:
     """Table 4 / Figure 3: modem + 3D graphics + MPEG decompression."""
-    rd = ResourceDistributor(machine=_machine(machine), sim=SimConfig(seed=seed))
+    rd = ResourceDistributor(machine=_machine(machine), sim=SimConfig(seed=seed), obs=obs)
     specs = [
         ("Modem", 270_000, 27_000, grant_follower),
         ("3D", 275_300, 143_156, greedy_worker),
@@ -74,13 +74,15 @@ def table4_trio(seed: int = 0, machine: str = "ideal") -> Scenario:
     return Scenario(rd=rd, threads=threads)
 
 
-def figure4(seed: int = 0, fixed: bool = False, machine: str = "calibrated") -> Scenario:
+def figure4(
+    seed: int = 0, fixed: bool = False, machine: str = "calibrated", obs=None
+) -> Scenario:
     """Figure 4: two producers, two data-management threads, a greedy
     Sporadic Server.  ``fixed=True`` applies the paper's suggested fix
     (block on an event instead of spinning)."""
     from repro.tasks.producer_consumer import Figure4Workload
 
-    rd = ResourceDistributor(machine=_machine(machine), sim=SimConfig(seed=seed))
+    rd = ResourceDistributor(machine=_machine(machine), sim=SimConfig(seed=seed), obs=obs)
     server = SporadicServer(rd, greedy=True)
     workload = Figure4Workload(fixed=fixed)
     threads = dict(
@@ -90,9 +92,9 @@ def figure4(seed: int = 0, fixed: bool = False, machine: str = "calibrated") -> 
     return Scenario(rd=rd, threads=threads, extras={"workload": workload, "server": server})
 
 
-def figure5(seed: int = 0, stagger_ms: float = 20.0) -> Scenario:
+def figure5(seed: int = 0, stagger_ms: float = 20.0, obs=None) -> Scenario:
     """Table 6 / Figure 5: five BusyLoop threads admitted 20 ms apart."""
-    rd = ResourceDistributor(machine=_machine("quiet"), sim=SimConfig(seed=seed))
+    rd = ResourceDistributor(machine=_machine("quiet"), sim=SimConfig(seed=seed), obs=obs)
     server = SporadicServer(rd, greedy=True)
     scenario = Scenario(rd=rd, threads={"SporadicServer": server.thread})
     scenario.extras["server"] = server
@@ -106,7 +108,9 @@ def figure5(seed: int = 0, stagger_ms: float = 20.0) -> Scenario:
     return scenario
 
 
-def settop(seed: int = 0, ring_ms: float = 300.0, machine: str = "calibrated") -> Scenario:
+def settop(
+    seed: int = 0, ring_ms: float = 300.0, machine: str = "calibrated", obs=None
+) -> Scenario:
     """Section 5.3: DVD video+audio, teleconference renderer, and a
     quiescent modem that answers the phone at ``ring_ms``."""
     from repro.tasks.ac3 import Ac3Decoder
@@ -114,7 +118,7 @@ def settop(seed: int = 0, ring_ms: float = 300.0, machine: str = "calibrated") -
     from repro.tasks.modem import Modem
     from repro.tasks.mpeg import MpegDecoder
 
-    rd = ResourceDistributor(machine=_machine(machine), sim=SimConfig(seed=seed))
+    rd = ResourceDistributor(machine=_machine(machine), sim=SimConfig(seed=seed), obs=obs)
     mpeg = MpegDecoder("DVD-video")
     ac3 = Ac3Decoder("DVD-audio")
     renderer = Renderer3D("Teleconf", use_scaler=False)
@@ -133,13 +137,13 @@ def settop(seed: int = 0, ring_ms: float = 300.0, machine: str = "calibrated") -
     )
 
 
-def av_pipeline(seed: int = 61, fixed: bool = True) -> Scenario:
+def av_pipeline(seed: int = 61, fixed: bool = True, obs=None) -> Scenario:
     """The §6.1 overhead scenario: MPEG + AC3 + data threads + server."""
     from repro.tasks.ac3 import Ac3Decoder
     from repro.tasks.mpeg import MpegDecoder
     from repro.tasks.producer_consumer import Figure4Workload
 
-    rd = ResourceDistributor(machine=_machine("calibrated"), sim=SimConfig(seed=seed))
+    rd = ResourceDistributor(machine=_machine("calibrated"), sim=SimConfig(seed=seed), obs=obs)
     server = SporadicServer(rd, greedy=True)
     mpeg = MpegDecoder()
     ac3 = Ac3Decoder()
@@ -167,6 +171,7 @@ def cluster_rack(
     horizon_sec: float = 1.0,
     migrate: bool = True,
     sanitize: bool = True,
+    obs=None,
 ):
     """A rack of set-top boxes behind one admission broker.
 
@@ -199,6 +204,7 @@ def cluster_rack(
         machine=_machine("quiet"),
         broker_config=BrokerConfig(migrate=migrate),
         sanitize=sanitize,
+        obs=obs,
     )
     # Stagger arrivals over the first third of the run; every fourth
     # session hangs up two thirds of the way through (churn).
@@ -216,13 +222,15 @@ def cluster_rack(
     return sim
 
 
-def dual_stream(seed: int = 0, skew_ppm: float = 2_000.0, horizon_sec: float = 10.0) -> Scenario:
+def dual_stream(
+    seed: int = 0, skew_ppm: float = 2_000.0, horizon_sec: float = 10.0, obs=None
+) -> Scenario:
     """Two live MPEG transport streams: the first defines the timebase,
     the second drifts and must phase-lock in software (§5.4)."""
     from repro.tasks.mpeg import MpegDecoder
     from repro.tasks.stream import LiveMpegDecoder, TransportStream
 
-    rd = ResourceDistributor(machine=_machine("ideal"), sim=SimConfig(seed=seed))
+    rd = ResourceDistributor(machine=_machine("ideal"), sim=SimConfig(seed=seed), obs=obs)
     primary = MpegDecoder("stream1")
     stream2 = TransportStream("stream2", skew_ppm=skew_ppm)
     decoder2 = LiveMpegDecoder(stream2, synchronize=True)

@@ -12,7 +12,12 @@ arrives in deterministic ``(deliver_at, seq)`` order.
 
 This module sits in the simulation substrate: it knows nothing about
 resource lists, grants, or brokers, and must stay importable without
-``repro.core`` or ``repro.cluster``.
+``repro.core`` or ``repro.cluster``.  It *may* import ``repro.obs``
+(telemetry sits below the substrate): when a bus is given an
+:class:`~repro.obs.events.ObsBus`, every send/deliver/drop becomes an
+``RpcEvent``, and envelopes carry an optional
+:class:`~repro.obs.spans.TraceContext` so a request/reply chain can be
+stitched into one causal trace.
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ import random
 from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
+from repro.obs.events import RpcEvent
 
 
 @dataclass(frozen=True, order=True)
@@ -35,6 +41,10 @@ class Envelope:
     kind: str = field(compare=False)
     payload: object = field(compare=False)
     sent_at: int = field(compare=False)
+    #: Optional :class:`repro.obs.spans.TraceContext` (duck-typed: any
+    #: object with ``trace_id``/``span_id``).  Pure pass-through — the
+    #: bus never reads it; receivers echo it into their replies.
+    trace: object = field(compare=False, default=None)
 
 
 @dataclass
@@ -83,11 +93,21 @@ class MessageBus:
         self._seq = 0
         #: Dropped envelopes, for inspection and fault-injection tests.
         self.dropped: list[Envelope] = []
+        #: Optional telemetry bus (:class:`repro.obs.events.ObsBus`).
+        self.obs = None
 
     def __len__(self) -> int:
         return len(self._heap)
 
-    def send(self, src: str, dst: str, kind: str, payload: object, now: int) -> Envelope:
+    def send(
+        self,
+        src: str,
+        dst: str,
+        kind: str,
+        payload: object,
+        now: int,
+        trace: object = None,
+    ) -> Envelope:
         """Enqueue a message; returns the envelope (even when dropped).
 
         The delivery time is ``now + latency + jitter``.  A dropped
@@ -107,15 +127,36 @@ class MessageBus:
             kind=kind,
             payload=payload,
             sent_at=now,
+            trace=trace,
         )
         self._seq += 1
         self.stats.sent += 1
+        if self.obs is not None:
+            self.obs.emit(self._rpc_event("send", envelope, now))
         if self.drop_rate and self._rng.random() < self.drop_rate:
             self.stats.dropped += 1
             self.dropped.append(envelope)
+            if self.obs is not None:
+                self.obs.emit(self._rpc_event("drop", envelope, now))
             return envelope
         heapq.heappush(self._heap, envelope)
         return envelope
+
+    def _rpc_event(self, action: str, envelope: Envelope, now: int) -> RpcEvent:
+        payload = envelope.payload
+        if isinstance(payload, dict):
+            request_id = str(payload.get("request_id", ""))
+        else:
+            request_id = str(getattr(payload, "request_id", ""))
+        return RpcEvent(
+            time=now,
+            action=action,
+            src=envelope.src,
+            dst=envelope.dst,
+            kind=envelope.kind,
+            request_id=request_id,
+            trace_id=getattr(envelope.trace, "trace_id", ""),
+        )
 
     def next_time(self) -> int | None:
         """Delivery time of the earliest in-flight message, or None."""
@@ -130,4 +171,7 @@ class MessageBus:
         while self._heap and self._heap[0].deliver_at <= now:
             due.append(heapq.heappop(self._heap))
         self.stats.delivered += len(due)
+        if self.obs is not None:
+            for envelope in due:
+                self.obs.emit(self._rpc_event("receive", envelope, now))
         return due

@@ -1,0 +1,8 @@
+"""Fixture: a wall-clock timestamp inside the telemetry layer
+(wallclock) — event times must be simulated ticks."""
+
+import time
+
+
+def stamp_event():
+    return {"time": time.time()}

@@ -1,0 +1,7 @@
+"""Fixture: the telemetry layer importing the cluster coordinator."""
+
+from repro.cluster import broker
+
+
+def peek():
+    return broker

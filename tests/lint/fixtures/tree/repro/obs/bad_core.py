@@ -1,0 +1,8 @@
+"""Fixture: the telemetry layer reaching up into core and sim."""
+
+import repro.core.kernel
+from repro.sim import messages
+
+
+def peek():
+    return repro.core.kernel, messages

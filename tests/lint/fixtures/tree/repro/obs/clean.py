@@ -1,0 +1,11 @@
+"""Fixture: a clean telemetry module — stdlib plus ground modules only."""
+
+import json
+
+from repro.errors import SimulationError
+
+
+def encode(record: dict) -> str:
+    if "time" not in record:
+        raise SimulationError("events carry simulated ticks")
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))

@@ -45,8 +45,22 @@ class TestLayering:
         assert rule_ids(violations) == ["layering"]
         assert "repro.cluster" in violations[0].message
 
+    def test_obs_importing_cluster_is_flagged(self):
+        violations = lint("repro/obs/bad_cluster.py")
+        assert rule_ids(violations) == ["layering"]
+        assert "repro.cluster" in violations[0].message
+
+    def test_obs_importing_core_or_sim_is_flagged(self):
+        violations = lint("repro/obs/bad_core.py")
+        assert rule_ids(violations) == ["layering", "layering"]
+        assert any("repro.core" in v.message for v in violations)
+        assert any("repro.sim" in v.message for v in violations)
+
     def test_clean_core_module_passes(self):
         assert lint("repro/core/clean.py") == []
+
+    def test_clean_obs_module_passes(self):
+        assert lint("repro/obs/clean.py") == []
 
 
 class TestWallClock:
@@ -55,6 +69,11 @@ class TestWallClock:
         assert len(violations) == 2
         assert any("time.time" in v.message for v in violations)
         assert any("datetime.now" in v.message for v in violations)
+
+    def test_wallclock_reads_in_obs_are_flagged(self):
+        violations = lint("repro/obs/bad_clock.py")
+        assert rule_ids(violations) == ["wallclock"]
+        assert "time.time" in violations[0].message
 
     def test_wallclock_outside_sim_core_is_ignored(self):
         assert lint("outside_scope.py") == []

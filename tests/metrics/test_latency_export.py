@@ -87,6 +87,14 @@ class TestCsvExport:
         assert rows
         assert all(r["missed"] == "0" for r in rows)
 
+    def test_csv_exports_use_unix_line_endings(self, busy_run):
+        """Regression: ``csv.writer`` defaults to ``\\r\\n`` row endings,
+        which made the exports differ byte-for-byte across platforms."""
+        rd, thread = busy_run
+        for text in (segments_to_csv(rd.trace), deadlines_to_csv(rd.trace)):
+            assert "\r" not in text
+            assert text.endswith("\n")
+
 
 class TestJsonExport:
     def test_round_trips_counts(self, busy_run):

@@ -1,0 +1,118 @@
+"""End to end through the core hooks: one ResourceDistributor run with an
+ObsSession attached — event streams, metrics, sanitizer round-trip,
+and byte-identical same-seed artifacts."""
+
+import json
+
+import pytest
+
+from repro import units
+from repro.config import MachineConfig, SimConfig
+from repro.core.distributor import ResourceDistributor
+from repro.errors import AdmissionError
+from repro.obs.session import ObsSession
+from repro.scenarios import figure5
+from repro.sim.trace import DeadlineRecord
+from repro.workloads import single_entry_definition
+
+
+def ms(x):
+    return units.ms_to_ticks(x)
+
+
+def observed_rd(**kwargs):
+    session = ObsSession()
+    rd = ResourceDistributor(
+        machine=MachineConfig(), sim=SimConfig(seed=7), obs=session, **kwargs
+    )
+    return session, rd
+
+
+class TestCoreHooks:
+    def test_admissions_and_grants_become_events(self):
+        session, rd = observed_rd()
+        rd.admit(single_entry_definition("video", 30, 0.4))
+        rd.admit(single_entry_definition("audio", 30, 0.2))
+        rd.run_for(ms(100))
+        admissions = session.collector.of_type("admission")
+        assert [e.task for e in admissions] == ["video", "audio"]
+        assert all(e.outcome == "accepted" for e in admissions)
+        assert session.collector.of_type("grant-recompute")
+        assert session.collector.of_type("grant-change")
+        assert session.collector.of_type("context-switch")
+        # The built-in subscriber kept the registry current.
+        assert session.m_admissions.value(node="", outcome="accepted") == 2
+        switches = session.m_switches
+        total = sum(value for _, value in switches.series())
+        assert total == len(session.collector.of_type("context-switch"))
+
+    def test_denied_admission_is_recorded_before_the_raise(self):
+        session, rd = observed_rd()
+        rd.admit(single_entry_definition("big0", 30, 0.6))
+        with pytest.raises(AdmissionError):
+            rd.admit(single_entry_definition("big1", 30, 0.6))
+        denied = [
+            e for e in session.collector.of_type("admission") if e.outcome == "denied"
+        ]
+        assert len(denied) == 1
+        assert denied[0].task == "big1"
+        assert denied[0].error != ""
+        assert session.m_admissions.value(node="", outcome="denied") == 1
+
+    def test_unobserved_distributor_has_no_hooks_armed(self):
+        rd = ResourceDistributor(machine=MachineConfig(), sim=SimConfig(seed=7))
+        assert rd.kernel.obs is None
+        assert rd.resource_manager.obs is None
+        assert rd.policy_box.obs is None
+
+
+class TestViolationRoundTrip:
+    def test_injected_violation_reaches_events_jsonl(self):
+        """Satellite: a sanitizer violation becomes a structured obs
+        event (severity=error) and survives into events.jsonl."""
+        session, rd = observed_rd(sanitize=True, sanitize_strict=False)
+        thread = rd.admit(single_entry_definition("video", 30, 0.4))
+        # Inject through the public hook: a period that closed with the
+        # grant undelivered breaks the per-period guarantee.
+        record = DeadlineRecord(
+            thread_id=thread.tid,
+            period_index=0,
+            period_start=0,
+            deadline=ms(30),
+            granted=ms(12),
+            delivered=ms(5),
+            missed=True,
+            voided=False,
+        )
+        rd.sanitizer.on_period_close(thread, record)
+        assert not rd.sanitizer.ok  # non-strict: collected, not raised
+        violations = session.collector.of_type("violation")
+        assert len(violations) == 1
+        assert violations[0].rule == "grant-delivery"
+        assert violations[0].severity == "error"
+        assert violations[0].time == ms(30)
+        lines = [json.loads(l) for l in session.events_jsonl().splitlines()]
+        wire = [d for d in lines if d["type"] == "violation"]
+        assert len(wire) == 1
+        assert "guarantee" in wire[0]["detail"]
+        assert session.m_violations.value(node="", rule="grant-delivery") == 1
+
+
+class TestDeterminism:
+    def test_same_seed_runs_write_identical_artifacts(self):
+        def run():
+            session = ObsSession()
+            scenario = figure5(seed=11, obs=session)
+            scenario.run_for(ms(120))
+            session.add_schedule(
+                "",
+                scenario.rd.trace.segments,
+                {t.tid: t.name for t in scenario.rd.kernel.threads.values()},
+            )
+            return (
+                session.events_jsonl(),
+                session.metrics_prom(),
+                session.perfetto_json(scenario.rd.kernel.now),
+            )
+
+        assert run() == run()

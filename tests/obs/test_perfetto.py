@@ -1,0 +1,98 @@
+"""Chrome trace-event export: metadata, segments, span pairs, instants."""
+
+import json
+from dataclasses import dataclass
+
+from repro.obs.events import AdmissionEvent, MigrationEvent, SwitchEvent
+from repro.obs.perfetto import perfetto_trace, perfetto_trace_json
+from repro.obs.spans import SpanTracker
+
+
+@dataclass
+class Seg:
+    thread_id: int
+    start: int
+    end: int
+    kind: str
+
+
+def sample_inputs():
+    tracker = SpanTracker()
+    root = tracker.start("place:x", 0, task="x")
+    child = tracker.start("admit:node00", 0, parent=root)
+    tracker.finish(child, 54, status="ok")
+    tracker.finish(root, 54, status="admitted")
+    schedules = {
+        "node00": (
+            [Seg(1, 0, 270, "granted"), Seg(0, 270, 540, "idle")],
+            {1: "stb-video"},
+        )
+    }
+    events = [
+        AdmissionEvent(time=27, node="node00", task="x", outcome="accepted"),
+        MigrationEvent(time=54, task="x", source="node00", target="node01"),
+        SwitchEvent(time=1, node="node00"),  # not an instant type
+    ]
+    return tracker.spans, schedules, events
+
+
+class TestDocument:
+    def test_process_and_thread_metadata(self):
+        doc = perfetto_trace(*sample_inputs())
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {(e["name"], e["pid"], e["tid"]): e["args"]["name"] for e in meta}
+        assert names[("process_name", 0, 0)] == "cluster (spans + decisions)"
+        assert names[("process_name", 1, 0)] == "node00"
+        assert names[("thread_name", 1, 1)] == "stb-video"
+
+    def test_empty_node_name_renders_as_machine(self):
+        doc = perfetto_trace(schedules={"": ([], {})})
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert any(e["args"]["name"] == "machine" for e in meta)
+
+    def test_run_segments_skip_idle(self):
+        doc = perfetto_trace(*sample_inputs())
+        segments = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(segments) == 1
+        (seg,) = segments
+        # 270 ticks at 27 ticks/us is a 10us slice starting at t=0.
+        assert seg["ts"] == 0
+        assert seg["dur"] == 10.0
+        assert seg["name"] == "stb-video [granted]"
+        assert "granted" in seg["cat"]
+
+    def test_span_pairs_share_trace_id(self):
+        spans, _, _ = sample_inputs()
+        doc = perfetto_trace(spans=spans)
+        begins = [e for e in doc["traceEvents"] if e["ph"] == "b"]
+        ends = [e for e in doc["traceEvents"] if e["ph"] == "e"]
+        assert len(begins) == len(ends) == 2
+        assert {e["id"] for e in begins + ends} == {"t0001"}
+        by_name = {e["name"]: e for e in begins}
+        assert by_name["admit:node00"]["args"]["parent_id"] == 1
+        assert by_name["place:x"]["args"]["status"] == "admitted"
+
+    def test_zero_length_span_still_orders_b_before_e(self):
+        tracker = SpanTracker()
+        tracker.finish(tracker.start("instant", 100), 100)
+        doc = perfetto_trace(spans=tracker.spans)
+        b = next(e for e in doc["traceEvents"] if e["ph"] == "b")
+        e = next(e for e in doc["traceEvents"] if e["ph"] == "e")
+        assert e["ts"] > b["ts"]
+
+    def test_decision_events_become_instants_on_their_node(self):
+        doc = perfetto_trace(*sample_inputs())
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert [e["name"] for e in instants] == ["admission", "migration"]
+        admission, migration = instants
+        assert admission["pid"] == 1  # node00's track group
+        assert migration["pid"] == 0  # no node: cluster track
+        # Empty-string / sentinel fields are elided from the marker args.
+        assert "error" not in admission["args"]
+
+    def test_json_is_canonical_and_loads(self):
+        text = perfetto_trace_json(*sample_inputs())
+        assert text == perfetto_trace_json(*sample_inputs())
+        doc = json.loads(text)
+        assert doc["otherData"]["timebase"] == "27 ticks per microsecond"
+        assert doc["displayTimeUnit"] == "ms"
