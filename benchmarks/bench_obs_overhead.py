@@ -3,48 +3,50 @@
 The tentpole claim for ``repro.obs`` is that instrumentation is off by
 default and costs next to nothing until a sink subscribes: every hook
 site is one attribute read plus a falsy branch when ``obs is None``,
-and one event construction plus a length check when a bus is attached
-with no subscribers.  This bench measures that claim on the Figure 5
-load-shedding scenario (five busy loops — context-switch heavy, so the
-hottest hook dominates) and fails if the enabled-but-no-sink
-configuration costs more than 5 % over the uninstrumented baseline.
+and — because hot sites guard with ``if self.obs:`` and a bus with no
+subscribers is falsy — *zero* event constructions when a bus is
+attached with nobody listening.  This bench measures that claim on the
+Figure 5 load-shedding scenario (five busy loops — context-switch
+heavy, so the hottest hook dominates) and fails if the
+enabled-but-no-sink configuration costs more than 5 % over the
+uninstrumented baseline.
 
 Baseline and candidate runs are interleaved so clock drift and thermal
-effects hit both alike; the gate compares medians.
+effects hit both alike; the gate compares medians.  The scenario itself
+is the shared ``repro.bench.workloads.run_figure5`` builder — the same
+workload the ``repro bench --suite obs`` runner times.
 """
 
 import statistics
 import time
 
-from repro import units
-from repro.obs.events import ObsBus
-from repro.obs.session import ObsSession
-from repro.scenarios import figure5
+from repro.bench.workloads import run_figure5
 from repro.viz import format_table
 
 HORIZON_MS = 400
 REPEATS = 7
 BUDGET = 0.05  # enabled-but-no-sink may cost at most 5 % over baseline
 
+VARIANTS = {
+    "disabled (obs=None)": "disabled",
+    "no-sink (ObsBus, 0 subscribers)": "no-sink",
+    "full session (collector + metrics)": "session",
+}
 
-def run_once(obs) -> float:
+
+def run_once(variant: str) -> float:
     start = time.perf_counter()
-    figure5(seed=11, obs=obs).run_for(units.ms_to_ticks(HORIZON_MS))
+    run_figure5(obs=variant, ms=HORIZON_MS, seed=11)
     return time.perf_counter() - start
 
 
 def interleaved_medians() -> dict[str, float]:
-    variants = {
-        "disabled (obs=None)": lambda: None,
-        "no-sink (ObsBus, 0 subscribers)": ObsBus,
-        "full session (collector + metrics)": ObsSession,
-    }
-    for make in variants.values():
-        run_once(make())  # warm-up: imports, allocator, caches
-    samples: dict[str, list[float]] = {name: [] for name in variants}
+    for variant in VARIANTS.values():
+        run_once(variant)  # warm-up: imports, allocator, caches
+    samples: dict[str, list[float]] = {name: [] for name in VARIANTS}
     for _ in range(REPEATS):
-        for name, make in variants.items():
-            samples[name].append(run_once(make()))
+        for name, variant in VARIANTS.items():
+            samples[name].append(run_once(variant))
     return {name: statistics.median(times) for name, times in samples.items()}
 
 

@@ -14,33 +14,17 @@ verifies the derived overhead claim.
 
 import pytest
 
-from repro import MachineConfig, SimConfig, SporadicServer, units
-from repro.core.distributor import ResourceDistributor
+from repro import units
+from repro.bench.workloads import run_av_scenario
 from repro.metrics import summarize_switches
 from repro.metrics.analysis import overhead_fraction, switches_per_second
 from repro.sim.trace import SwitchKind
-from repro.tasks.ac3 import Ac3Decoder
-from repro.tasks.mpeg import MpegDecoder
-from repro.tasks.producer_consumer import Figure4Workload
 from repro.viz import format_table
 
 PAPER = {
     SwitchKind.VOLUNTARY: (11.5, 18.3, 20.7),
     SwitchKind.INVOLUNTARY: (16.9, 28.2, 35.0),
 }
-
-
-def run_av_scenario(seconds=2.0, seed=61):
-    rd = ResourceDistributor(machine=MachineConfig(), sim=SimConfig(seed=seed))
-    SporadicServer(rd, greedy=True)
-    rd.admit(MpegDecoder().definition())
-    rd.admit(Ac3Decoder().definition())
-    workload = Figure4Workload(fixed=True)
-    defs = workload.definitions()
-    rd.admit(defs[1])
-    rd.admit(defs[3])
-    rd.run_for(units.sec_to_ticks(seconds))
-    return rd
 
 
 def test_sec61_context_switch_costs(benchmark, report):

@@ -17,54 +17,19 @@ EXPERIMENTS.md.)
 
 import pytest
 
-from repro.core.grant_control import GrantController, GrantRequest
-from repro.core.policy_box import PolicyBox
-from repro.workloads import single_entry_definition
+from repro.bench.workloads import build_grant_requests
 
 POPULATIONS = [4, 16, 64, 256]
 
 _TIMES: dict[tuple[str, int], float] = {}
 
 
-def _sheddable_list(n):
-    """Maxima of 90 % (heavy overload at any N) with minima small
-    enough that N of them stay jointly admissible."""
-    from repro import units
-    from repro.core.resource_list import ResourceList, ResourceListEntry
-    from repro.workloads import grant_follower
-
-    period = units.ms_to_ticks(10)
-    rates = [0.9, 0.45, 0.2, 0.05, 0.3 / (2 * n)]
-    entries = [
-        ResourceListEntry(period, max(1, round(period * r)), grant_follower)
-        for r in rates
-        if round(period * r) >= 1
-    ]
-    return ResourceList(entries)
-
-
-def build_requests(n, overload):
-    box = PolicyBox(capacity=0.96)
-    requests = []
-    for i in range(n):
-        if overload:
-            rl = _sheddable_list(n)
-        else:
-            rl = single_entry_definition(f"t{i}", 10, 0.9 / n).resource_list
-        requests.append(
-            GrantRequest(
-                thread_id=i,
-                policy_id=box.register_task(f"t{i}"),
-                resource_list=rl,
-            )
-        )
-    return GrantController(0.96, box), requests
-
-
 @pytest.mark.parametrize("regime", ["underload", "overload"])
 @pytest.mark.parametrize("population", POPULATIONS)
 def test_sec63_grant_set_cost(benchmark, report, regime, population):
-    controller, requests = build_requests(population, overload=(regime == "overload"))
+    controller, requests = build_grant_requests(
+        population, overload=(regime == "overload")
+    )
     result = benchmark(lambda: controller.compute(requests))
     if regime == "underload":
         assert result.passes == 0

@@ -1,0 +1,59 @@
+"""Wall-clock benchmark harness with committed-baseline regression gates.
+
+``python -m repro bench --suite core`` runs a registry of named
+workloads (the same scenario builders the ``benchmarks/bench_*.py``
+pytest benches exercise), times each over N repetitions, and emits a
+schema-versioned ``BENCH.json`` payload: per-bench median wall seconds,
+ops/s, and a *normalized* cost — the median divided by the time of a
+pure-Python calibration loop measured on the same machine in the same
+process.  Normalized costs are what the regression gate compares, so a
+baseline recorded on a fast CI runner still gates a slow laptop.
+
+Layering: ``repro.bench`` sits at the top beside ``repro.cli`` — it may
+import anything, nothing below may import it.  It is also the one
+``repro`` package allowed to read the wall clock (the repro-lint
+wallclock rule scopes ``repro.core``/``repro.sim``/``repro.obs`` only);
+simulated time never touches these numbers and these numbers never
+touch simulated time.
+
+    from repro.bench import run_suites, compare, load_baseline
+    payload = run_suites(["core"], repetitions=5)
+    report = compare(payload, load_baseline("BENCH.json"), tolerance=0.25)
+    assert report.ok, report.summary()
+"""
+
+from repro.bench.compare import (
+    BenchFormatError,
+    Comparison,
+    Delta,
+    compare,
+    load_baseline,
+    validate_payload,
+)
+from repro.bench.registry import REGISTRY, SUITES, Bench, benches_for, register
+from repro.bench.runner import (
+    SCHEMA_VERSION,
+    bench_entry,
+    calibration_loop,
+    measure_calibration,
+    run_suites,
+)
+
+__all__ = [
+    "REGISTRY",
+    "SCHEMA_VERSION",
+    "SUITES",
+    "Bench",
+    "BenchFormatError",
+    "Comparison",
+    "Delta",
+    "bench_entry",
+    "benches_for",
+    "calibration_loop",
+    "compare",
+    "load_baseline",
+    "measure_calibration",
+    "register",
+    "run_suites",
+    "validate_payload",
+]

@@ -1,0 +1,144 @@
+"""Compare a fresh BENCH.json payload against the committed baseline.
+
+The comparison reads *normalized* costs only (median / calibration), so
+a baseline recorded on one machine gates runs on any other.  A bench
+regresses when its normalized cost exceeds the baseline's by more than
+``tolerance`` (0.25 = 25 % slower); a bench the baseline knows but the
+current run skipped — within a suite the current run claims to cover —
+is an error, so a silently-deleted bench cannot green the gate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.bench.runner import SCHEMA_VERSION
+
+
+class BenchFormatError(ValueError):
+    """A BENCH.json payload is malformed or from an unknown schema."""
+
+
+def validate_payload(payload: dict) -> dict:
+    """Check the BENCH.json shape; return the payload for chaining."""
+    if not isinstance(payload, dict):
+        raise BenchFormatError(f"payload must be an object, got {type(payload).__name__}")
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise BenchFormatError(
+            f"schema_version {version!r} not supported (expected {SCHEMA_VERSION})"
+        )
+    for key in ("suites", "repetitions", "calibration_s", "benches"):
+        if key not in payload:
+            raise BenchFormatError(f"payload missing {key!r}")
+    if not isinstance(payload["benches"], dict):
+        raise BenchFormatError("'benches' must be an object")
+    for name, entry in payload["benches"].items():
+        for key in ("median_s", "normalized", "ops_per_s"):
+            value = entry.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                raise BenchFormatError(
+                    f"bench {name!r}: {key!r} must be a non-negative number, "
+                    f"got {value!r}"
+                )
+    return payload
+
+
+def load_baseline(path: str) -> dict:
+    """Read and validate a committed BENCH.json."""
+    with open(path, encoding="utf-8") as fh:
+        try:
+            payload = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise BenchFormatError(f"{path}: not valid JSON ({exc})") from exc
+    return validate_payload(payload)
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One bench's baseline-vs-current normalized cost."""
+
+    name: str
+    baseline: float
+    current: float
+    #: current / baseline — 1.0 is unchanged, 2.0 is twice as slow.
+    ratio: float
+    status: str  # ok | regression | improvement
+
+
+@dataclass
+class Comparison:
+    tolerance: float
+    deltas: list[Delta] = field(default_factory=list)
+    #: Benches the baseline has, in a suite the current run covers, that
+    #: the current run did not produce.
+    missing: list[str] = field(default_factory=list)
+    #: Benches the current run produced that the baseline lacks —
+    #: informational (a freshly added bench has no baseline yet).
+    extra: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[Delta]:
+        return [d for d in self.deltas if d.status == "regression"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions and not self.missing
+
+    def summary(self) -> str:
+        lines = [
+            f"{'bench':<30} {'baseline':>10} {'current':>10} {'ratio':>7}  status"
+        ]
+        for d in self.deltas:
+            lines.append(
+                f"{d.name:<30} {d.baseline:>10.3f} {d.current:>10.3f} "
+                f"{d.ratio:>6.2f}x  {d.status}"
+            )
+        for name in self.missing:
+            lines.append(f"{name:<30} {'—':>10} {'—':>10} {'—':>7}  MISSING")
+        for name in self.extra:
+            lines.append(f"{name:<30} {'—':>10} {'—':>10} {'—':>7}  new (no baseline)")
+        verdict = "OK" if self.ok else "REGRESSION"
+        lines.append(
+            f"bench gate: {verdict} "
+            f"({len(self.regressions)} regressed, {len(self.missing)} missing, "
+            f"tolerance {self.tolerance:.0%})"
+        )
+        return "\n".join(lines)
+
+
+def compare(current: dict, baseline: dict, tolerance: float = 0.25) -> Comparison:
+    """Gate ``current`` against ``baseline`` on normalized cost.
+
+    Only benches in suites the current run covers are consulted, so a
+    core-only CI check works against a baseline recorded with every
+    suite.
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be non-negative, got {tolerance}")
+    validate_payload(current)
+    validate_payload(baseline)
+    suites = set(current["suites"])
+    result = Comparison(tolerance=tolerance)
+    for name, base_entry in sorted(baseline["benches"].items()):
+        if base_entry.get("suite", name.split(".")[0]) not in suites:
+            continue
+        cur_entry = current["benches"].get(name)
+        if cur_entry is None:
+            result.missing.append(name)
+            continue
+        base = base_entry["normalized"]
+        cur = cur_entry["normalized"]
+        ratio = cur / base if base > 0 else float("inf")
+        if ratio > 1.0 + tolerance:
+            status = "regression"
+        elif ratio < 1.0 / (1.0 + tolerance):
+            status = "improvement"
+        else:
+            status = "ok"
+        result.deltas.append(
+            Delta(name=name, baseline=base, current=cur, ratio=ratio, status=status)
+        )
+    result.extra = sorted(set(current["benches"]) - set(baseline["benches"]))
+    return result

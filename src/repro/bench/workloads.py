@@ -1,0 +1,143 @@
+"""Shared workload builders for the bench registry and the pytest benches.
+
+Every builder here constructs a deterministic, seeded scenario and (for
+the ``run_*`` variants) drives it to completion, returning the system so
+callers can assert on its final state.  ``benchmarks/bench_*.py`` import
+the builders to keep the pytest benches and the ``repro bench`` runner
+measuring the *same* workloads — one definition, two harnesses.
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.config import MachineConfig, SimConfig
+from repro.core.distributor import ResourceDistributor
+from repro.core.grant_control import GrantController, GrantRequest
+from repro.core.policy_box import PolicyBox
+from repro.core.resource_list import ResourceList, ResourceListEntry
+from repro.core.sporadic import SporadicServer
+from repro.workloads import grant_follower, single_entry_definition
+
+# -- section 6.1: the A/V pipeline ------------------------------------------
+
+
+def build_av_scenario(seed: int = 61) -> ResourceDistributor:
+    """MPEG + AC3 + the two fixed data-management threads + a greedy
+    Sporadic Server — the paper's §6.1 context-switch-cost scenario."""
+    from repro.tasks.ac3 import Ac3Decoder
+    from repro.tasks.mpeg import MpegDecoder
+    from repro.tasks.producer_consumer import Figure4Workload
+
+    rd = ResourceDistributor(machine=MachineConfig(), sim=SimConfig(seed=seed))
+    SporadicServer(rd, greedy=True)
+    rd.admit(MpegDecoder().definition())
+    rd.admit(Ac3Decoder().definition())
+    workload = Figure4Workload(fixed=True)
+    defs = workload.definitions()
+    rd.admit(defs[1])
+    rd.admit(defs[3])
+    return rd
+
+
+def run_av_scenario(seconds: float = 2.0, seed: int = 61) -> ResourceDistributor:
+    rd = build_av_scenario(seed=seed)
+    rd.run_for(units.sec_to_ticks(seconds))
+    return rd
+
+
+# -- section 6.3: grant-set computation -------------------------------------
+
+
+def sheddable_list(n: int) -> ResourceList:
+    """Maxima of 90 % (heavy overload at any N) with minima small
+    enough that N of them stay jointly admissible."""
+    period = units.ms_to_ticks(10)
+    rates = [0.9, 0.45, 0.2, 0.05, 0.3 / (2 * n)]
+    entries = [
+        ResourceListEntry(period, max(1, round(period * r)), grant_follower)
+        for r in rates
+        if round(period * r) >= 1
+    ]
+    return ResourceList(entries)
+
+
+def build_grant_requests(
+    n: int, overload: bool
+) -> tuple[GrantController, list[GrantRequest]]:
+    """A grant controller plus N requests, in the under- or overload regime."""
+    box = PolicyBox(capacity=0.96)
+    requests = []
+    for i in range(n):
+        if overload:
+            rl = sheddable_list(n)
+        else:
+            rl = single_entry_definition(f"t{i}", 10, 0.9 / n).resource_list
+        requests.append(
+            GrantRequest(
+                thread_id=i,
+                policy_id=box.register_task(f"t{i}"),
+                resource_list=rl,
+            )
+        )
+    return GrantController(0.96, box), requests
+
+
+def run_grant_computations(n: int, overload: bool, iterations: int):
+    """Recompute the same N-thread grant set ``iterations`` times."""
+    controller, requests = build_grant_requests(n, overload)
+    result = None
+    for _ in range(iterations):
+        result = controller.compute(requests)
+    return result
+
+
+# -- admission bursts --------------------------------------------------------
+
+
+def run_admission_burst(count: int, batched: bool) -> ResourceDistributor:
+    """Admit ``count`` small periodic tasks into a fresh distributor —
+    one grant recompute per admission sequentially, or one coalesced
+    recompute via :meth:`ResourceDistributor.admit_many`."""
+    rd = ResourceDistributor(machine=MachineConfig.ideal(), sim=SimConfig(seed=0))
+    definitions = [
+        single_entry_definition(f"burst{i}", 10 + (i % 7), 0.9 / count)
+        for i in range(count)
+    ]
+    if batched:
+        rd.admit_many(definitions)
+    else:
+        for definition in definitions:
+            rd.admit(definition)
+    return rd
+
+
+# -- named scenarios ---------------------------------------------------------
+
+
+def run_settop(ms: float = 400, seed: int = 53):
+    """The section 5.3 set-top box (DVD A/V + teleconference + modem)."""
+    from repro.scenarios import settop
+
+    return settop(seed=seed).run_for(units.ms_to_ticks(ms))
+
+
+def run_figure5(obs: str = "disabled", ms: float = 400, seed: int = 11):
+    """The Figure 5 load-shedding staircase under one of three
+    instrumentation configurations: ``disabled`` (obs=None), ``no-sink``
+    (an ObsBus with zero subscribers), or ``session`` (a full
+    ObsSession: collector + metrics)."""
+    from repro.obs.events import ObsBus
+    from repro.obs.session import ObsSession
+    from repro.scenarios import figure5
+
+    bus = {"disabled": lambda: None, "no-sink": ObsBus, "session": ObsSession}[obs]()
+    return figure5(seed=seed, obs=bus).run_for(units.ms_to_ticks(ms))
+
+
+def run_cluster_rack(seed: int = 7, nodes: int = 4, horizon_sec: float = 0.4):
+    """The multi-node set-top rack behind the admission broker."""
+    from repro.scenarios import cluster_rack
+
+    sim = cluster_rack(seed=seed, nodes=nodes, horizon_sec=horizon_sec)
+    sim.run_until(sim.horizon)
+    return sim

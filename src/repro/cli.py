@@ -12,6 +12,7 @@
     python -m repro cluster --nodes 4   # multi-node rack behind a broker
     python -m repro run --scenario settop --obs-out out/  # observed run
     python -m repro obs                 # describe the telemetry surface
+    python -m repro bench --suite core  # wall-clock benches + regression gate
 
 Every command is deterministic for a given ``--seed``.  Shared options
 (``--seed``, ``--duration-ms``, ``--sanitize``) are defined once on a
@@ -379,6 +380,48 @@ def cmd_obs(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """Run the wall-clock bench suites; optionally gate against a baseline."""
+    import json
+
+    from repro.bench import SUITES, compare, load_baseline, run_suites
+
+    suites = list(SUITES) if args.suite == "all" else [args.suite]
+    progress = None if args.json else (lambda name: print(f"  running {name} ..."))
+    payload = run_suites(suites, repetitions=args.repetitions, progress=progress)
+    rendered = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(rendered)
+        print(f"wrote {args.out}")
+    if args.json:
+        print(rendered, end="")
+    else:
+        rows = [
+            [
+                name,
+                f"{entry['median_s'] * 1e3:.1f}",
+                f"{entry['normalized']:.3f}",
+                f"{entry['ops_per_s']:.0f}",
+            ]
+            for name, entry in sorted(payload["benches"].items())
+        ]
+        print(
+            format_table(
+                ["bench", "median (ms)", "normalized", "ops/s"],
+                rows,
+                title=f"repro bench — suites: {', '.join(suites)}, "
+                f"{args.repetitions} repetitions, "
+                f"calibration {payload['calibration_s'] * 1e3:.1f} ms",
+            )
+        )
+    if args.check_against:
+        report = compare(payload, load_baseline(args.check_against), args.tolerance)
+        print(report.summary())
+        return 0 if report.ok else 1
+    return 0
+
+
 def cmd_validate(args) -> int:
     rng = random.Random(args.seed)
     rd = ResourceDistributor(
@@ -464,6 +507,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="write events.jsonl, metrics.prom, trace.perfetto.json to DIR",
     )
     command("obs", cmd_obs, "describe the telemetry surface")
+    p = command("bench", cmd_bench, "wall-clock bench suites + regression gate")
+    p.add_argument(
+        "--suite",
+        choices=["core", "cluster", "obs", "all"],
+        default="core",
+        help="bench suite to run",
+    )
+    p.add_argument(
+        "--repetitions", type=int, default=5, help="timed samples per bench"
+    )
+    p.add_argument(
+        "--json", action="store_true", help="emit the BENCH.json payload on stdout"
+    )
+    p.add_argument(
+        "--out", metavar="PATH", default=None, help="write the payload to PATH"
+    )
+    p.add_argument(
+        "--check-against",
+        metavar="PATH",
+        default=None,
+        help="compare normalized costs against a committed BENCH.json; "
+        "exit 1 on regression",
+    )
+    p.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed normalized-cost growth before a bench counts as regressed",
+    )
     p = command("cluster", cmd_cluster, "multi-node rack behind a broker")
     p.add_argument(
         "--obs-out",

@@ -84,6 +84,22 @@ class ResourceDistributor:
         """Request admittance for a task (raises AdmissionError on denial)."""
         return self.resource_manager.request_admittance(definition)
 
+    def admit_many(self, definitions: list[TaskDefinition]) -> list[SimThread]:
+        """Admit a batch of tasks with one grant-set recomputation.
+
+        Each admission runs the normal O(1) test and raises
+        :class:`AdmissionError` exactly as :meth:`admit` does, but the
+        grant-set recomputation is deferred until the whole batch is
+        admitted — an N-task startup burst costs one computation instead
+        of N.  On a mid-batch denial the tasks already admitted keep
+        their admission and receive their grants.
+        """
+        threads = []
+        with self.resource_manager.deferred_recompute():
+            for definition in definitions:
+                threads.append(self.resource_manager.request_admittance(definition))
+        return threads
+
     def exit_thread(self, tid: int) -> None:
         self.resource_manager.exit_thread(tid)
 

@@ -110,12 +110,18 @@ class GrantController:
     def bandwidth_capacity(self) -> float:
         return self._bandwidth
 
-    def compute(self, requests: list[GrantRequest]) -> GrantSetResult:
+    def compute(
+        self, requests: list[GrantRequest], observe: bool = True
+    ) -> GrantSetResult:
         """Compute the grant set for the current task population.
 
         ``requests`` covers every admitted thread; quiescent threads are
         skipped for grants (their resources flow to the others) but were
         already counted by admission control.
+
+        ``observe=False`` keeps the computation side-effect free (no
+        Policy Box counters or telemetry) — used by the sanitizer to
+        cross-check memoized results against a fresh computation.
         """
         active = [r for r in requests if not r.quiescent]
         if not active:
@@ -133,7 +139,7 @@ class GrantController:
         fast = self._fast_path(active)
         if fast is not None:
             return fast
-        return self._policy_path(active)
+        return self._policy_path(active, observe=observe)
 
     # -- fast path -----------------------------------------------------------
 
@@ -166,8 +172,12 @@ class GrantController:
 
     # -- policy correlation ----------------------------------------------------
 
-    def _policy_path(self, active: list[GrantRequest]) -> GrantSetResult:
-        policy = self._policy_box.resolve({r.policy_id for r in active})
+    def _policy_path(
+        self, active: list[GrantRequest], observe: bool = True
+    ) -> GrantSetResult:
+        policy = self._policy_box.resolve(
+            {r.policy_id for r in active}, observe=observe
+        )
         targets = {r.thread_id: policy.share_of(r.policy_id) for r in active}
 
         # Selection order: the policy's exclusive-preference thread first,

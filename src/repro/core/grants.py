@@ -93,6 +93,10 @@ class GrantSet:
     def get(self, thread_id: int) -> Grant | None:
         return self._grants.get(thread_id)
 
+    def items(self) -> Iterator[tuple[int, Grant]]:
+        """(thread_id, grant) pairs, in admission order."""
+        return iter(self._grants.items())
+
     def __getitem__(self, thread_id: int) -> Grant:
         try:
             return self._grants[thread_id]

@@ -41,7 +41,6 @@ from repro.sim.trace import (
     ContextSwitchRecord,
     DeadlineRecord,
     GrantChangeRecord,
-    RunSegment,
     SegmentKind,
     SwitchKind,
     TraceRecorder,
@@ -85,6 +84,12 @@ class Kernel:
         self.exclusive = ExclusiveUnitRegistry(machine.exclusive_units)
 
         self.threads: dict[int, SimThread] = {}
+        #: Periodic threads in creation order — the rollover scan runs
+        #: several times per dispatch-loop iteration and must not pay
+        #: for filtering sporadic/idle threads out of ``threads`` each
+        #: time.  Threads are never removed (EXITED threads stay, with
+        #: ``in_period`` False), so the list only ever appends.
+        self._periodic: list[SimThread] = []
         self._next_tid = self.IDLE_TID + 1
         self.idle = SimThread(self.IDLE_TID, "Idle", ThreadKind.IDLE)
         self.policy = None  # bound by the scheduler policy
@@ -139,6 +144,7 @@ class Kernel:
             ThreadState.QUIESCENT if definition.start_quiescent else ThreadState.ACTIVE
         )
         self.threads[thread.tid] = thread
+        self._periodic.append(thread)
         return thread
 
     def create_sporadic(self, name: str, function) -> SimThread:
@@ -163,7 +169,7 @@ class Kernel:
         return tid
 
     def periodic_threads(self) -> Iterable[SimThread]:
-        return (t for t in self.threads.values() if t.kind is ThreadKind.PERIODIC)
+        return iter(self._periodic)
 
     def thread(self, tid: int) -> SimThread:
         try:
@@ -233,7 +239,7 @@ class Kernel:
 
     def _record_grant_change(self, record: GrantChangeRecord) -> None:
         self.trace.record_grant_change(record)
-        if self.obs is not None:
+        if self.obs:
             self.obs.emit(
                 GrantChangeEvent(
                     time=record.time,
@@ -261,8 +267,11 @@ class Kernel:
         """Advance the simulation to absolute time ``horizon``."""
         if self.policy is None:
             raise SimulationError("no scheduler policy bound to the kernel")
-        while self.now < horizon:
-            before = self.now
+        clock = self.clock
+        policy = self.policy
+        sanitizer = self.sanitizer
+        while clock.now < horizon:
+            before = clock.now
             # Bring period accounting current *before* firing events:
             # an event handler (e.g. a wake -> grant recomputation) must
             # see boundaries that have already passed as processed, or
@@ -272,12 +281,13 @@ class Kernel:
             # beginning at t ("the decrease occurs in the next period").
             self._rollover_all(strict=True)
             self._fire_due_events()
-            self._scan_wakes()
+            if self._block_order:
+                self._scan_wakes()
             self._rollover_all()
             self._reschedule = False
-            thread = self.policy.pick(self.now)
-            if self.sanitizer is not None:
-                self.sanitizer.on_pick(thread, self.now)
+            thread = policy.pick(clock.now)
+            if sanitizer is not None:
+                sanitizer.on_pick(thread, clock.now)
             self._switch_to(thread)
             # The switch cost may have carried the clock across period
             # boundaries; bring accounting current before setting the timer.
@@ -286,8 +296,10 @@ class Kernel:
             self._dispatch(thread, stop, preemptive)
             self._guard_progress(before)
         # Close any period ending exactly at the horizon so trace
-        # accounting covers the whole run.
+        # accounting covers the whole run, and materialize the open
+        # trace segment so exports taken after the run see everything.
         self._rollover_all()
+        self.trace.flush()
 
     def _guard_progress(self, before: int) -> None:
         if self.now == before:
@@ -330,14 +342,10 @@ class Kernel:
             kind = self._pending_switch_kind
             cost = self.switch_model.sample_ticks(kind)
             if cost:
-                start = self.now
+                start = self.clock.now
                 self.clock.advance(cost)
                 self.reserve.charge(cost)
-                self.trace.record_segment(
-                    RunSegment(
-                        thread_id=-1, start=start, end=self.now, kind=SegmentKind.SYSTEM
-                    )
-                )
+                self.trace.record_run(-1, start, self.clock.now, SegmentKind.SYSTEM)
             self.trace.record_switch(
                 ContextSwitchRecord(
                     time=self.now,
@@ -347,7 +355,7 @@ class Kernel:
                     cost_ticks=cost,
                 )
             )
-            if self.obs is not None:
+            if self.obs:
                 self.obs.emit(
                     SwitchEvent(
                         time=self.now,
@@ -364,17 +372,10 @@ class Kernel:
 
     def _dispatch(self, thread: SimThread, stop: int, preemptive: bool) -> None:
         if thread.is_idle:
-            start = self.now
+            start = self.clock.now
             if stop > start:
                 self.clock.advance_to(stop)
-                self.trace.record_segment(
-                    RunSegment(
-                        thread_id=thread.tid,
-                        start=start,
-                        end=stop,
-                        kind=SegmentKind.IDLE,
-                    )
-                )
+                self.trace.record_run(thread.tid, start, stop, SegmentKind.IDLE)
             self._pending_switch_kind = SwitchKind.VOLUNTARY
             return
 
@@ -411,7 +412,7 @@ class Kernel:
                 # The task's next preemption check falls inside the grace
                 # period; it yields voluntarily once it notices.
                 self._execute(thread, self.now + notice)
-                if self.obs is not None:
+                if self.obs:
                     self.obs.emit(
                         GraceEvent(
                             time=self.now,
@@ -429,7 +430,7 @@ class Kernel:
             thread.ctx.missed_grace = True
             if definition.exception_callback is not None:
                 definition.exception_callback(self.now)
-            if self.obs is not None:
+            if self.obs:
                 self.obs.emit(
                     GraceEvent(
                         time=self.now,
@@ -463,19 +464,22 @@ class Kernel:
         it on the wrong queue.  A Compute op ends the indulgence.
         """
         ops_at_stop = 0
+        clock = self.clock
         while True:
-            if self.now >= stop:
-                runner, assigned = self._current_runner(thread)
+            # _current_runner is idempotent (a side-effectful call
+            # settles the assignment state), so one call per iteration
+            # serves both the stop check and the dispatch below.
+            runner, assigned = self._current_runner(thread)
+            if clock.now >= stop:
                 if runner.pending_compute > 0 or ops_at_stop >= 8:
                     return SliceEnd.FORCED
                 ops_at_stop += 1
-            runner, assigned = self._current_runner(thread)
 
             if runner.pending_compute > 0:
                 cap = stop
                 if assigned:
-                    cap = min(cap, self.now + thread.assignment_remaining)
-                run = min(runner.pending_compute, cap - self.now)
+                    cap = min(cap, clock.now + thread.assignment_remaining)
+                run = min(runner.pending_compute, cap - clock.now)
                 if run > 0:
                     self._consume(thread, runner, run, assigned)
                 if assigned:
@@ -503,7 +507,8 @@ class Kernel:
                 op = runner.gen.send(None)
             except StopIteration:
                 runner.gen_exhausted = True
-                self._scan_wakes()
+                if self._block_order:
+                    self._scan_wakes()
                 if assigned:
                     runner.state = ThreadState.EXITED
                     thread.clear_assignment()
@@ -516,7 +521,8 @@ class Kernel:
                 if outcome is not None:
                     return outcome
                 continue
-            self._scan_wakes()  # the generator body may have posted channels
+            if self._block_order:
+                self._scan_wakes()  # the generator body may have posted channels
 
             try:
                 result = self._apply_op(thread, runner, assigned, op)
@@ -615,8 +621,8 @@ class Kernel:
     def _consume(
         self, thread: SimThread, runner: SimThread, run: int, assigned: bool
     ) -> None:
-        start = self.now
-        self.clock.advance(run)
+        start = self.clock.now
+        end = self.clock.advance(run)
         runner.pending_compute -= run
         granted_mode = thread.remaining > 0 and not thread.declared_done
         if granted_mode:
@@ -630,15 +636,13 @@ class Kernel:
             kind = SegmentKind.GRANTED
         else:
             kind = SegmentKind.OVERTIME
-        self.trace.record_segment(
-            RunSegment(
-                thread_id=runner.tid,
-                start=start,
-                end=self.now,
-                kind=kind,
-                period_index=thread.period_index,
-                charged_to=thread.tid if assigned else None,
-            )
+        self.trace.record_run(
+            runner.tid,
+            start,
+            end,
+            kind,
+            thread.period_index,
+            thread.tid if assigned else None,
         )
 
     def _ensure_generator(self, thread: SimThread) -> None:
@@ -692,12 +696,10 @@ class Kernel:
     def _rollover_all(self, strict: bool = False) -> None:
         """Process every period boundary at or before the current time
         (strictly before it when ``strict``)."""
-        for thread in list(self.threads.values()):
-            if thread.kind is not ThreadKind.PERIODIC:
-                continue
+        now = self.clock.now
+        for thread in self._periodic:
             while thread.in_period and (
-                thread.deadline < self.now
-                or (not strict and thread.deadline == self.now)
+                thread.deadline < now or (not strict and thread.deadline == now)
             ):
                 self._close_period(thread)
                 self._open_next_period(thread)
@@ -724,7 +726,7 @@ class Kernel:
             voided=voided,
         )
         self.trace.record_deadline(record)
-        if self.obs is not None and (missed or voided):
+        if self.obs and (missed or voided):
             # Healthy periods stay out of the stream: the telemetry
             # records exceptions to the guarantee, not its routine.
             self.obs.emit(

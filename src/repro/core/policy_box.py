@@ -68,6 +68,10 @@ class PolicyBox:
         self._overrides: dict[frozenset[int], dict[int, float]] = {}
         self._lookups = 0
         self._inventions = 0
+        #: Bumped on every ranking-table mutation; the Resource Manager
+        #: folds it into its memoization signature so cached grant sets
+        #: are invalidated the moment a policy changes.
+        self._revision = 0
         #: Optional telemetry bus, plus the clock it stamps events with
         #: (the box itself has no notion of simulated time; the
         #: distributor wires ``clock`` to the kernel's).
@@ -112,14 +116,17 @@ class PolicyBox:
         """
         key = self._validate(rankings)
         self._defaults[key] = dict(rankings)
+        self._revision += 1
 
     def set_override(self, rankings: dict[int, float]) -> None:
         """Install a user override, taking precedence over the default."""
         key = self._validate(rankings)
         self._overrides[key] = dict(rankings)
+        self._revision += 1
 
     def clear_override(self, policy_ids: frozenset[int] | set[int]) -> None:
-        self._overrides.pop(frozenset(policy_ids), None)
+        if self._overrides.pop(frozenset(policy_ids), None) is not None:
+            self._revision += 1
 
     def known_policies(self) -> list[frozenset[int]]:
         """Every task set for which a ranking exists (default or override)."""
@@ -130,12 +137,19 @@ class PolicyBox:
 
     # -- resolution --------------------------------------------------------
 
-    def resolve(self, policy_ids: frozenset[int] | set[int]) -> Policy:
+    def resolve(
+        self, policy_ids: frozenset[int] | set[int], observe: bool = True
+    ) -> Policy:
         """Return the policy for the given set of threads.
 
         Looks for a user override first, then a default.  If neither
         matches, invents the 1/N policy, giving exclusive resources to an
         arbitrary (deterministically the lowest-id) thread.
+
+        ``observe=False`` makes the resolution side-effect free: no
+        lookup/invention counters, no telemetry.  The sanitizer's
+        memoization cross-check uses it to recompute a grant set without
+        perturbing the observable event stream.
         """
         key = frozenset(policy_ids)
         if not key:
@@ -143,18 +157,21 @@ class PolicyBox:
         unknown = [pid for pid in key if pid not in self._tasks]
         if unknown:
             raise PolicyError(f"unregistered policy ids {sorted(unknown)}")
-        self._lookups += 1
+        if observe:
+            self._lookups += 1
         rankings = self._overrides.get(key) or self._defaults.get(key)
         if rankings is not None:
             shares = {pid: pct / 100.0 for pid, pct in rankings.items()}
             preference = max(shares, key=lambda pid: (shares[pid], -pid))
-            self._emit_resolution(key, invented=False)
+            if observe:
+                self._emit_resolution(key, invented=False)
             return Policy(shares=shares, exclusive_preference=preference)
-        self._emit_resolution(key, invented=True)
-        return self._invent(key)
+        if observe:
+            self._emit_resolution(key, invented=True)
+        return self._invent(key, observe=observe)
 
     def _emit_resolution(self, key: frozenset[int], invented: bool) -> None:
-        if self.obs is not None:
+        if self.obs:
             self.obs.emit(
                 PolicyResolutionEvent(
                     time=self.clock(),
@@ -164,8 +181,9 @@ class PolicyBox:
                 )
             )
 
-    def _invent(self, key: frozenset[int]) -> Policy:
-        self._inventions += 1
+    def _invent(self, key: frozenset[int], observe: bool = True) -> Policy:
+        if observe:
+            self._inventions += 1
         share = self._capacity / len(key)
         shares = {pid: share for pid in sorted(key)}
         return Policy(
@@ -242,6 +260,11 @@ class PolicyBox:
     @property
     def invention_count(self) -> int:
         return self._inventions
+
+    @property
+    def revision(self) -> int:
+        """Monotone counter of ranking-table mutations (memoization key)."""
+        return self._revision
 
     def describe(self) -> str:
         """Render the ranking tables in the paper's Table 5 format."""

@@ -20,7 +20,9 @@ committed to an admitted task.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
+from typing import Iterator
 
 from repro.core.admission import AdmissionController
 from repro.core.grant_control import GrantController, GrantRequest, GrantSetResult
@@ -109,6 +111,19 @@ class ResourceManager:
         self.last_result: GrantSetResult | None = None
         #: Optional telemetry bus; set alongside :attr:`Kernel.obs`.
         self.obs = None
+        #: Memoization signature of the population the last grant set
+        #: was computed for: (policy revision, capacity, per-thread
+        #: (tid, policy id, resource list, quiescent) tuples).  Holding
+        #: the resource-list objects keeps the comparison sound (no id
+        #: reuse) and invalidates whenever a list is replaced.
+        self._memo_signature: tuple | None = None
+        #: Number of grant-set computations actually performed.
+        self.recompute_count = 0
+        #: Number of :meth:`_recompute` calls served from the memo.
+        self.memo_hits = 0
+        #: Recompute-deferral nesting depth (see :meth:`deferred_recompute`).
+        self._defer_depth = 0
+        self._defer_dirty = False
 
     # -- admission ---------------------------------------------------------
 
@@ -133,7 +148,7 @@ class ResourceManager:
                 f"(capacities {self.admission.capacity:.1%} / "
                 f"{self.admission.bandwidth_capacity:.1%})"
             )
-            if self.obs is not None:
+            if self.obs:
                 self.obs.emit(
                     AdmissionEvent(
                         time=self.kernel.now,
@@ -154,7 +169,7 @@ class ResourceManager:
             definition=definition,
             quiescent=definition.start_quiescent,
         )
-        if self.obs is not None:
+        if self.obs:
             self.obs.emit(
                 AdmissionEvent(
                     time=self.kernel.now,
@@ -255,21 +270,68 @@ class ResourceManager:
 
     # -- grant recomputation -------------------------------------------------
 
+    @contextmanager
+    def deferred_recompute(self) -> Iterator[None]:
+        """Coalesce grant-set recomputations inside the block.
+
+        Admission/exit/quiescence bursts within a single kernel step
+        (e.g. admitting a batch of tasks before the simulation starts)
+        trigger one recomputation per call when each is made directly;
+        inside this context the recomputations are deferred and a single
+        one runs when the outermost block exits.  Nesting is allowed.
+        """
+        self._defer_depth += 1
+        try:
+            yield
+        finally:
+            self._defer_depth -= 1
+            if self._defer_depth == 0 and self._defer_dirty:
+                self._defer_dirty = False
+                self._recompute()
+
+    def _signature(self) -> tuple:
+        return (
+            self.policy_box.revision,
+            self.grant_control.capacity,
+            tuple(
+                (tid, record.thread.policy_id, record.definition.resource_list, record.quiescent)
+                for tid, record in sorted(self._records.items())
+            ),
+        )
+
     def _recompute(self) -> None:
-        requests = [
-            GrantRequest(
-                thread_id=tid,
-                policy_id=record.thread.policy_id,
-                resource_list=record.definition.resource_list,
-                quiescent=record.quiescent,
-            )
-            for tid, record in sorted(self._records.items())
-        ]
+        if self._defer_depth:
+            self._defer_dirty = True
+            return
+        signature = self._signature()
+        if (
+            self.last_result is not None
+            and self._memo_signature is not None
+            and signature == self._memo_signature
+        ):
+            # Population, resource lists, and policy tables are unchanged
+            # since the last computation: the grant set is a pure function
+            # of them, so reuse it.  The scheduler is still notified (a
+            # no-op diff that re-asserts in-flight pending state, exactly
+            # like the legacy unconditional rebuild did).
+            self.memo_hits += 1
+            if self.kernel.sanitizer is not None:
+                fresh = self.grant_control.compute(
+                    self._requests(), observe=False
+                )
+                self.kernel.sanitizer.on_memo_reuse(
+                    self.last_result, fresh, self.kernel.now
+                )
+            self.scheduler.notify_grant_set(self.last_result)
+            return
+        requests = self._requests()
         result = self.grant_control.compute(requests)
+        self.recompute_count += 1
+        self._memo_signature = signature
         if self.kernel.sanitizer is not None:
             self.kernel.sanitizer.on_grant_set(result)
         self.last_result = result
-        if self.obs is not None:
+        if self.obs:
             degraded = sum(1 for g in result.grant_set if g.entry_index > 0)
             self.obs.emit(
                 GrantRecomputeEvent(
@@ -289,6 +351,17 @@ class ResourceManager:
         assignment.update(result.exclusive_assignment)
         self.kernel.exclusive.assign(assignment)
         self.scheduler.notify_grant_set(result)
+
+    def _requests(self) -> list[GrantRequest]:
+        return [
+            GrantRequest(
+                thread_id=tid,
+                policy_id=record.thread.policy_id,
+                resource_list=record.definition.resource_list,
+                quiescent=record.quiescent,
+            )
+            for tid, record in sorted(self._records.items())
+        ]
 
     def _record(self, tid: int) -> _AdmittedRecord:
         try:

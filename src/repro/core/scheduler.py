@@ -29,17 +29,31 @@ the Policy Box, users, or applications.
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
+
 from repro import units
 from repro.core.grant_control import GrantSetResult
-from repro.core.grants import Grant
+from repro.core.grants import Grant, GrantSet
 from repro.core.kernel import Kernel
-from repro.core.threads import SimThread, ThreadState
+from repro.core.threads import SimThread, ThreadKind, ThreadState
 from repro.obs.events import ActivationEvent
 
 
 def _edf_key(thread: SimThread) -> tuple[int, int]:
     """Deadline order with a stable tid tie-break."""
     return (thread.deadline, thread.tid)
+
+
+def _same_grant(a: Grant, b: Grant) -> bool:
+    """Do two grants promise the same allocation?
+
+    The scheduler's reaction to a grant depends only on its entry
+    identity and its (cpu, period) shape, so that is what "unchanged"
+    means for the notify diff.
+    """
+    return a is b or (
+        a.entry is b.entry and a.cpu_ticks == b.cpu_ticks and a.period == b.period
+    )
 
 
 class RDScheduler:
@@ -56,7 +70,38 @@ class RDScheduler:
         self._pending_activation: dict[int, Grant] = {}
         #: Count of Resource Manager callbacks taken at unallocated time.
         self.activation_count = 0
+        #: Incremental EDF ready-heap of (deadline, tid, thread) entries.
+        #: One entry is pushed per period open; entries whose deadline no
+        #: longer matches the thread's are stale and discarded lazily on
+        #: pop, so no heap surgery is ever needed on grant changes.
+        self._ready_heap: list[tuple[int, int, SimThread]] = []
+        #: The grant set delivered by the last ``notify_grant_set`` call,
+        #: diffed against to skip threads whose grant did not change.
+        self._last_notified: GrantSet | None = None
+        #: Threads with a scheduler-applied pending boundary change
+        #: (decrease/removal, or an activated increase).  The legacy full
+        #: rebuild re-asserted these on every notification; the diff must
+        #: therefore always revisit them even when their grant is
+        #: unchanged.
+        self._inflight: set[int] = set()
         kernel.bind_policy(self)
+        # Threads that started periods before this policy was bound (test
+        # harnesses drive start_first_period directly) never saw the
+        # period-open hook; seed the ready-heap with them.
+        for thread in kernel.periodic_threads():
+            if thread.in_period:
+                heappush(self._ready_heap, (thread.deadline, thread.tid, thread))
+
+    # -- kernel period hook ---------------------------------------------------
+
+    def on_period_open(self, thread: SimThread) -> None:
+        """A period just opened: push the thread's fresh deadline.
+
+        Called by the kernel from ``start_first_period`` and period
+        rollover.  Old entries for the thread become stale (its deadline
+        moved) and are discarded when they surface at the heap head.
+        """
+        heappush(self._ready_heap, (thread.deadline, thread.tid, thread))
 
     # -- Resource Manager interface ------------------------------------------
 
@@ -70,27 +115,58 @@ class RDScheduler:
         to get the new grant information").
         """
         grant_set = result.grant_set
-        pending: dict[int, Grant] = {}
-        for thread in self.kernel.periodic_threads():
-            if thread.state is ThreadState.EXITED:
+        previous = self._last_notified
+        pending = self._pending_activation
+        # Diff: only threads whose grant actually changed need their
+        # pending state recomputed, plus threads still in flight — ones
+        # with a pending boundary change or an activation awaiting
+        # unallocated time, whose state the legacy full rebuild
+        # re-asserted on every call.
+        work = set(self._inflight)
+        work.update(pending)
+        for tid, grant in grant_set.items():
+            old = None if previous is None else previous.get(tid)
+            if old is None or not _same_grant(old, grant):
+                work.add(tid)
+        if previous is not None:
+            for tid, _ in previous.items():
+                if tid not in grant_set:
+                    work.add(tid)
+        threads = self.kernel.threads
+        for tid in sorted(work):
+            thread = threads.get(tid)
+            if (
+                thread is None
+                or thread.kind is not ThreadKind.PERIODIC
+                or thread.state is ThreadState.EXITED
+            ):
+                pending.pop(tid, None)
+                self._inflight.discard(tid)
                 continue
-            new = grant_set.get(thread.tid)
+            new = grant_set.get(tid)
+            pending.pop(tid, None)
             if thread.in_period:
                 assert thread.grant is not None
                 if new is None:
                     thread.pending_grant = None
                     thread.has_pending_change = True
+                    self._inflight.add(tid)
                 elif new.entry is thread.grant.entry:
                     thread.pending_grant = None
                     thread.has_pending_change = False
+                    self._inflight.discard(tid)
                 elif new.rate <= thread.grant.rate:
                     thread.pending_grant = new
                     thread.has_pending_change = True
+                    self._inflight.add(tid)
                 else:
-                    pending[thread.tid] = new
-            elif new is not None:
-                pending[thread.tid] = new
-        self._pending_activation = pending
+                    pending[tid] = new
+                    self._inflight.discard(tid)
+            else:
+                self._inflight.discard(tid)
+                if new is not None:
+                    pending[tid] = new
+        self._last_notified = grant_set
         self.kernel.request_reschedule()
 
     @property
@@ -102,9 +178,12 @@ class RDScheduler:
         self.activation_count += 1
         pending, self._pending_activation = self._pending_activation, {}
         obs = self.kernel.obs
-        if obs is not None:
+        if obs:
             obs.emit(ActivationEvent(time=now, pending=len(pending)))
-        for tid, grant in pending.items():
+        # tid order, matching the legacy rebuild (which walked threads in
+        # creation order); the persistent pending dict accretes entries
+        # across notifications in arbitrary order.
+        for tid, grant in sorted(pending.items()):
             thread = self.kernel.threads.get(tid)
             if thread is None or thread.state is ThreadState.EXITED:
                 continue
@@ -113,6 +192,7 @@ class RDScheduler:
                 # period boundary, so the grant never changes mid-period.
                 thread.pending_grant = grant
                 thread.has_pending_change = True
+                self._inflight.add(tid)
             else:
                 # A new thread or a quiescent thread waking up: its first
                 # period starts now, in time that would otherwise have
@@ -139,17 +219,56 @@ class RDScheduler:
 
     # -- kernel policy interface ---------------------------------------------------
 
+    def _ready_head(self, now: int) -> SimThread | None:
+        """Earliest-deadline thread eligible for TimeRemaining, or None.
+
+        Lazy heap maintenance: entries whose deadline no longer matches
+        their thread (a later period opened), or whose thread retired,
+        exited, or spent its allocation for the period, are discarded —
+        the next period-open push resurrects the thread.  Entries that
+        are only *temporarily* ineligible (blocked, or a postponed
+        period that has not begun) are set aside and pushed back.
+        """
+        heap = self._ready_heap
+        deferred: list[tuple[int, int, SimThread]] | None = None
+        head: SimThread | None = None
+        while heap:
+            deadline, tid, thread = heap[0]
+            if (
+                thread.deadline != deadline
+                or not thread.in_period
+                or thread.state is ThreadState.EXITED
+                or thread.remaining <= 0
+                or thread.declared_done
+            ):
+                heappop(heap)
+                continue
+            if thread.state is not ThreadState.ACTIVE or thread.period_start > now:
+                if deferred is None:
+                    deferred = []
+                deferred.append(heappop(heap))
+                continue
+            head = thread
+            break
+        if deferred:
+            for entry in deferred:
+                heappush(heap, entry)
+        return head
+
     def pick(self, now: int) -> SimThread:
-        remaining = self.time_remaining_queue(now)
-        if not remaining and self._pending_activation:
+        head = self._ready_head(now)
+        if head is None and self._pending_activation:
             self._activate(now)
-            remaining = self.time_remaining_queue(now)
-        if remaining:
-            return remaining[0]
-        overtime = self.overtime_queue(now)
-        if overtime:
-            return overtime[0]
-        return self.kernel.idle
+            head = self._ready_head(now)
+        if head is not None:
+            return head
+        best: SimThread | None = None
+        for thread in self.kernel.periodic_threads():
+            if thread.eligible_overtime(now) and (
+                best is None or _edf_key(thread) < _edf_key(best)
+            ):
+                best = thread
+        return best if best is not None else self.kernel.idle
 
     def timer_for(self, thread: SimThread, now: int) -> int:
         if thread.is_idle or not thread.eligible_time_remaining(now):

@@ -48,7 +48,10 @@ class LayeringRule(Rule):
 
     ``repro.cluster`` itself may import ``repro.core``, ``repro.sim``,
     ``repro.obs``, and ``repro.metrics`` — it is a coordinator *above*
-    core, not a peer of it.
+    core, not a peer of it.  ``repro.bench`` sits at the very top
+    beside ``repro.cli``: it may import anything, and nothing below it
+    may import it (it reads the wall clock, which must never leak into
+    the simulated layers).
     """
 
     id = "layering"
@@ -63,11 +66,24 @@ class LayeringRule(Rule):
         ("repro.core.scheduler", ("repro.core.policy_box",)),
         (
             "repro.core",
-            ("repro.viz", "repro.cli", "repro.metrics.report", "repro.cluster"),
+            (
+                "repro.viz",
+                "repro.cli",
+                "repro.metrics.report",
+                "repro.cluster",
+                "repro.bench",
+            ),
         ),
         (
             "repro.sim",
-            ("repro.core", "repro.viz", "repro.cli", "repro.metrics", "repro.cluster"),
+            (
+                "repro.core",
+                "repro.viz",
+                "repro.cli",
+                "repro.metrics",
+                "repro.cluster",
+                "repro.bench",
+            ),
         ),
         (
             "repro.obs",
@@ -81,6 +97,7 @@ class LayeringRule(Rule):
                 "repro.tasks",
                 "repro.workloads",
                 "repro.baselines",
+                "repro.bench",
             ),
         ),
         (
@@ -96,6 +113,7 @@ class LayeringRule(Rule):
                 "repro.workloads",
                 "repro.baselines",
                 "repro.cluster",
+                "repro.bench",
             ),
         ),
     )

@@ -75,6 +75,8 @@ class InvariantSanitizer:
         self.grant_sets_checked = 0
         #: Number of period closes audited.
         self.periods_checked = 0
+        #: Number of memoized grant-set reuses cross-checked.
+        self.memo_reuses_checked = 0
         #: Optional telemetry bus; violations become structured
         #: ``ViolationEvent`` records *before* strict mode raises, so a
         #: ``--sanitize --obs-out`` run leaves a machine-readable log.
@@ -146,6 +148,50 @@ class InvariantSanitizer:
         self.decisions_checked += 1
         self._check_edf_order(chosen, now)
         self._check_never_terminated(now)
+
+    def on_memo_reuse(
+        self, cached: "GrantSetResult", fresh: "GrantSetResult", now: int
+    ) -> None:
+        """Cross-check a memoized grant set against a fresh computation.
+
+        The Resource Manager's memoization assumes the grant set is a
+        pure function of (population, resource lists, policy revision);
+        this hook recomputes from scratch — side-effect free — and fails
+        if the cached result has drifted from what a real recomputation
+        would produce.
+        """
+        self.memo_reuses_checked += 1
+        cached_set = cached.grant_set
+        fresh_set = fresh.grant_set
+        cached_ids = set(cached_set.thread_ids())
+        fresh_ids = set(fresh_set.thread_ids())
+        if cached_ids != fresh_ids:
+            self._fail(
+                "memo-consistency",
+                now,
+                f"memoized grant set covers threads {sorted(cached_ids)} but a "
+                f"fresh computation grants {sorted(fresh_ids)}",
+            )
+            return
+        for tid in sorted(cached_ids):
+            a, b = cached_set[tid], fresh_set[tid]
+            if a.entry is not b.entry or a.entry_index != b.entry_index:
+                self._fail(
+                    "memo-consistency",
+                    now,
+                    f"memoized grant for thread {tid} is entry "
+                    f"{a.entry_index} ({a.cpu_ticks}/{a.period}) but a fresh "
+                    f"computation selects entry {b.entry_index} "
+                    f"({b.cpu_ticks}/{b.period})",
+                )
+        if cached.exclusive_assignment != fresh.exclusive_assignment:
+            self._fail(
+                "memo-consistency",
+                now,
+                f"memoized exclusive-unit assignment "
+                f"{cached.exclusive_assignment} differs from fresh "
+                f"{fresh.exclusive_assignment}",
+            )
 
     def on_period_close(self, thread: "SimThread", record: "DeadlineRecord") -> None:
         """Per-period grant delivery for the period just closed."""

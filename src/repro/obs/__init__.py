@@ -30,9 +30,11 @@ directions).  All timestamps are simulated ticks, never wall-clock
 (the ``wallclock`` lint rule covers this package), so two runs with
 the same seed write byte-identical artifacts.
 
-Instrumentation is off by default: every hook site guards with
-``if obs is not None``, so a distributor without an attached session
-pays one attribute read and a falsy branch per decision.
+Instrumentation is off by default: every hook site guards on the
+bus's truthiness (``if self.obs:`` — a missing bus is ``None``, an
+attached bus is falsy until a subscriber arrives), so a distributor
+without a listener pays one attribute read and a falsy branch per
+decision and never constructs the event object.
 """
 
 from repro.obs.events import (

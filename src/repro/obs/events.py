@@ -7,10 +7,12 @@ plain data — no references to live scheduler objects — so a collected
 event stream serializes deterministically and survives the run.
 
 The :class:`ObsBus` is deliberately tiny: ``emit`` hands the event to
-each subscriber in subscription order.  With no subscribers an emit is
-a single length check, so an instrumented-but-unsinked system stays
-within the benchmark's overhead budget; with no bus attached at all
-(``obs is None`` at the hook site) the cost is one attribute read.
+each subscriber in subscription order.  A bus with no subscribers is
+*falsy*, and hot hook sites guard with ``if self.obs:``, so an
+instrumented-but-unsinked system skips event construction entirely —
+zero allocations — which keeps it within the benchmark's overhead
+budget; with no bus attached at all (``obs is None`` at the hook site)
+the cost is the same attribute read and falsy branch.
 """
 
 from __future__ import annotations
@@ -213,6 +215,16 @@ class ObsBus:
     def subscribe(self, sink: Callable[[ObsEvent], None]) -> None:
         self._subscribers.append(sink)
 
+    def __bool__(self) -> bool:
+        """True when at least one subscriber is attached.
+
+        Emission sites on hot paths guard with ``if self.obs:`` instead
+        of ``is not None`` so an instrumented-but-unsinked run skips
+        event *construction*, not just delivery — zero allocations when
+        nobody is listening.
+        """
+        return bool(self._subscribers)
+
     def emit(self, event: ObsEvent) -> None:
         if not self._subscribers:
             return
@@ -234,6 +246,9 @@ class ScopedBus:
 
     def subscribe(self, sink: Callable[[ObsEvent], None]) -> None:
         self._bus.subscribe(sink)
+
+    def __bool__(self) -> bool:
+        return bool(self._bus)
 
     def emit(self, event: ObsEvent) -> None:
         if not event.node:

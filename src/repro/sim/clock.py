@@ -17,31 +17,35 @@ from repro.errors import ClockError
 
 
 class SimClock:
-    """The master simulation clock, counting 27 MHz ticks monotonically."""
+    """The master simulation clock, counting 27 MHz ticks monotonically.
+
+    ``now`` is a plain attribute, not a property: the kernel's dispatch
+    loop reads it hundreds of thousands of times per simulated second,
+    and a descriptor call on that path is measurable.  Monotonicity is
+    enforced at the two mutation points instead.
+    """
+
+    __slots__ = ("now",)
 
     def __init__(self, start: int = 0) -> None:
         if start < 0:
             raise ClockError(f"clock cannot start at negative time {start}")
-        self._now = start
-
-    @property
-    def now(self) -> int:
-        """Current simulation time in 27 MHz ticks."""
-        return self._now
+        #: Current simulation time in 27 MHz ticks.
+        self.now = start
 
     def advance(self, ticks: int) -> int:
         """Advance the clock by ``ticks`` and return the new time."""
         if ticks < 0:
             raise ClockError(f"cannot advance the clock by {ticks} ticks")
-        self._now += ticks
-        return self._now
+        self.now += ticks
+        return self.now
 
     def advance_to(self, time: int) -> int:
         """Advance the clock to absolute ``time`` (must not be in the past)."""
-        if time < self._now:
-            raise ClockError(f"cannot move the clock backwards: {time} < {self._now}")
-        self._now = time
-        return self._now
+        if time < self.now:
+            raise ClockError(f"cannot move the clock backwards: {time} < {self.now}")
+        self.now = time
+        return self.now
 
 
 @dataclass

@@ -118,45 +118,135 @@ class BlockRecord:
     channel: str = ""
 
 
-@dataclass
 class TraceRecorder:
-    """Accumulates trace records during a simulation run."""
+    """Accumulates trace records during a simulation run.
 
-    segments: list[RunSegment] = field(default_factory=list)
-    switches: list[ContextSwitchRecord] = field(default_factory=list)
-    deadlines: list[DeadlineRecord] = field(default_factory=list)
-    grant_changes: list[GrantChangeRecord] = field(default_factory=list)
-    blocks: list[BlockRecord] = field(default_factory=list)
-    #: Free-form annotations (time, text) for experiment narration.
-    notes: list[tuple[int, str]] = field(default_factory=list)
+    Run segments are recorded through a **batched open-segment buffer**:
+    the kernel's consume loop calls :meth:`record_run` with raw fields
+    (no :class:`RunSegment` allocation) and contiguous chunks of the
+    same thread/kind/period extend the open segment in place.  A frozen
+    ``RunSegment`` is materialized only when the open segment closes —
+    one allocation per *run on the CPU*, not per compute chunk.
+
+    Reading :attr:`segments` flushes the open segment first, so every
+    consumer sees the same coalesced list the eager recorder produced.
+    Code that captured the ``segments`` list object itself (the obs
+    session registers it for lazy Perfetto export) must ensure a flush
+    happens before reading it directly — the kernel flushes at the end
+    of every ``run_until``.
+    """
+
+    def __init__(self) -> None:
+        self._segments: list[RunSegment] = []
+        self.switches: list[ContextSwitchRecord] = []
+        self.deadlines: list[DeadlineRecord] = []
+        self.grant_changes: list[GrantChangeRecord] = []
+        self.blocks: list[BlockRecord] = []
+        #: Free-form annotations (time, text) for experiment narration.
+        self.notes: list[tuple[int, str]] = []
+        #: Open-segment buffer; ``_open_thread`` is None when empty.
+        self._open_thread: int | None = None
+        self._open_start = 0
+        self._open_end = 0
+        self._open_kind = SegmentKind.IDLE
+        self._open_period = -1
+        self._open_charged: int | None = None
+
+    @property
+    def segments(self) -> list[RunSegment]:
+        """All run segments recorded so far (flushes the open buffer).
+
+        Returns the live internal list — the same object across calls —
+        so captured references keep seeing later records.
+        """
+        self.flush()
+        return self._segments
+
+    def flush(self) -> None:
+        """Materialize the open segment into the segment list."""
+        if self._open_thread is None:
+            return
+        self._segments.append(
+            RunSegment(
+                thread_id=self._open_thread,
+                start=self._open_start,
+                end=self._open_end,
+                kind=self._open_kind,
+                period_index=self._open_period,
+                charged_to=self._open_charged,
+            )
+        )
+        self._open_thread = None
+
+    def record_run(
+        self,
+        thread_id: int,
+        start: int,
+        end: int,
+        kind: SegmentKind,
+        period_index: int = -1,
+        charged_to: int | None = None,
+    ) -> None:
+        """Record a contiguous run interval from raw fields (hot path).
+
+        Coalesces with the previous record when execution is contiguous
+        — a thread computing in many small chunks is one run on the
+        CPU, not many.
+        """
+        if end < start:
+            raise ValueError(
+                f"segment ends before it starts: thread {thread_id} "
+                f"{start}..{end}"
+            )
+        if end == start:
+            return
+        if self._open_thread is not None:
+            if (
+                self._open_thread == thread_id
+                and self._open_kind is kind
+                and self._open_period == period_index
+                and self._open_charged == charged_to
+                and self._open_end == start
+            ):
+                self._open_end = end
+                return
+            self.flush()
+        elif self._segments:
+            # A flush may have materialized the previous run early (an
+            # epoch boundary mid-run); reopen it so coalescing behaves
+            # exactly as if no flush had happened.
+            last = self._segments[-1]
+            if (
+                last.thread_id == thread_id
+                and last.kind is kind
+                and last.period_index == period_index
+                and last.charged_to == charged_to
+                and last.end == start
+            ):
+                self._segments.pop()
+                self._open_thread = thread_id
+                self._open_start = last.start
+                self._open_end = end
+                self._open_kind = kind
+                self._open_period = period_index
+                self._open_charged = charged_to
+                return
+        self._open_thread = thread_id
+        self._open_start = start
+        self._open_end = end
+        self._open_kind = kind
+        self._open_period = period_index
+        self._open_charged = charged_to
 
     def record_segment(self, segment: RunSegment) -> None:
-        if segment.end < segment.start:
-            raise ValueError(f"segment ends before it starts: {segment}")
-        if segment.length == 0:
-            return
-        # Coalesce with the previous segment when execution is
-        # contiguous — a thread computing in many small chunks is one
-        # run on the CPU, not many.
-        if self.segments:
-            last = self.segments[-1]
-            if (
-                last.thread_id == segment.thread_id
-                and last.kind == segment.kind
-                and last.period_index == segment.period_index
-                and last.charged_to == segment.charged_to
-                and last.end == segment.start
-            ):
-                self.segments[-1] = RunSegment(
-                    thread_id=last.thread_id,
-                    start=last.start,
-                    end=segment.end,
-                    kind=last.kind,
-                    period_index=last.period_index,
-                    charged_to=last.charged_to,
-                )
-                return
-        self.segments.append(segment)
+        self.record_run(
+            segment.thread_id,
+            segment.start,
+            segment.end,
+            segment.kind,
+            segment.period_index,
+            segment.charged_to,
+        )
 
     def record_switch(self, record: ContextSwitchRecord) -> None:
         self.switches.append(record)

@@ -1,0 +1,82 @@
+"""The regression gate: tolerance comparison against a baseline."""
+
+import pytest
+
+from repro.bench import SCHEMA_VERSION, compare
+
+
+def payload(benches, suites=("core",)):
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "suites": list(suites),
+        "repetitions": 5,
+        "calibration_s": 0.02,
+        "benches": {
+            name: {
+                "median_s": normalized * 0.02,
+                "normalized": normalized,
+                "ops_per_s": 100.0,
+                "suite": name.split(".")[0],
+            }
+            for name, normalized in benches.items()
+        },
+    }
+
+
+class TestCompare:
+    def test_identical_payloads_are_ok(self):
+        base = payload({"core.a": 2.0, "core.b": 0.5})
+        report = compare(base, base, tolerance=0.25)
+        assert report.ok
+        assert [d.status for d in report.deltas] == ["ok", "ok"]
+
+    def test_synthetic_2x_slowdown_fails_the_gate(self):
+        base = payload({"core.a": 2.0, "core.b": 0.5})
+        slow = payload({"core.a": 4.0, "core.b": 1.0})
+        report = compare(slow, base, tolerance=0.25)
+        assert not report.ok
+        assert {d.name for d in report.regressions} == {"core.a", "core.b"}
+        assert all(d.ratio == pytest.approx(2.0) for d in report.regressions)
+        assert "REGRESSION" in report.summary()
+
+    def test_within_tolerance_is_ok(self):
+        base = payload({"core.a": 1.0})
+        report = compare(payload({"core.a": 1.24}), base, tolerance=0.25)
+        assert report.ok
+        report = compare(payload({"core.a": 1.26}), base, tolerance=0.25)
+        assert not report.ok
+
+    def test_improvement_is_flagged_but_ok(self):
+        base = payload({"core.a": 2.0})
+        report = compare(payload({"core.a": 0.5}), base, tolerance=0.25)
+        assert report.ok
+        assert report.deltas[0].status == "improvement"
+
+    def test_missing_bench_fails_the_gate(self):
+        base = payload({"core.a": 1.0, "core.b": 1.0})
+        report = compare(payload({"core.a": 1.0}), base, tolerance=0.25)
+        assert not report.ok
+        assert report.missing == ["core.b"]
+        assert "MISSING" in report.summary()
+
+    def test_other_suites_in_baseline_are_ignored(self):
+        base = payload(
+            {"core.a": 1.0, "cluster.rack": 3.0}, suites=("core", "cluster")
+        )
+        current = payload({"core.a": 1.0}, suites=("core",))
+        report = compare(current, base, tolerance=0.25)
+        assert report.ok
+        assert [d.name for d in report.deltas] == ["core.a"]
+        assert report.missing == []
+
+    def test_new_bench_without_baseline_is_extra_not_failure(self):
+        base = payload({"core.a": 1.0})
+        current = payload({"core.a": 1.0, "core.new": 9.0})
+        report = compare(current, base, tolerance=0.25)
+        assert report.ok
+        assert report.extra == ["core.new"]
+
+    def test_negative_tolerance_rejected(self):
+        base = payload({"core.a": 1.0})
+        with pytest.raises(ValueError, match="tolerance"):
+            compare(base, base, tolerance=-0.1)

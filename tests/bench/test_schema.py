@@ -1,0 +1,121 @@
+"""BENCH.json schema: shape, versioning, and the committed baseline."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench import (
+    SCHEMA_VERSION,
+    BenchFormatError,
+    bench_entry,
+    load_baseline,
+    validate_payload,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def make_payload(**overrides):
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "suites": ["core"],
+        "repetitions": 5,
+        "calibration_s": 0.02,
+        "benches": {
+            "core.example": {
+                "median_s": 0.1,
+                "normalized": 5.0,
+                "ops_per_s": 100.0,
+                "samples_s": [0.1, 0.1, 0.1],
+                "suite": "core",
+                "ops": 10,
+            }
+        },
+    }
+    payload.update(overrides)
+    return payload
+
+
+class TestValidatePayload:
+    def test_well_formed_passes_and_chains(self):
+        payload = make_payload()
+        assert validate_payload(payload) is payload
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(BenchFormatError, match="must be an object"):
+            validate_payload([1, 2, 3])
+
+    def test_rejects_wrong_schema_version(self):
+        with pytest.raises(BenchFormatError, match="schema_version"):
+            validate_payload(make_payload(schema_version=SCHEMA_VERSION + 1))
+
+    def test_rejects_missing_schema_version(self):
+        payload = make_payload()
+        del payload["schema_version"]
+        with pytest.raises(BenchFormatError, match="schema_version"):
+            validate_payload(payload)
+
+    @pytest.mark.parametrize(
+        "key", ["suites", "repetitions", "calibration_s", "benches"]
+    )
+    def test_rejects_missing_top_level_key(self, key):
+        payload = make_payload()
+        del payload[key]
+        with pytest.raises(BenchFormatError, match=key):
+            validate_payload(payload)
+
+    @pytest.mark.parametrize("key", ["median_s", "normalized", "ops_per_s"])
+    def test_rejects_bad_bench_number(self, key):
+        payload = make_payload()
+        payload["benches"]["core.example"][key] = "fast"
+        with pytest.raises(BenchFormatError, match=key):
+            validate_payload(payload)
+        payload["benches"]["core.example"][key] = -1.0
+        with pytest.raises(BenchFormatError, match=key):
+            validate_payload(payload)
+
+
+class TestLoadBaseline:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        path.write_text(json.dumps(make_payload()))
+        loaded = load_baseline(str(path))
+        assert loaded["benches"]["core.example"]["normalized"] == 5.0
+
+    def test_invalid_json_is_a_format_error(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        path.write_text("{not json")
+        with pytest.raises(BenchFormatError, match="not valid JSON"):
+            load_baseline(str(path))
+
+
+class TestCommittedBaseline:
+    def test_repo_baseline_is_valid_and_covers_every_suite(self):
+        from repro.bench import REGISTRY
+
+        payload = load_baseline(str(REPO_ROOT / "BENCH.json"))
+        assert sorted(payload["suites"]) == ["cluster", "core", "obs"]
+        assert set(payload["benches"]) == set(REGISTRY)
+
+
+class TestBenchEntry:
+    def test_median_and_ops(self):
+        entry = bench_entry([0.2, 0.1, 0.4], ops=50, calibration_s=0.05)
+        assert entry["median_s"] == pytest.approx(0.2)
+        assert entry["ops_per_s"] == pytest.approx(250.0)
+        assert entry["samples_s"] == [0.2, 0.1, 0.4]
+
+    def test_normalization_divides_by_calibration(self):
+        entry = bench_entry([0.3], ops=1, calibration_s=0.03)
+        assert entry["normalized"] == pytest.approx(10.0)
+        # The same bench on a machine 2x slower: both the sample and the
+        # calibration loop double, so the normalized cost is unchanged.
+        slower = bench_entry([0.6], ops=1, calibration_s=0.06)
+        assert slower["normalized"] == pytest.approx(entry["normalized"])
+
+    def test_rejects_empty_samples_and_bad_calibration(self):
+        with pytest.raises(ValueError, match="at least one sample"):
+            bench_entry([], ops=1, calibration_s=0.05)
+        with pytest.raises(ValueError, match="calibration"):
+            bench_entry([0.1], ops=1, calibration_s=0.0)

@@ -1,0 +1,176 @@
+"""Grant-set recompute memoization and burst coalescing.
+
+The grant set is a pure function of (admitted resource lists, policy
+tables, capacity); the Resource Manager memoizes on that signature and
+``deferred_recompute`` / ``admit_many`` coalesce admission bursts into
+one computation.  These are the regression tests pinning down how many
+computations a burst actually costs.
+"""
+
+import pytest
+
+from repro import AdmissionError, MachineConfig, SimConfig, units
+from repro.core.distributor import ResourceDistributor
+from repro.workloads import single_entry_definition
+
+
+def make_rd(**kwargs):
+    return ResourceDistributor(
+        machine=MachineConfig.ideal(), sim=SimConfig(seed=0), **kwargs
+    )
+
+
+def burst(count, rate=0.02):
+    return [
+        single_entry_definition(f"burst{i}", 10, rate) for i in range(count)
+    ]
+
+
+class TestBurstCoalescing:
+    def test_sequential_admissions_recompute_per_task(self):
+        rd = make_rd()
+        for definition in burst(8):
+            rd.admit(definition)
+        assert rd.resource_manager.recompute_count == 8
+
+    def test_admit_many_coalesces_to_one_recompute(self):
+        rd = make_rd()
+        threads = rd.admit_many(burst(8))
+        assert len(threads) == 8
+        assert rd.resource_manager.recompute_count == 1
+
+    def test_batched_and_sequential_grants_agree(self):
+        sequential = make_rd()
+        for definition in burst(6):
+            sequential.admit(definition)
+        batched = make_rd()
+        batched.admit_many(burst(6))
+        a = sequential.resource_manager.last_result.grant_set
+        b = batched.resource_manager.last_result.grant_set
+        assert a.thread_ids() == b.thread_ids()
+        for tid in a.thread_ids():
+            assert a.get(tid).cpu_ticks == b.get(tid).cpu_ticks
+            assert a.get(tid).period == b.get(tid).period
+
+    def test_nested_deferral_recomputes_once_at_the_outermost_exit(self):
+        rd = make_rd()
+        manager = rd.resource_manager
+        with manager.deferred_recompute():
+            rd.admit(single_entry_definition("a", 10, 0.1))
+            with manager.deferred_recompute():
+                rd.admit(single_entry_definition("b", 10, 0.1))
+            assert manager.recompute_count == 0
+        assert manager.recompute_count == 1
+
+    def test_clean_deferral_block_recomputes_nothing(self):
+        rd = make_rd()
+        with rd.resource_manager.deferred_recompute():
+            pass
+        assert rd.resource_manager.recompute_count == 0
+
+    def test_mid_batch_denial_keeps_earlier_admissions(self):
+        rd = make_rd()
+        definitions = burst(2, rate=0.3) + [single_entry_definition("hog", 10, 0.9)]
+        with pytest.raises(AdmissionError):
+            rd.admit_many(definitions)
+        manager = rd.resource_manager
+        assert len(manager.admitted_ids()) == 2
+        # The deferred recompute still ran on unwind, so the survivors
+        # have grants.
+        assert manager.recompute_count == 1
+        assert set(manager.last_result.grant_set.thread_ids()) == set(
+            manager.admitted_ids()
+        )
+
+    def test_batch_runs_identically_to_sequential(self):
+        """Whole-run equivalence: grants only activate at unallocated
+        time, so coalescing the startup burst must not change the
+        schedule."""
+        a = make_rd()
+        for definition in burst(5, rate=0.1):
+            a.admit(definition)
+        b = make_rd()
+        b.admit_many(burst(5, rate=0.1))
+        a.run_for(units.ms_to_ticks(60))
+        b.run_for(units.ms_to_ticks(60))
+        sa = [(s.thread_id, s.start, s.end, s.kind) for s in a.trace.segments]
+        sb = [(s.thread_id, s.start, s.end, s.kind) for s in b.trace.segments]
+        assert sa == sb
+
+
+class TestMemoization:
+    def test_unchanged_signature_is_a_memo_hit(self):
+        rd = make_rd()
+        rd.admit(single_entry_definition("a", 10, 0.2))
+        manager = rd.resource_manager
+        before = manager.recompute_count
+        result = manager.last_result
+        manager._recompute()  # nothing changed since the admission
+        assert manager.recompute_count == before
+        assert manager.memo_hits == 1
+        assert manager.last_result is result
+
+    def test_population_change_invalidates(self):
+        rd = make_rd()
+        rd.admit(single_entry_definition("a", 10, 0.2))
+        rd.admit(single_entry_definition("b", 10, 0.2))
+        manager = rd.resource_manager
+        assert manager.recompute_count == 2
+        assert manager.memo_hits == 0
+
+    def test_quiescence_and_wake_invalidate(self):
+        rd = make_rd()
+        t = rd.admit(single_entry_definition("a", 10, 0.2))
+        rd.admit(single_entry_definition("b", 10, 0.2))
+        manager = rd.resource_manager
+        base = manager.recompute_count
+        rd.enter_quiescent(t.tid)
+        rd.wake(t.tid)
+        assert manager.recompute_count == base + 2
+        assert manager.memo_hits == 0
+
+    def test_policy_revision_invalidates(self):
+        rd = make_rd()
+        a = rd.admit(single_entry_definition("a", 10, 0.2))
+        b = rd.admit(single_entry_definition("b", 10, 0.2))
+        manager = rd.resource_manager
+        base = manager.recompute_count
+        rd.set_policy_override(
+            {a.policy_id: 30.0, b.policy_id: 40.0}
+        )
+        assert manager.recompute_count == base + 1
+        rd.clear_policy_override({a.policy_id, b.policy_id})
+        assert manager.recompute_count == base + 2
+        assert manager.memo_hits == 0
+
+    def test_memo_hit_under_sanitizer_cross_checks_silently(self):
+        rd = make_rd(sanitize=True, sanitize_strict=True)
+        rd.admit(single_entry_definition("a", 10, 0.2))
+        manager = rd.resource_manager
+        box = rd.policy_box
+        lookups = box.lookup_count
+        manager._recompute()
+        assert manager.memo_hits == 1
+        assert rd.sanitizer.ok
+        assert rd.sanitizer.memo_reuses_checked == 1
+        # The cross-check recomputation is side-effect free: no policy
+        # lookups were recorded.
+        assert box.lookup_count == lookups
+
+    def test_sanitizer_catches_a_stale_memo(self):
+        rd = make_rd(sanitize=True, sanitize_strict=False)
+        rd.admit(single_entry_definition("a", 10, 0.2))
+        manager = rd.resource_manager
+        # Corrupt the memo: change the population while forcing the
+        # signature to look unchanged.
+        rd.admit(single_entry_definition("b", 10, 0.2))
+        manager._memo_signature = manager._signature()
+        stale = manager.last_result
+        rd.admit(single_entry_definition("c", 10, 0.2))
+        manager._memo_signature = manager._signature()
+        manager.last_result = stale
+        manager._recompute()
+        assert not rd.sanitizer.ok
+        assert any(
+            "memo" in v.rule for v in rd.sanitizer.report.violations
+        )
