@@ -177,3 +177,15 @@ def _obs_no_sink() -> object:
 )
 def _obs_session() -> object:
     return workloads.run_figure5(obs="session", ms=200, seed=11)
+
+
+@register(
+    "obs.analysis",
+    "obs",
+    ops=5,
+    description="5 offline analysis passes (timelines + attribution + episodes) "
+    "over a captured figure5 event stream",
+)
+def _obs_analysis() -> object:
+    events = workloads.build_analysis_events(ms=200, seed=11)
+    return workloads.run_obs_analysis(events, iterations=5)

@@ -141,3 +141,25 @@ def run_cluster_rack(seed: int = 7, nodes: int = 4, horizon_sec: float = 0.4):
     sim = cluster_rack(seed=seed, nodes=nodes, horizon_sec=horizon_sec)
     sim.run_until(sim.horizon)
     return sim
+
+
+def build_analysis_events(ms: float = 400, seed: int = 11):
+    """A captured event stream for the offline-analysis bench: the
+    Figure 5 staircase under a full ObsSession."""
+    from repro.obs.session import ObsSession
+    from repro.scenarios import figure5
+
+    session = ObsSession()
+    figure5(seed=seed, obs=session).run_for(units.ms_to_ticks(ms))
+    return session.events
+
+
+def run_obs_analysis(events, iterations: int = 5):
+    """Run the full offline pipeline (timelines, attribution, episodes,
+    overheads) over a pre-captured event stream ``iterations`` times."""
+    from repro.obs.analysis import analyze
+
+    result = None
+    for _ in range(iterations):
+        result = analyze(events)
+    return result

@@ -12,6 +12,8 @@
     python -m repro cluster --nodes 4   # multi-node rack behind a broker
     python -m repro run --scenario settop --obs-out out/  # observed run
     python -m repro obs                 # describe the telemetry surface
+    python -m repro obs report out/     # analytics report over an obs dir
+    python -m repro obs check out/ --slo slo.toml  # SLO gate (exit 1 on violation)
     python -m repro bench --suite core  # wall-clock benches + regression gate
 
 Every command is deterministic for a given ``--seed``.  Shared options
@@ -277,6 +279,9 @@ def cmd_cluster(args) -> int:
         from repro.obs import ObsSession
 
         session = ObsSession()
+    if args.telemetry and session is None:
+        print("--telemetry needs --obs-out (snapshots come from its registry)")
+        return 2
     sim = cluster_rack(
         seed=args.seed,
         nodes=args.nodes,
@@ -287,6 +292,7 @@ def cmd_cluster(args) -> int:
         migrate=not args.no_migrate,
         sanitize=True,
         obs=session,
+        telemetry=args.telemetry,
     )
     sim.run_until(sim.horizon)
     if args.format == "json":
@@ -308,6 +314,21 @@ def cmd_run(args) -> int:
     from repro.obs import ObsSession
 
     session = ObsSession()
+    if args.scenario == "cluster_rack":
+        # The cluster scenario has its own driver loop (and ships
+        # per-node telemetry to the broker when observed).
+        sim = scenarios.cluster_rack(
+            seed=args.seed,
+            horizon_sec=max(args.duration_ms, 200.0) / 1000.0,
+            sanitize=True,
+            obs=session,
+            telemetry=True,
+        )
+        sim.run_until(sim.horizon)
+        print(session.summary())
+        if args.obs_out:
+            _write_obs(session, args.obs_out, sim.now)
+        return 0
     builders = {
         "table4": lambda: scenarios.table4_trio(seed=args.seed, obs=session),
         "figure4": lambda: scenarios.figure4(seed=args.seed, obs=session),
@@ -349,6 +370,56 @@ def _write_obs(session, directory: str, now: int) -> None:
     paths = session.write(directory, now)
     for name in sorted(paths):
         print(f"wrote {paths[name]}")
+
+
+def cmd_obs_report(args) -> int:
+    """Render the analytics report for an ``--obs-out`` directory."""
+    from repro.obs.analysis import (
+        analysis_to_json,
+        analyze,
+        load_events,
+        load_slo_file,
+        render_markdown,
+    )
+
+    events = load_events(args.dir)
+    specs = load_slo_file(args.slo) if args.slo else None
+    analysis = analyze(events, slo_specs=specs)
+    rendered = (
+        analysis_to_json(analysis)
+        if args.format == "json"
+        else render_markdown(analysis) + "\n"
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(rendered)
+        print(f"wrote {args.out}")
+    else:
+        print(rendered, end="")
+    return 0
+
+
+def cmd_obs_check(args) -> int:
+    """Gate on SLOs: exit 1 when any objective is violated."""
+    from repro.obs.analysis import analyze, load_events, load_slo_file
+
+    events = load_events(args.dir)
+    specs = load_slo_file(args.slo)
+    analysis = analyze(events, slo_specs=specs)
+    violations = analysis.slo_violations
+    for result in analysis.slo_results:
+        status = "VIOLATED" if not result.ok else "ok"
+        print(
+            f"{status:8} {result.spec.name} [{result.subject}]: "
+            f"{result.spec.metric} = {result.value:.4f} "
+            f"(want {result.spec.op} {result.spec.threshold:g}, "
+            f"burn rate {result.burn_rate:.2f})"
+        )
+    print(
+        f"\n{len(specs)} objective(s), {len(analysis.slo_results)} "
+        f"evaluation(s), {len(violations)} violation(s)"
+    )
+    return 1 if violations else 0
 
 
 def cmd_obs(args) -> int:
@@ -498,7 +569,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--scenario",
         default="settop",
-        help="scenario name (table4, figure4, figure5, settop, av, dual-stream)",
+        help="scenario name (table4, figure4, figure5, settop, av, "
+        "dual-stream, cluster_rack)",
     )
     p.add_argument(
         "--obs-out",
@@ -506,7 +578,43 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write events.jsonl, metrics.prom, trace.perfetto.json to DIR",
     )
-    command("obs", cmd_obs, "describe the telemetry surface")
+    p = command("obs", cmd_obs, "telemetry surface: describe / report / check")
+    obs_sub = p.add_subparsers(dest="obs_command", metavar="subcommand")
+    p_report = obs_sub.add_parser(
+        "report", help="analytics report over an --obs-out directory"
+    )
+    p_report.set_defaults(func=cmd_obs_report)
+    p_report.add_argument(
+        "dir", metavar="DIR", help="directory written by --obs-out"
+    )
+    p_report.add_argument(
+        "--format",
+        choices=["markdown", "json"],
+        default="markdown",
+        help="report format",
+    )
+    p_report.add_argument(
+        "--out", metavar="PATH", default=None, help="write the report to PATH"
+    )
+    p_report.add_argument(
+        "--slo",
+        metavar="PATH",
+        default=None,
+        help="also evaluate the SLO spec at PATH (TOML)",
+    )
+    p_check = obs_sub.add_parser(
+        "check", help="evaluate SLOs; exit 1 on any violation"
+    )
+    p_check.set_defaults(func=cmd_obs_check)
+    p_check.add_argument(
+        "dir", metavar="DIR", help="directory written by --obs-out"
+    )
+    p_check.add_argument(
+        "--slo",
+        metavar="PATH",
+        default="slo.toml",
+        help="SLO spec to enforce (default: slo.toml)",
+    )
     p = command("bench", cmd_bench, "wall-clock bench suites + regression gate")
     p.add_argument(
         "--suite",
@@ -542,6 +650,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         default=None,
         help="write events.jsonl, metrics.prom, trace.perfetto.json to DIR",
+    )
+    p.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="ship per-node metric snapshots to the broker every epoch "
+        "and drive AIMD weights from observed load (needs --obs-out)",
     )
     p.add_argument("--nodes", type=int, default=4, help="distributor node count")
     p.add_argument(

@@ -24,6 +24,7 @@ from repro.cluster.placement import (
 )
 from repro.cluster.report import cluster_metrics, cluster_metrics_json, cluster_report
 from repro.cluster.simulation import ClusterSimulation
+from repro.cluster.telemetry import NodeTelemetry
 
 __all__ = [
     "AimdWeightedPolicy",
@@ -36,6 +37,7 @@ __all__ = [
     "ClusterSimulation",
     "FirstFitPolicy",
     "NodeLoadReport",
+    "NodeTelemetry",
     "NodeView",
     "POLICY_NAMES",
     "PlacedTask",

@@ -25,6 +25,16 @@ increases the node's placement weight; an overloaded report
 control, here steering the ``aimd`` placement policy toward nodes with
 sustained headroom.
 
+**Observed-load telemetry.**  With ``BrokerConfig.telemetry_aimd``
+enabled (and the simulation shipping per-node metric snapshots as
+``telemetry`` messages), the AIMD decision is driven by the
+:class:`~repro.obs.analysis.telemetry.TelemetryAggregator` instead of
+the nodes' self-reports: deadline-miss deltas and QOS fractions *as
+measured by the metrics pipeline*.  Self-reports still refresh the
+placement view's headroom — capacity is the node's own book-keeping —
+but a node cannot talk its way into a healthy weight while its
+telemetry shows misses.
+
 **Migration.**  The per-node grant controller already resolves overload
 by degrading QOS levels, and that is always the first resort.  Only
 when a node reports overload for ``overload_epochs`` consecutive
@@ -44,6 +54,7 @@ from dataclasses import dataclass, field
 from repro import units
 from repro.cluster.node import NodeLoadReport
 from repro.cluster.placement import NodeView, PlacementPolicy
+from repro.obs.analysis.telemetry import TelemetryAggregator, TelemetrySnapshot
 from repro.obs.events import MigrationEvent, RpcEvent
 from repro.sim.messages import Envelope, MessageBus
 from repro.tasks.base import TaskDefinition
@@ -75,6 +86,12 @@ class BrokerConfig:
     max_migrations_per_epoch: int = 1
     #: Master switch for task migration.
     migrate: bool = True
+    #: Drive AIMD weights from ingested telemetry snapshots (observed
+    #: load) instead of the nodes' self-reported load reports.
+    telemetry_aimd: bool = False
+    #: A telemetry snapshot older than this (ticks) is too stale to
+    #: drive AIMD; the node's weight then simply stays where it is.
+    telemetry_staleness_ticks: int = units.ms_to_ticks(200)
 
 
 @dataclass
@@ -157,6 +174,8 @@ class ClusterBroker:
         #: Admit request ids we gave up on: request_id -> (task, node).
         self._abandoned: dict[str, tuple[str, str]] = {}
         self._overload_streak: dict[str, int] = {name: 0 for name in nodes}
+        #: Fleet telemetry ingested from ``telemetry`` bus messages.
+        self.telemetry = TelemetryAggregator()
         self._migrating: set[str] = set()
         self._cooldown_until: dict[str, int] = {}
         self._epoch = 0
@@ -322,7 +341,7 @@ class ClusterBroker:
             self.stats.migrations_failed += 1
             self._migrating.discard(task)
             self._cooldown_until[task] = self._epoch + self.config.migration_cooldown_epochs
-            if self._obs_bus is not None:
+            if self._obs_bus:
                 self._obs_bus.emit(
                     MigrationEvent(
                         time=now,
@@ -337,7 +356,7 @@ class ClusterBroker:
         self.denials.append((task, error))
 
     def _emit_rpc(self, action: str, pending: _PendingRpc, now: int) -> None:
-        if self._obs_bus is None:
+        if not self._obs_bus:
             return
         self._obs_bus.emit(
             RpcEvent(
@@ -358,6 +377,9 @@ class ClusterBroker:
         """Process one delivered envelope addressed to the broker."""
         if envelope.kind == "load-report":
             self._on_load_report(envelope.payload)
+            return
+        if envelope.kind == "telemetry":
+            self._on_telemetry(envelope.payload, now)
             return
         payload: dict = envelope.payload
         request_id = payload["request_id"]
@@ -399,7 +421,7 @@ class ClusterBroker:
             self.stats.migrations_completed += 1
             self._migrating.discard(task)
             self._cooldown_until[task] = self._epoch + self.config.migration_cooldown_epochs
-            if self._obs_bus is not None:
+            if self._obs_bus:
                 self._obs_bus.emit(
                     MigrationEvent(
                         time=now,
@@ -446,20 +468,46 @@ class ClusterBroker:
         view = self.views[report.node]
         view.report = report
         view.headroom = report.snapshot.headroom
+        if self.config.telemetry_aimd:
+            # Observed telemetry drives the weights; the self-report
+            # only refreshes the placement view's capacity numbers.
+            return
         overloaded = (
             report.overloaded
             or report.snapshot.headroom < self.config.overload_headroom
         )
+        self._aimd_update(report.node, overloaded)
+
+    def _on_telemetry(self, snapshot: TelemetrySnapshot, now: int) -> None:
+        """Ingest one node's metric snapshot; maybe steer AIMD with it."""
+        if not self.telemetry.ingest(snapshot):
+            return  # stale or duplicate delivery
+        if not self.config.telemetry_aimd:
+            return
+        load = self.telemetry.observed_load(
+            snapshot.node,
+            now=now,
+            staleness=self.config.telemetry_staleness_ticks,
+        )
+        if load is None:
+            return
+        overloaded = (
+            load.overloaded or load.headroom < self.config.overload_headroom
+        )
+        self._aimd_update(snapshot.node, overloaded)
+
+    def _aimd_update(self, node: str, overloaded: bool) -> None:
+        view = self.views[node]
         if overloaded:
             view.weight = max(
                 self.config.weight_min, view.weight * self.config.md_factor
             )
-            self._overload_streak[report.node] += 1
+            self._overload_streak[node] += 1
         else:
             view.weight = min(
                 self.config.weight_max, view.weight + self.config.ai_step
             )
-            self._overload_streak[report.node] = 0
+            self._overload_streak[node] = 0
 
     # -- migration ----------------------------------------------------------
 
@@ -498,7 +546,7 @@ class ClusterBroker:
                 continue  # nowhere to go: stay degraded rather than risk denial
             self.stats.migrations_started += 1
             self._migrating.add(victim.name)
-            if self._obs_bus is not None:
+            if self._obs_bus:
                 self._obs_bus.emit(
                     MigrationEvent(
                         time=now,

@@ -90,7 +90,7 @@ class ClusterNode:
         request_id = payload["request_id"]
         cached = self._replies.get(request_id)
         if cached is not None:
-            if self.obs is not None:
+            if self.obs:
                 # A broker retry hit the idempotency cache: the reply is
                 # re-served without repeating the side effect.
                 self.obs.emit(

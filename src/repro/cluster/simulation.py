@@ -22,11 +22,14 @@ message drops, same placements, byte-identical metrics.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro import units
 from repro.cluster.broker import BROKER, BrokerConfig, ClusterBroker
 from repro.cluster.node import ClusterNode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.telemetry import NodeTelemetry
 from repro.cluster.placement import make_policy
 from repro.config import MachineConfig, SimConfig
 from repro.errors import SimulationError
@@ -54,11 +57,17 @@ class ClusterSimulation:
         sanitize: bool = True,
         sanitize_strict: bool = True,
         obs=None,
+        telemetry: bool = False,
     ) -> None:
         """``obs`` is an optional :class:`repro.obs.session.ObsSession`:
         the bus, every node (scoped to its name), and the broker all
         report into it, and each node's scheduler trace is registered so
-        the Perfetto export shows per-node scheduling tracks."""
+        the Perfetto export shows per-node scheduling tracks.
+
+        ``telemetry`` (requires ``obs``) ships each node's slice of the
+        metrics registry to the broker as a ``telemetry`` message every
+        epoch — over the same lossy bus as everything else — and
+        switches the broker's AIMD weights to that observed load."""
         if node_count < 1:
             raise SimulationError(f"node_count must be >= 1, got {node_count}")
         if node_count > 99:
@@ -104,6 +113,20 @@ class ClusterSimulation:
                         t.tid: t.name for t in k.threads.values()
                     },
                 )
+        self.telemetry: dict[str, "NodeTelemetry"] = {}
+        if telemetry:
+            if obs is None:
+                raise SimulationError(
+                    "telemetry=True needs an ObsSession (obs=...): the "
+                    "snapshots are cut from its metrics registry"
+                )
+            from repro.cluster.telemetry import NodeTelemetry
+
+            self.telemetry = {
+                name: NodeTelemetry(name, obs.registry) for name in self.nodes
+            }
+            if broker_config is None:
+                broker_config = BrokerConfig(telemetry_aimd=True)
         self.policy = make_policy(policy)
         self.broker = ClusterBroker(
             self.bus,
@@ -207,4 +230,7 @@ class ClusterSimulation:
         for name in sorted(self.nodes):
             report = self.nodes[name].load_report(self._now)
             self.bus.send(name, BROKER, "load-report", report, self._now)
+        for name in sorted(self.telemetry):
+            snapshot = self.telemetry[name].snapshot(self._now)
+            self.bus.send(name, BROKER, "telemetry", snapshot, self._now)
         self.broker.on_epoch(self._now)

@@ -216,6 +216,7 @@ class Kernel:
         thread.declared_done = False
         thread.wants_overtime = False
         thread.blocked_this_period = False
+        thread.completed_at = -1
         thread.restart_pending = True
         thread.pending_compute = 0
         thread.next_delivery = GrantDelivery(
@@ -500,8 +501,7 @@ class Kernel:
                 if assigned:
                     thread.clear_assignment()
                     continue
-                thread.declared_done = True
-                thread.wants_overtime = False
+                self._mark_done(thread)
                 return SliceEnd.DONE
             try:
                 op = runner.gen.send(None)
@@ -513,8 +513,7 @@ class Kernel:
                     runner.state = ThreadState.EXITED
                     thread.clear_assignment()
                     continue
-                thread.declared_done = True
-                thread.wants_overtime = False
+                self._mark_done(thread)
                 return SliceEnd.DONE
             except Exception as exc:  # noqa: BLE001 - fault isolation boundary
                 outcome = self._crash(thread, runner, assigned, exc)
@@ -558,9 +557,15 @@ class Kernel:
         if assigned:
             thread.clear_assignment()
             return None
-        thread.declared_done = True
-        thread.wants_overtime = False
+        self._mark_done(thread)
         return SliceEnd.DONE
+
+    def _mark_done(self, thread: SimThread, overtime: bool = False) -> None:
+        """The thread finished its period's work at the current tick."""
+        thread.declared_done = True
+        thread.wants_overtime = overtime
+        if thread.completed_at < 0:
+            thread.completed_at = self.clock.now
 
     def _apply_op(
         self, thread: SimThread, runner: SimThread, assigned: bool, op
@@ -574,8 +579,7 @@ class Kernel:
                 # A sporadic task pausing: end the assignment early.
                 thread.clear_assignment()
                 return None
-            thread.declared_done = True
-            thread.wants_overtime = op.overtime
+            self._mark_done(thread, overtime=op.overtime)
             return SliceEnd.DONE
         if isinstance(op, Block):
             if op.channel.try_take():
@@ -628,6 +632,8 @@ class Kernel:
         if granted_mode:
             thread.remaining -= run
             thread.used += run
+            if thread.remaining <= 0 and thread.completed_at < 0:
+                thread.completed_at = end
         else:
             thread.overtime_used += run
         if assigned:
@@ -726,14 +732,19 @@ class Kernel:
             voided=voided,
         )
         self.trace.record_deadline(record)
-        if self.obs and (missed or voided):
-            # Healthy periods stay out of the stream: the telemetry
-            # records exceptions to the guarantee, not its routine.
+        if self.obs:
+            # One event per close: the analysis layer needs every
+            # period's start/completion to compute delivery ratios and
+            # latency percentiles, not just the exceptional closes.  An
+            # unsinked bus is falsy, so the uninstrumented hot path
+            # still constructs nothing.
             self.obs.emit(
                 PeriodCloseEvent(
                     time=thread.deadline,
                     thread_id=thread.tid,
                     period_index=thread.period_index,
+                    start=thread.period_start,
+                    completion=thread.completed_at,
                     granted=grant.cpu_ticks,
                     delivered=delivered,
                     missed=missed,
@@ -772,6 +783,7 @@ class Kernel:
         thread.declared_done = False
         thread.wants_overtime = False
         thread.blocked_this_period = thread.state is ThreadState.BLOCKED
+        thread.completed_at = -1
 
         changed = new_grant.entry is not old_grant.entry
         if changed:

@@ -68,6 +68,9 @@ class SimThread:
         self.declared_done = False
         self.wants_overtime = False
         self.blocked_this_period = False
+        #: Tick at which this period's work finished — the grant fully
+        #: consumed or the task declared done early; -1 while outstanding.
+        self.completed_at = -1
         #: InsertIdleCycles accumulation, applied to the next period start.
         self.postpone_next = 0
         #: Grace-period overrun to deduct from the next period's allocation.

@@ -12,6 +12,7 @@ from repro.lint.rules.base import LintViolation, ModuleInfo, Rule
 from repro.lint.rules.determinism import UnseededRandomRule, WallClockRule
 from repro.lint.rules.hygiene import BareExceptRule, SilentExceptRule
 from repro.lint.rules.layering import LayeringRule
+from repro.lint.rules.obs import ObsUnguardedEmitRule
 from repro.lint.rules.units import FloatTickRule
 
 RULE_CLASSES: tuple[type[Rule], ...] = (
@@ -21,6 +22,7 @@ RULE_CLASSES: tuple[type[Rule], ...] = (
     FloatTickRule,
     BareExceptRule,
     SilentExceptRule,
+    ObsUnguardedEmitRule,
 )
 
 
@@ -38,6 +40,7 @@ __all__ = [
     "BareExceptRule",
     "FloatTickRule",
     "LayeringRule",
+    "ObsUnguardedEmitRule",
     "SilentExceptRule",
     "UnseededRandomRule",
     "WallClockRule",

@@ -1,0 +1,169 @@
+"""Observability-hygiene rules: emission must be free when nobody listens.
+
+The zero-allocation contract of ``repro.obs`` is that an unsinked bus is
+*falsy*: hot paths write ``if self.obs: self.obs.emit(Event(...))`` and
+the uninstrumented run constructs nothing — no dataclass, no string, no
+allocation.  An emit without that guard (or guarded with ``is not
+None``, which is always true once a bus is wired even when it has no
+subscribers) silently re-introduces per-event allocation on every
+period close and context switch.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.rules.base import LintViolation, ModuleInfo, Rule, dotted_name
+
+
+def _is_emitter_name(prefix: str) -> bool:
+    """Does the dotted receiver look like an obs bus (``self.obs``,
+    ``obs``, ``self._obs_bus``)?"""
+    last = prefix.rsplit(".", 1)[-1].lower()
+    return "obs" in last
+
+
+def _constructs_event(call: ast.Call) -> bool:
+    """Is the first argument a ``SomethingEvent(...)`` construction?"""
+    if not call.args:
+        return False
+    arg = call.args[0]
+    if not isinstance(arg, ast.Call):
+        return False
+    name = dotted_name(arg.func)
+    return name is not None and name.rsplit(".", 1)[-1].endswith("Event")
+
+
+def _truthy_in_test(test: ast.expr, prefix: str) -> bool:
+    """Does ``test`` assert the truthiness of ``prefix``?
+
+    Accepts a bare ``X``, and any conjunction containing it
+    (``X and missed``).  ``or`` does not guard: either side alone
+    lets the emit run with a falsy bus.
+    """
+    if dotted_name(test) == prefix:
+        return True
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        return any(_truthy_in_test(v, prefix) for v in test.values)
+    return False
+
+
+def _identity_in_test(test: ast.expr, prefix: str) -> bool:
+    """Does ``test`` contain ``prefix is not None``?"""
+    if (
+        isinstance(test, ast.Compare)
+        and dotted_name(test.left) == prefix
+        and len(test.ops) == 1
+        and isinstance(test.ops[0], ast.IsNot)
+        and isinstance(test.comparators[0], ast.Constant)
+        and test.comparators[0].value is None
+    ):
+        return True
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        return any(_identity_in_test(v, prefix) for v in test.values)
+    return False
+
+
+def _negated_in_test(test: ast.expr, prefix: str) -> bool:
+    """Does ``test`` assert the *falsiness* of ``prefix`` (``not X``)?"""
+    return (
+        isinstance(test, ast.UnaryOp)
+        and isinstance(test.op, ast.Not)
+        and dotted_name(test.operand) == prefix
+    )
+
+
+def _terminates(body: list[ast.stmt]) -> bool:
+    """Does the block end by leaving the enclosing scope?"""
+    return bool(body) and isinstance(
+        body[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break)
+    )
+
+
+class ObsUnguardedEmitRule(Rule):
+    """Require the truthy-bus guard around obs event emission.
+
+    Every hot-path emit site must be reachable only when the bus is
+    truthy — either nested under ``if self.obs:`` (conjunctions like
+    ``if self.obs and missed:`` count) or behind an early guard clause
+    ``if not self.obs: return``.  An identity check (``is not None``)
+    is flagged too: a wired bus with zero subscribers is not None but
+    *is* falsy, and the whole point of the idiom is that such a run
+    never constructs the event.
+    """
+
+    id = "obs-unguarded-emit"
+    rationale = (
+        "an emit without a truthy `if self.obs:` guard allocates an "
+        "event even when nobody is listening; `is not None` does not "
+        "count because an unsinked bus is falsy"
+    )
+    scope_prefixes = ("repro.core", "repro.sim", "repro.cluster", "repro.metrics")
+
+    def check(self, module: ModuleInfo) -> Iterator[LintViolation]:
+        parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(module.tree):
+            for child in ast.iter_child_nodes(parent):
+                parents[child] = parent
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "emit"):
+                continue
+            prefix = dotted_name(func.value)
+            if prefix is None:
+                continue
+            if not (_is_emitter_name(prefix) or _constructs_event(node)):
+                continue
+            verdict = self._guard_verdict(node, prefix, parents)
+            if verdict == "truthy":
+                continue
+            if verdict == "identity":
+                yield self.violation(
+                    module,
+                    node,
+                    f"emit on {prefix!r} guarded only by an identity check; "
+                    f"an unsinked bus is not None but falsy — use "
+                    f"`if {prefix}:` so the uninstrumented path constructs "
+                    f"nothing",
+                )
+            else:
+                yield self.violation(
+                    module,
+                    node,
+                    f"emit on {prefix!r} without a truthy bus guard; wrap "
+                    f"in `if {prefix}:` (or guard-clause "
+                    f"`if not {prefix}: return`) so an unsinked run never "
+                    f"constructs the event",
+                )
+
+    def _guard_verdict(
+        self, call: ast.Call, prefix: str, parents: dict[ast.AST, ast.AST]
+    ) -> str:
+        """``"truthy"``, ``"identity"``, or ``"unguarded"`` for one site."""
+        saw_identity = False
+        child: ast.AST = call
+        parent = parents.get(child)
+        while parent is not None:
+            if isinstance(parent, ast.If) and child in parent.body:
+                if _truthy_in_test(parent.test, prefix):
+                    return "truthy"
+                if _identity_in_test(parent.test, prefix):
+                    saw_identity = True
+            # A preceding sibling guard clause (`if not X: return`)
+            # protects everything after it in the same block.
+            body = getattr(parent, "body", None)
+            if isinstance(body, list) and child in body:
+                for stmt in body[: body.index(child)]:
+                    if (
+                        isinstance(stmt, ast.If)
+                        and _negated_in_test(stmt.test, prefix)
+                        and _terminates(stmt.body)
+                    ):
+                        return "truthy"
+            if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                break
+            child, parent = parent, parents.get(parent)
+        return "identity" if saw_identity else "unguarded"

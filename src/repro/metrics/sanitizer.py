@@ -91,7 +91,7 @@ class InvariantSanitizer:
     def _fail(self, rule: str, time: int, detail: str) -> None:
         violation = Violation(rule=rule, time=time, detail=detail)
         self.report.violations.append(violation)
-        if self.obs is not None:
+        if self.obs:
             self.obs.emit(
                 ViolationEvent(time=time, rule=rule, detail=detail, severity="error")
             )

@@ -51,10 +51,11 @@ from repro.obs.events import (
     PolicyResolutionEvent,
     RpcEvent,
     ScopedBus,
+    SloAlertEvent,
     SwitchEvent,
     ViolationEvent,
 )
-from repro.obs.log import event_to_dict, events_to_jsonl
+from repro.obs.log import SCHEMA_VERSION, event_to_dict, events_to_jsonl
 from repro.obs.perfetto import perfetto_trace_json
 from repro.obs.prom import render_prometheus
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
@@ -79,7 +80,9 @@ __all__ = [
     "PeriodCloseEvent",
     "PolicyResolutionEvent",
     "RpcEvent",
+    "SCHEMA_VERSION",
     "ScopedBus",
+    "SloAlertEvent",
     "Span",
     "SpanTracker",
     "SwitchEvent",

@@ -1,0 +1,280 @@
+"""The deterministic report behind ``python -m repro obs report``.
+
+:func:`analyze` runs every analysis pass over one event stream and
+bundles the results; :func:`render_markdown` and
+:func:`analysis_to_json` turn the bundle into the two output formats.
+Both renderers are pure functions of the analysis — same events.jsonl
+in, byte-identical report out — which is what lets CI diff two
+invocations and call the pipeline deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.obs.events import ObsEvent
+from repro.obs.analysis.attribution import (
+    AttributedMiss,
+    attribute_misses,
+    top_causes,
+)
+from repro.obs.analysis.episodes import OverloadEpisode, detect_episodes
+from repro.obs.analysis.overhead import OverheadBreakdown, overhead_breakdown
+from repro.obs.analysis.slo import SloResult, SloSpec, evaluate_slos
+from repro.obs.analysis.timeline import TaskTimeline, build_timelines
+
+
+@dataclass
+class Analysis:
+    """Everything one pass over an event stream produced."""
+
+    timelines: list[TaskTimeline]
+    misses: list[AttributedMiss]
+    episodes: list[OverloadEpisode]
+    overheads: list[OverheadBreakdown]
+    event_counts: dict[str, int]
+    slo_results: list[SloResult] = field(default_factory=list)
+
+    @property
+    def slo_violations(self) -> list[SloResult]:
+        return [r for r in self.slo_results if not r.ok]
+
+
+def analyze(
+    events: list[ObsEvent], slo_specs: list[SloSpec] | None = None
+) -> Analysis:
+    """Run every analysis pass; SLOs are evaluated when specs are given."""
+    timelines = build_timelines(events)
+    counts: dict[str, int] = {}
+    for event in events:
+        counts[event.type] = counts.get(event.type, 0) + 1
+    analysis = Analysis(
+        timelines=timelines,
+        misses=attribute_misses(events, timelines),
+        episodes=detect_episodes(events),
+        overheads=overhead_breakdown(events),
+        event_counts=counts,
+    )
+    if slo_specs:
+        analysis.slo_results = evaluate_slos(slo_specs, timelines, events)
+    return analysis
+
+
+# -- JSON ------------------------------------------------------------------
+
+
+def _analysis_dict(analysis: Analysis) -> dict:
+    return {
+        "event_counts": dict(sorted(analysis.event_counts.items())),
+        "tasks": [
+            {
+                "task": line.label,
+                "node": line.node,
+                "thread_id": line.thread_id,
+                "periods_closed": line.closed,
+                "misses": line.misses,
+                "voided": line.voided,
+                "delivery_ratio": round(line.delivery_ratio, 6),
+                "latency_p50": line.latency_percentile(50),
+                "latency_p95": line.latency_percentile(95),
+                "latency_p99": line.latency_percentile(99),
+            }
+            for line in analysis.timelines
+        ],
+        "misses": [
+            {
+                "task": miss.label,
+                "period_index": miss.period_index,
+                "window": [miss.start, miss.deadline],
+                "delivered": miss.delivered,
+                "granted": miss.granted,
+                "causes": [
+                    {"kind": c.kind, "time": c.time, "detail": c.detail}
+                    for c in miss.causes
+                ],
+            }
+            for miss in analysis.misses
+        ],
+        "top_miss_causes": [
+            {"kind": kind, "misses": count}
+            for kind, count in top_causes(analysis.misses)
+        ],
+        "overload_episodes": [
+            {
+                "node": e.node,
+                "entry": e.entry,
+                "exit": e.exit,
+                "duration": e.duration,
+                "recomputes": e.recomputes,
+                "min_qos_fraction": round(e.min_qos_fraction, 6),
+                "max_degraded": e.max_degraded,
+                "minimum_fallback": e.minimum_fallback,
+                "denied_admissions": e.denied_admissions,
+            }
+            for e in analysis.episodes
+        ],
+        "overhead": [
+            {
+                "node": b.node,
+                "switches": dict(sorted(b.switches.items())),
+                "switch_cost_ticks": dict(sorted(b.switch_cost_ticks.items())),
+                "grace_honoured": b.grace_honoured,
+                "grace_burned": b.grace_burned,
+                "grace_burned_ticks": b.grace_burned_ticks,
+            }
+            for b in analysis.overheads
+        ],
+        "slo": [
+            {
+                "name": r.spec.name,
+                "metric": r.spec.metric,
+                "subject": r.subject,
+                "op": r.spec.op,
+                "threshold": r.spec.threshold,
+                "value": round(r.value, 6),
+                "ok": r.ok,
+                "burn_rate": round(r.burn_rate, 6),
+            }
+            for r in analysis.slo_results
+        ],
+    }
+
+
+def analysis_to_json(analysis: Analysis) -> str:
+    return json.dumps(
+        _analysis_dict(analysis), indent=2, sort_keys=True
+    ) + "\n"
+
+
+# -- Markdown --------------------------------------------------------------
+
+
+def _fmt_latency(value: int) -> str:
+    return str(value) if value >= 0 else "n/a"
+
+
+def _fmt_node(node: str) -> str:
+    return node or "(local)"
+
+
+def render_markdown(analysis: Analysis) -> str:
+    """The operator-facing report, deterministic down to the byte."""
+    out: list[str] = []
+    total_events = sum(analysis.event_counts.values())
+    out.append("# Observability report")
+    out.append("")
+    counts = ", ".join(
+        f"{name}={count}"
+        for name, count in sorted(analysis.event_counts.items())
+    )
+    out.append(f"Events analysed: {total_events} ({counts or 'none'})")
+    out.append("")
+
+    out.append("## Grant delivery per task")
+    out.append("")
+    out.append(
+        "| task | periods | delivery ratio | misses | voided "
+        "| p50 (ticks) | p95 | p99 |"
+    )
+    out.append("|---|---:|---:|---:|---:|---:|---:|---:|")
+    for line in analysis.timelines:
+        out.append(
+            f"| {line.label} | {line.closed} "
+            f"| {line.delivery_ratio:.4f} | {line.misses} | {line.voided} "
+            f"| {_fmt_latency(line.latency_percentile(50))} "
+            f"| {_fmt_latency(line.latency_percentile(95))} "
+            f"| {_fmt_latency(line.latency_percentile(99))} |"
+        )
+    if not analysis.timelines:
+        out.append("| (no periodic tasks) | 0 | 1.0000 | 0 | 0 | n/a | n/a | n/a |")
+    out.append("")
+
+    out.append("## Deadline misses")
+    out.append("")
+    if not analysis.misses:
+        out.append("No deadline misses: every accountable period delivered.")
+    else:
+        out.append(
+            f"{len(analysis.misses)} missed period(s).  Top causes:"
+        )
+        out.append("")
+        out.append("| cause | misses explained |")
+        out.append("|---|---:|")
+        for kind, count in top_causes(analysis.misses):
+            out.append(f"| {kind} | {count} |")
+        out.append("")
+        for miss in analysis.misses:
+            out.append(
+                f"- **{miss.label}** period {miss.period_index} "
+                f"(window [{miss.start}, {miss.deadline}], delivered "
+                f"{miss.delivered}/{miss.granted} ticks):"
+            )
+            for cause in miss.causes:
+                out.append(f"  - `{cause.kind}` @ {cause.time}: {cause.detail}")
+    out.append("")
+
+    out.append("## Overload episodes")
+    out.append("")
+    if not analysis.episodes:
+        out.append("No overload episodes: grant control stayed at full QOS.")
+    else:
+        out.append(
+            "| node | entry | exit | duration | recomputes | min QOS "
+            "| max degraded | min fallback | denied admissions |"
+        )
+        out.append("|---|---:|---:|---:|---:|---:|---:|---|---:|")
+        for e in analysis.episodes:
+            exit_text = str(e.exit) if e.resolved else "unresolved"
+            duration = str(e.duration) if e.resolved else "n/a"
+            out.append(
+                f"| {_fmt_node(e.node)} | {e.entry} | {exit_text} "
+                f"| {duration} | {e.recomputes} | {e.min_qos_fraction:.4f} "
+                f"| {e.max_degraded} "
+                f"| {'yes' if e.minimum_fallback else 'no'} "
+                f"| {e.denied_admissions} |"
+            )
+    out.append("")
+
+    out.append("## Scheduling overhead")
+    out.append("")
+    if not analysis.overheads:
+        out.append("No context-switch or grace-period events recorded.")
+    else:
+        out.append(
+            "| node | switches | switch cost (ticks) | voluntary "
+            "| involuntary | grace honoured | grace burned (ticks) |"
+        )
+        out.append("|---|---:|---:|---:|---:|---:|---:|")
+        for b in analysis.overheads:
+            out.append(
+                f"| {_fmt_node(b.node)} | {b.total_switches} "
+                f"| {b.total_switch_cost} "
+                f"| {b.switches.get('voluntary', 0)} "
+                f"| {b.switches.get('involuntary', 0)} "
+                f"| {b.grace_honoured}/{b.grace_total} "
+                f"| {b.grace_burned} ({b.grace_burned_ticks}) |"
+            )
+    out.append("")
+
+    if analysis.slo_results:
+        out.append("## Service-level objectives")
+        out.append("")
+        violations = analysis.slo_violations
+        if violations:
+            out.append(f"**{len(violations)} objective(s) violated.**")
+        else:
+            out.append("All objectives met.")
+        out.append("")
+        out.append("| slo | subject | objective | value | burn rate | status |")
+        out.append("|---|---|---|---:|---:|---|")
+        for r in analysis.slo_results:
+            objective = f"{r.spec.metric} {r.spec.op} {r.spec.threshold:g}"
+            status = "ok" if r.ok else "**VIOLATED**"
+            out.append(
+                f"| {r.spec.name} | {r.subject} | {objective} "
+                f"| {r.value:.4f} | {r.burn_rate:.2f} | {status} |"
+            )
+        out.append("")
+
+    return "\n".join(out)

@@ -1,0 +1,259 @@
+"""Cluster-wide telemetry: registry snapshots, merging, aggregation.
+
+A cluster run has one :class:`~repro.obs.registry.MetricsRegistry` per
+observed scope, and the broker wants a *fleet* view: per-node counters
+summed, gauges at their freshest value, histograms merged bucket-wise.
+This module is the pure-data half of that pipeline — the cluster layer
+ships :class:`TelemetrySnapshot` payloads over the MessageBus (so they
+are subject to the same simulated latency, jitter, and drops as any
+other traffic) and feeds them to a :class:`TelemetryAggregator`, which
+also derives the *observed* per-node load signal the broker's AIMD
+placement weights consume: deadline-miss deltas and QOS fractions as
+measured by the metrics pipeline, not as self-reported by the node.
+
+Everything is deterministic: snapshots carry sim-tick timestamps,
+merges iterate sorted keys, and gauge conflicts resolve by
+(time, node) order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import SimulationError
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+#: Metric names the load signal reads (must match ObsSession's names).
+MISSES_METRIC = "repro_deadline_misses_total"
+QOS_METRIC = "repro_qos_fraction"
+DEGRADED_METRIC = "repro_degraded_tasks"
+HEADROOM_METRIC = "repro_headroom_ratio"
+
+
+@dataclass
+class MetricSnapshot:
+    """One metric's frozen series: plain data, safe to ship and merge."""
+
+    kind: str  # counter | gauge | histogram
+    label_names: tuple[str, ...]
+    #: counter/gauge: label key -> value;
+    #: histogram: label key -> [bucket counts, +Inf count, sum].
+    series: dict[tuple[str, ...], object]
+    buckets: tuple[float, ...] = ()
+
+
+@dataclass
+class TelemetrySnapshot:
+    """The state of one scope's metrics at one sim tick."""
+
+    node: str
+    time: int
+    #: Monotonic per-node sequence number, so the aggregator can drop
+    #: reordered/duplicated deliveries deterministically.
+    seq: int = 0
+    metrics: dict[str, MetricSnapshot] = field(default_factory=dict)
+
+
+def snapshot_registry(
+    registry: MetricsRegistry,
+    node: str,
+    time: int,
+    seq: int = 0,
+    node_filter: str | None = None,
+) -> TelemetrySnapshot:
+    """Freeze a registry's current series into a shippable snapshot.
+
+    With ``node_filter`` set, only series whose ``node`` label equals
+    the filter are captured (and metrics without a ``node`` label are
+    skipped) — this is how a per-node snapshot is cut from a registry
+    shared across a whole simulated cluster.
+    """
+    snapshot = TelemetrySnapshot(node=node, time=time, seq=seq)
+    for metric in registry.all_metrics():
+        node_index = (
+            metric.label_names.index("node")
+            if "node" in metric.label_names
+            else -1
+        )
+        if node_filter is not None and node_index < 0:
+            continue
+        series: dict[tuple[str, ...], object] = {}
+        for key, value in metric.series():
+            if node_filter is not None and key[node_index] != node_filter:
+                continue
+            if isinstance(metric, Histogram):
+                counts, inf_count, total = value
+                series[key] = [list(counts), inf_count, total]
+            else:
+                series[key] = value
+        snapshot.metrics[metric.name] = MetricSnapshot(
+            kind=metric.kind,
+            label_names=tuple(metric.label_names),
+            series=series,
+            buckets=metric.buckets if isinstance(metric, Histogram) else (),
+        )
+    return snapshot
+
+
+def merge_snapshots(snapshots: Iterable[TelemetrySnapshot]) -> TelemetrySnapshot:
+    """Fleet view: counters sum, gauges freshest-wins, histograms add.
+
+    Gauge conflicts resolve by ``(time, node)`` order — the newest
+    snapshot wins, ties broken by node name — so merging is independent
+    of input order.  Histogram merges require identical bucket bounds;
+    mixing bucket layouts is a configuration error, reported as such.
+    """
+    ordered = sorted(snapshots, key=lambda s: (s.time, s.node, s.seq))
+    merged = TelemetrySnapshot(
+        node="fleet", time=max((s.time for s in ordered), default=0)
+    )
+    for snapshot in ordered:
+        for name, metric in snapshot.metrics.items():
+            target = merged.metrics.get(name)
+            if target is None:
+                merged.metrics[name] = MetricSnapshot(
+                    kind=metric.kind,
+                    label_names=metric.label_names,
+                    series={
+                        key: (
+                            [list(value[0]), value[1], value[2]]
+                            if metric.kind == "histogram"
+                            else value
+                        )
+                        for key, value in metric.series.items()
+                    },
+                    buckets=metric.buckets,
+                )
+                continue
+            if target.kind != metric.kind:
+                raise SimulationError(
+                    f"metric {name!r} is a {target.kind} on one node and "
+                    f"a {metric.kind} on another"
+                )
+            if metric.kind == "histogram" and target.buckets != metric.buckets:
+                raise SimulationError(
+                    f"histogram {name!r} bucket bounds differ between "
+                    f"nodes ({target.buckets} vs {metric.buckets}); "
+                    f"per-node bucket overrides must agree to merge"
+                )
+            for key in sorted(metric.series):
+                value = metric.series[key]
+                if metric.kind == "counter":
+                    target.series[key] = target.series.get(key, 0) + value
+                elif metric.kind == "gauge":
+                    # ``ordered`` guarantees later snapshots overwrite.
+                    target.series[key] = value
+                else:
+                    existing = target.series.get(key)
+                    if existing is None:
+                        target.series[key] = [list(value[0]), value[1], value[2]]
+                    else:
+                        counts, inf_count, total = existing
+                        for i, c in enumerate(value[0]):
+                            counts[i] += c
+                        existing[1] = inf_count + value[1]
+                        existing[2] = total + value[2]
+    return merged
+
+
+@dataclass
+class ObservedLoad:
+    """The load signal the broker derives from a node's telemetry."""
+
+    node: str
+    time: int
+    #: Deadline misses since the previous snapshot (not cumulative).
+    misses_delta: int = 0
+    qos_fraction: float = 1.0
+    degraded: int = 0
+    headroom: float = 1.0
+
+    @property
+    def overloaded(self) -> bool:
+        return self.misses_delta > 0 or self.qos_fraction < 1.0
+
+
+def _sum_series(metric: MetricSnapshot | None) -> float:
+    if metric is None:
+        return 0.0
+    return float(sum(metric.series.values())) if metric.series else 0.0
+
+
+def _min_series(metric: MetricSnapshot | None, default: float) -> float:
+    if metric is None or not metric.series:
+        return default
+    return float(min(metric.series.values()))
+
+
+class TelemetryAggregator:
+    """Per-node latest snapshots plus the deltas the broker acts on.
+
+    ``ingest`` keeps the newest snapshot per node (by sequence number,
+    so a delayed duplicate delivery cannot roll state backwards) and
+    remembers the previous one long enough to compute deltas.
+    ``observed_load`` answers "how is this node actually doing" from
+    measurements; ``fleet`` merges every node's latest snapshot.
+    """
+
+    def __init__(self) -> None:
+        self._latest: dict[str, TelemetrySnapshot] = {}
+        self._previous: dict[str, TelemetrySnapshot] = {}
+        self.ingested = 0
+        self.rejected_stale = 0
+
+    def nodes(self) -> list[str]:
+        return sorted(self._latest)
+
+    def latest(self, node: str) -> TelemetrySnapshot | None:
+        return self._latest.get(node)
+
+    def ingest(self, snapshot: TelemetrySnapshot) -> bool:
+        """Accept a snapshot; False if an equal-or-newer one is held."""
+        current = self._latest.get(snapshot.node)
+        if current is not None and snapshot.seq <= current.seq:
+            self.rejected_stale += 1
+            return False
+        if current is not None:
+            self._previous[snapshot.node] = current
+        self._latest[snapshot.node] = snapshot
+        self.ingested += 1
+        return True
+
+    def observed_load(
+        self, node: str, now: int | None = None, staleness: int | None = None
+    ) -> ObservedLoad | None:
+        """The node's measured load; None when unknown or too stale.
+
+        ``staleness`` (sim ticks) bounds how old the latest snapshot
+        may be relative to ``now``; omit both to accept any age.
+        """
+        latest = self._latest.get(node)
+        if latest is None:
+            return None
+        if (
+            now is not None
+            and staleness is not None
+            and now - latest.time > staleness
+        ):
+            return None
+        previous = self._previous.get(node)
+        misses_now = _sum_series(latest.metrics.get(MISSES_METRIC))
+        misses_before = (
+            _sum_series(previous.metrics.get(MISSES_METRIC))
+            if previous is not None
+            else 0.0
+        )
+        return ObservedLoad(
+            node=node,
+            time=latest.time,
+            misses_delta=int(misses_now - misses_before),
+            qos_fraction=_min_series(latest.metrics.get(QOS_METRIC), 1.0),
+            degraded=int(_sum_series(latest.metrics.get(DEGRADED_METRIC))),
+            headroom=_min_series(latest.metrics.get(HEADROOM_METRIC), 1.0),
+        )
+
+    def fleet(self) -> TelemetrySnapshot:
+        return merge_snapshots(
+            self._latest[node] for node in sorted(self._latest)
+        )

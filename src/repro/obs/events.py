@@ -119,11 +119,21 @@ class GraceEvent(ObsEvent):
 
 @dataclass(frozen=True)
 class PeriodCloseEvent(ObsEvent):
-    """A thread's period closed; emitted only for misses/voids so the
-    stream records exceptions, not every healthy period."""
+    """A thread's period closed.
+
+    One event per closed period (``time`` is the deadline).  ``start``
+    is the period's opening tick and ``completion`` the tick at which
+    the thread finished its period's work — the grant fully consumed or
+    the task declared done early — or ``-1`` when the period ended with
+    work outstanding.  ``completion - start`` is therefore the
+    grant-delivery latency the analysis layer turns into p50/p95/p99
+    tables; ``missed``/``voided`` mark the exceptional closes.
+    """
 
     thread_id: int = -1
     period_index: int = -1
+    start: int = -1
+    completion: int = -1
     granted: int = 0
     delivered: int = 0
     missed: bool = False
@@ -177,6 +187,30 @@ class MigrationEvent(ObsEvent):
 
 
 @dataclass(frozen=True)
+class SloAlertEvent(ObsEvent):
+    """A rolling-window SLO evaluation found an objective out of bounds.
+
+    Emitted by :class:`repro.obs.analysis.slo.SloEngine` back into the
+    bus it watches, so alerts land in ``events.jsonl`` beside the events
+    that caused them.  ``burn_rate`` expresses how fast the error budget
+    is being consumed: 1.0 means exactly at the objective, higher means
+    burning budget (capped, deterministic).
+    """
+
+    slo: str = ""
+    metric: str = ""
+    subject: str = ""
+    value: float = 0.0
+    threshold: float = 0.0
+    op: str = "<="
+    burn_rate: float = 0.0
+    window_start: int = 0
+    window_end: int = 0
+
+    type = "slo-alert"
+
+
+@dataclass(frozen=True)
 class ViolationEvent(ObsEvent):
     """The runtime invariant sanitizer detected a broken guarantee."""
 
@@ -201,6 +235,7 @@ EVENT_TYPES: dict[str, type[ObsEvent]] = {
         PeriodCloseEvent,
         RpcEvent,
         MigrationEvent,
+        SloAlertEvent,
         ViolationEvent,
     )
 }

@@ -15,11 +15,19 @@ from typing import Iterable
 
 from repro.obs.events import ObsEvent
 
+#: Wire-format version stamped on every events.jsonl record.  Bump it
+#: whenever a record's meaning changes in a way old readers would
+#: misinterpret; the analysis loader rejects versions it does not know.
+#: History: 1 = PR 3 (no version field), 2 = adds the field itself plus
+#: the period-close ``start``/``completion`` ticks and ``slo-alert``.
+SCHEMA_VERSION = 2
+
 
 def event_to_dict(event: ObsEvent) -> dict:
     """Plain-data view of an event, with its wire ``type`` tag."""
     payload = dataclasses.asdict(event)
     payload["type"] = event.type
+    payload["schema_version"] = SCHEMA_VERSION
     return payload
 
 

@@ -32,11 +32,21 @@ _SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
 
 
 class ObsSession:
-    """Everything one observed run accumulates."""
+    """Everything one observed run accumulates.
 
-    def __init__(self) -> None:
+    ``histogram_buckets`` optionally overrides a histogram metric's
+    bucket bounds by name (e.g. widen
+    ``repro_grant_delivery_latency_ticks`` when a workload's periods
+    are slow enough to clip the default tail); un-overridden metrics
+    keep their defaults and render byte-identically.
+    """
+
+    def __init__(
+        self,
+        histogram_buckets: dict[str, tuple[float, ...]] | None = None,
+    ) -> None:
         self.bus = ObsBus()
-        self.registry = MetricsRegistry()
+        self.registry = MetricsRegistry(bucket_overrides=histogram_buckets)
         self.spans = SpanTracker()
         self.collector = EventCollector()
         self.bus.subscribe(self.collector)
@@ -118,6 +128,17 @@ class ObsSession:
             _TICK_BUCKETS,
             ("node",),
         )
+        self.m_periods = r.counter(
+            "repro_periods_closed_total",
+            "Periods closed, healthy or not",
+            ("node",),
+        )
+        self.m_delivery_latency = r.histogram(
+            "repro_grant_delivery_latency_ticks",
+            "Ticks from period start to full grant delivery (completed periods)",
+            _TICK_BUCKETS,
+            ("node",),
+        )
         self.m_misses = r.counter(
             "repro_deadline_misses_total",
             "Periods closed with the grant undelivered",
@@ -158,6 +179,11 @@ class ObsSession:
             "Invariant sanitizer violations by rule",
             ("node", "rule"),
         )
+        self.m_slo_alerts = r.counter(
+            "repro_slo_alerts_total",
+            "Rolling-window SLO alerts by objective name",
+            ("slo",),
+        )
 
     def _update_metrics(self, event: ObsEvent) -> None:
         kind = event.type
@@ -179,6 +205,11 @@ class ObsSession:
                 node=event.node, invented="true" if event.invented else "false"
             )
         elif kind == "period-close":
+            self.m_periods.inc(node=event.node)
+            if event.completion >= 0 and event.start >= 0:
+                self.m_delivery_latency.observe(
+                    event.completion - event.start, node=event.node
+                )
             if event.missed:
                 self.m_misses.inc(node=event.node)
             if event.voided:
@@ -197,6 +228,8 @@ class ObsSession:
             self.m_migrations.inc(outcome=event.outcome)
         elif kind == "violation":
             self.m_violations.inc(node=event.node, rule=event.rule)
+        elif kind == "slo-alert":
+            self.m_slo_alerts.inc(slo=event.slo)
 
     # -- exports -----------------------------------------------------------
 

@@ -172,6 +172,7 @@ def cluster_rack(
     migrate: bool = True,
     sanitize: bool = True,
     obs=None,
+    telemetry: bool = False,
 ):
     """A rack of set-top boxes behind one admission broker.
 
@@ -202,9 +203,12 @@ def cluster_rack(
         jitter_ticks=units.us_to_ticks(latency_us) // 2,
         drop_rate=drop_rate,
         machine=_machine("quiet"),
-        broker_config=BrokerConfig(migrate=migrate),
+        broker_config=BrokerConfig(
+            migrate=migrate, telemetry_aimd=telemetry
+        ),
         sanitize=sanitize,
         obs=obs,
+        telemetry=telemetry,
     )
     # Stagger arrivals over the first third of the run; every fourth
     # session hangs up two thirds of the way through (churn).

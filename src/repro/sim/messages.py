@@ -131,12 +131,12 @@ class MessageBus:
         )
         self._seq += 1
         self.stats.sent += 1
-        if self.obs is not None:
+        if self.obs:
             self.obs.emit(self._rpc_event("send", envelope, now))
         if self.drop_rate and self._rng.random() < self.drop_rate:
             self.stats.dropped += 1
             self.dropped.append(envelope)
-            if self.obs is not None:
+            if self.obs:
                 self.obs.emit(self._rpc_event("drop", envelope, now))
             return envelope
         heapq.heappush(self._heap, envelope)
@@ -171,7 +171,7 @@ class MessageBus:
         while self._heap and self._heap[0].deliver_at <= now:
             due.append(heapq.heappop(self._heap))
         self.stats.delivered += len(due)
-        if self.obs is not None:
+        if self.obs:
             for envelope in due:
                 self.obs.emit(self._rpc_event("receive", envelope, now))
         return due

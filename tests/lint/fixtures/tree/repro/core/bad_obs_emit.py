@@ -1,0 +1,30 @@
+"""Fixture: obs emission without (or with the wrong kind of) bus guard."""
+
+
+class GrantEvent:
+    pass
+
+
+class Kernel:
+    def __init__(self, obs):
+        self.obs = obs
+
+    def unguarded(self, now):
+        self.obs.emit(GrantEvent())  # no guard at all
+
+    def identity_guarded(self, now):
+        if self.obs is not None:  # wired-but-unsinked bus is falsy
+            self.obs.emit(GrantEvent())
+
+    def identity_in_conjunction(self, now, missed):
+        if self.obs is not None and missed:
+            self.obs.emit(GrantEvent())
+
+    def or_is_not_a_guard(self, now, forced):
+        if self.obs or forced:  # either side alone reaches the emit
+            self.obs.emit(GrantEvent())
+
+    def guard_clause_without_exit(self, now):
+        if not self.obs:
+            now += 1  # falls through: emit still reachable unsinked
+        self.obs.emit(GrantEvent())

@@ -1,0 +1,37 @@
+"""Fixture: every accepted form of the truthy obs guard (all negatives)."""
+
+
+class SwitchEvent:
+    pass
+
+
+class Kernel:
+    def __init__(self, obs):
+        self.obs = obs
+        self._obs_bus = obs
+
+    def plain_guard(self, now):
+        if self.obs:
+            self.obs.emit(SwitchEvent())
+
+    def conjunction_guard(self, now, missed):
+        if self.obs and missed:
+            self.obs.emit(SwitchEvent())
+
+    def guard_clause(self, now):
+        if not self._obs_bus:
+            return
+        self._obs_bus.emit(SwitchEvent())
+
+    def nested_under_guard(self, now, records):
+        if self.obs:
+            for record in records:
+                self.obs.emit(SwitchEvent())
+
+    def local_alias(self, now, kernel):
+        obs = kernel.obs
+        if obs:
+            obs.emit(SwitchEvent())
+
+    def unrelated_emitter(self, signal):
+        signal.emit("not an obs bus, not an Event construction")

@@ -115,6 +115,22 @@ class TestExceptHygiene:
         assert lint("outside_scope.py") == []
 
 
+class TestObsUnguardedEmit:
+    def test_unguarded_and_identity_guarded_emits_are_flagged(self):
+        violations = lint("repro/core/bad_obs_emit.py")
+        assert rule_ids(violations) == ["obs-unguarded-emit"] * 5
+        # The identity-guarded sites get the dedicated explanation.
+        identity = [v for v in violations if "identity check" in v.message]
+        assert len(identity) == 2
+        assert all("falsy" in v.message for v in identity)
+
+    def test_every_accepted_guard_form_passes(self):
+        assert lint("repro/core/good_obs_emit.py") == []
+
+    def test_emit_outside_scope_is_ignored(self):
+        assert lint("outside_scope.py") == []
+
+
 class TestWholeTree:
     def test_fixture_tree_totals(self):
         """Linting the whole fixture tree finds every seeded violation —

@@ -1,0 +1,348 @@
+"""The offline analysis layer: loader, timelines, attribution, episodes,
+overheads, and the assembled report — over synthetic streams (where we
+control every tick) and a real instrumented run (acceptance)."""
+
+import json
+
+import pytest
+
+from repro import units
+from repro.errors import SimulationError
+from repro.obs.analysis import (
+    AttributedMiss,
+    SchemaVersionError,
+    analysis_to_json,
+    analyze,
+    attribute_misses,
+    build_timelines,
+    decode_record,
+    detect_episodes,
+    load_events,
+    load_events_text,
+    overhead_breakdown,
+    percentile,
+    render_markdown,
+    top_causes,
+)
+from repro.obs.events import (
+    AdmissionEvent,
+    GraceEvent,
+    GrantChangeEvent,
+    GrantRecomputeEvent,
+    MigrationEvent,
+    PeriodCloseEvent,
+    SwitchEvent,
+    ViolationEvent,
+)
+from repro.obs.log import events_to_jsonl
+from repro.obs.session import ObsSession
+from repro.scenarios import figure5
+
+
+# -- loader / schema versioning ---------------------------------------------
+
+
+class TestLoader:
+    def test_current_writer_round_trips(self):
+        events = [
+            AdmissionEvent(time=10, task="video", outcome="accepted", thread_id=1),
+            PeriodCloseEvent(time=500, thread_id=1, period_index=0, start=50,
+                             completion=200, granted=100, delivered=100),
+        ]
+        decoded = load_events_text(events_to_jsonl(events))
+        assert decoded == events
+
+    def test_missing_schema_version_is_version_1(self):
+        record = {"type": "admission", "time": 3, "task": "a"}
+        event = decode_record(record)
+        assert event.task == "a"
+        # The payload is not mutated by decoding.
+        assert record == {"type": "admission", "time": 3, "task": "a"}
+
+    def test_future_schema_version_is_rejected_loudly(self):
+        line = json.dumps({"type": "admission", "time": 0, "schema_version": 3})
+        with pytest.raises(SchemaVersionError) as excinfo:
+            load_events_text(line, source="events.jsonl")
+        message = str(excinfo.value)
+        assert "schema_version 3" in message
+        assert "versions 1, 2" in message
+        assert "events.jsonl line 1" in message
+
+    def test_unknown_type_tag_names_the_known_tags(self):
+        with pytest.raises(SimulationError, match="unknown event type 'nope'"):
+            decode_record({"type": "nope", "time": 0})
+
+    def test_missing_type_tag(self):
+        with pytest.raises(SimulationError, match="no 'type' tag"):
+            decode_record({"time": 0})
+
+    def test_malformed_record_names_line_and_tag(self):
+        line = json.dumps({"type": "admission", "time": 0, "bogus_field": 1})
+        with pytest.raises(SimulationError, match="line 1: malformed 'admission'"):
+            load_events_text(line)
+
+    def test_invalid_json_names_the_line(self):
+        with pytest.raises(SimulationError, match="line 2: not valid JSON"):
+            load_events_text('{"type": "admission", "time": 0}\n{oops\n')
+
+    def test_load_events_accepts_a_directory(self, tmp_path):
+        (tmp_path / "events.jsonl").write_text(
+            events_to_jsonl([AdmissionEvent(time=1, task="x", thread_id=0)]),
+            encoding="utf-8",
+        )
+        assert len(load_events(tmp_path)) == 1
+
+    def test_load_events_missing_file(self, tmp_path):
+        with pytest.raises(SimulationError, match="no event log"):
+            load_events(tmp_path / "nope")
+
+
+# -- percentiles and timelines ----------------------------------------------
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = list(range(1, 101))  # 1..100
+        assert percentile(values, 50) == 50
+        assert percentile(values, 95) == 95
+        assert percentile(values, 99) == 99
+        assert percentile(values, 100) == 100
+
+    def test_small_populations_and_edges(self):
+        assert percentile([], 99) == -1
+        assert percentile([7], 50) == 7
+        assert percentile([3, 9], 99) == 9
+        assert percentile([3, 9], 0) == 3
+
+
+def _period(thread_id, index, start, completion, deadline, *, missed=False,
+            voided=False, node="", granted=100, delivered=None):
+    return PeriodCloseEvent(
+        time=deadline, node=node, thread_id=thread_id, period_index=index,
+        start=start, completion=completion, granted=granted,
+        delivered=granted if delivered is None else delivered,
+        missed=missed, voided=voided,
+    )
+
+
+class TestTimelines:
+    def test_periods_group_by_node_and_thread(self):
+        events = [
+            AdmissionEvent(time=0, task="video", thread_id=1, node="n0"),
+            AdmissionEvent(time=0, task="video", thread_id=1, node="n1"),
+            _period(1, 0, 0, 40, 100, node="n0"),
+            _period(1, 1, 100, 150, 200, node="n0"),
+            _period(1, 0, 0, 90, 100, node="n1"),
+        ]
+        lines = build_timelines(events)
+        assert [line.label for line in lines] == ["n0/video", "n1/video"]
+        assert [line.closed for line in lines] == [2, 1]
+        assert lines[0].latencies() == [40, 50]
+
+    def test_delivery_ratio_excludes_voided_periods(self):
+        events = [
+            _period(2, 0, 0, 50, 100),
+            _period(2, 1, 100, -1, 200, voided=True),
+            _period(2, 2, 200, -1, 300, missed=True, delivered=30),
+            _period(2, 3, 300, 350, 400),
+        ]
+        (line,) = build_timelines(events)
+        assert line.closed == 4
+        assert line.accountable == 3
+        assert line.misses == 1
+        assert line.delivery_ratio == pytest.approx(2 / 3)
+
+    def test_no_accountable_periods_reports_ratio_one(self):
+        events = [AdmissionEvent(time=0, task="idle", thread_id=5)]
+        (line,) = build_timelines(events)
+        assert line.closed == 0
+        assert line.delivery_ratio == 1.0
+        assert line.latency_percentile(99) == -1
+
+
+# -- deadline-miss attribution ----------------------------------------------
+
+
+def overload_stream():
+    """A synthetic overloaded node: every attributable mechanism fires
+    inside one missed period's [start, deadline] window."""
+    return [
+        AdmissionEvent(time=0, task="video", outcome="accepted", thread_id=1),
+        AdmissionEvent(time=0, task="other", outcome="accepted", thread_id=2),
+        GrantRecomputeEvent(time=120, requests=2, granted=2, degraded=1,
+                            qos_fraction=0.75),
+        GrantChangeEvent(time=150, thread_id=1, period=100_000, cpu_ticks=10_000,
+                         reason="recompute"),
+        GraceEvent(time=200, thread_id=2, honoured=False, grace_ticks=2_700),
+        SwitchEvent(time=220, from_thread=1, to_thread=2, kind="involuntary"),
+        SwitchEvent(time=240, from_thread=1, to_thread=2, kind="involuntary"),
+        SwitchEvent(time=260, from_thread=1, to_thread=2, kind="involuntary"),
+        MigrationEvent(time=300, task="video", source="n0", target="n1",
+                       outcome="started"),
+        ViolationEvent(time=350, rule="grant-sum", detail="sum exceeds capacity"),
+        _period(1, 4, 100, -1, 500, missed=True, delivered=60),
+        _period(2, 4, 100, 450, 500),
+    ]
+
+
+class TestAttribution:
+    def test_overloaded_period_collects_every_cause(self):
+        events = overload_stream()
+        misses = attribute_misses(events, build_timelines(events))
+        assert len(misses) == 1
+        miss = misses[0]
+        assert miss.task == "video"
+        assert miss.period_index == 4
+        kinds = {cause.kind for cause in miss.causes}
+        assert kinds == {
+            "qos-degraded",
+            "grant-shrunk",
+            "burned-grace",
+            "preemption-storm",
+            "migration",
+            "invariant-violation",
+        }
+
+    def test_at_least_one_attributed_cause_under_overload(self):
+        # The ISSUE acceptance: an overloaded stream yields >= 1 attributed
+        # (non-"unattributed") deadline-miss cause.
+        events = overload_stream()
+        misses = attribute_misses(events, build_timelines(events))
+        attributed = [
+            c for m in misses for c in m.causes if c.kind != "unattributed"
+        ]
+        assert attributed
+
+    def test_events_outside_the_window_do_not_attribute(self):
+        events = [
+            GrantRecomputeEvent(time=90, degraded=1, qos_fraction=0.5),
+            _period(1, 0, 100, -1, 200, missed=True),
+            GrantRecomputeEvent(time=201, degraded=1, qos_fraction=0.5),
+        ]
+        (miss,) = attribute_misses(events, build_timelines(events))
+        assert [c.kind for c in miss.causes] == ["unattributed"]
+        assert "investigate" in miss.causes[0].detail
+
+    def test_two_preemptions_are_not_a_storm(self):
+        events = [
+            SwitchEvent(time=110, from_thread=1, to_thread=2, kind="involuntary"),
+            SwitchEvent(time=120, from_thread=1, to_thread=2, kind="involuntary"),
+            _period(1, 0, 100, -1, 200, missed=True),
+        ]
+        (miss,) = attribute_misses(events, build_timelines(events))
+        assert [c.kind for c in miss.causes] == ["unattributed"]
+
+    def test_other_threads_grant_changes_do_not_attribute(self):
+        events = [
+            GrantChangeEvent(time=150, thread_id=9, period=100, cpu_ticks=1),
+            _period(1, 0, 100, -1, 200, missed=True),
+        ]
+        (miss,) = attribute_misses(events, build_timelines(events))
+        assert [c.kind for c in miss.causes] == ["unattributed"]
+
+    def test_top_causes_ranks_by_miss_count(self):
+        events = overload_stream()
+        misses = attribute_misses(events, build_timelines(events))
+        ranked = top_causes(misses)
+        assert all(count == 1 for _, count in ranked)
+        assert [kind for kind, _ in ranked] == sorted(k for k, _ in ranked)
+
+
+# -- overload episodes -------------------------------------------------------
+
+
+class TestEpisodes:
+    def test_entry_exit_and_denials(self):
+        events = [
+            GrantRecomputeEvent(time=100, qos_fraction=1.0),
+            GrantRecomputeEvent(time=200, degraded=2, qos_fraction=0.8),
+            AdmissionEvent(time=250, task="late", outcome="denied"),
+            GrantRecomputeEvent(time=300, degraded=1, qos_fraction=0.6,
+                                minimum_fallback=True),
+            GrantRecomputeEvent(time=400, qos_fraction=1.0),
+            AdmissionEvent(time=450, task="fine", outcome="denied"),
+        ]
+        (episode,) = detect_episodes(events)
+        assert (episode.entry, episode.exit) == (200, 400)
+        assert episode.resolved and episode.duration == 200
+        assert episode.recomputes == 2
+        assert episode.min_qos_fraction == pytest.approx(0.6)
+        assert episode.max_degraded == 2
+        assert episode.minimum_fallback
+        # The denial at 450 falls outside the episode.
+        assert episode.denied_admissions == 1
+
+    def test_unresolved_episode_at_stream_end(self):
+        events = [GrantRecomputeEvent(time=100, degraded=1, qos_fraction=0.9)]
+        (episode,) = detect_episodes(events)
+        assert not episode.resolved
+        assert episode.duration == -1
+
+    def test_nodes_track_independent_episodes(self):
+        events = [
+            GrantRecomputeEvent(time=100, node="n1", degraded=1, qos_fraction=0.9),
+            GrantRecomputeEvent(time=150, node="n0", degraded=1, qos_fraction=0.8),
+            GrantRecomputeEvent(time=200, node="n1", qos_fraction=1.0),
+        ]
+        episodes = detect_episodes(events)
+        assert [(e.node, e.resolved) for e in episodes] == [
+            ("n0", False), ("n1", True),
+        ]
+
+
+# -- overhead breakdown -------------------------------------------------------
+
+
+class TestOverhead:
+    def test_switch_and_grace_totals_by_kind(self):
+        events = [
+            SwitchEvent(time=10, kind="voluntary", cost_ticks=189),
+            SwitchEvent(time=20, kind="involuntary", cost_ticks=513),
+            SwitchEvent(time=30, kind="involuntary", cost_ticks=513),
+            GraceEvent(time=40, honoured=True, grace_ticks=2_700),
+            GraceEvent(time=50, honoured=False, grace_ticks=2_700),
+        ]
+        (b,) = overhead_breakdown(events)
+        assert b.switches == {"voluntary": 1, "involuntary": 2}
+        assert b.total_switch_cost == 189 + 2 * 513
+        assert b.grace_total == 2
+        assert b.grace_burned_ticks == 2_700
+        assert b.grace_honour_ratio == pytest.approx(0.5)
+
+
+# -- the assembled report -----------------------------------------------------
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def real_events(self):
+        session = ObsSession()
+        figure5(seed=11, obs=session).run_for(units.ms_to_ticks(150))
+        return session.events
+
+    def test_real_run_delivers_every_grant(self, real_events):
+        analysis = analyze(real_events)
+        assert analysis.timelines
+        for line in analysis.timelines:
+            assert line.delivery_ratio == 1.0
+        assert analysis.misses == []
+
+    def test_markdown_report_is_deterministic_and_complete(self, real_events):
+        analysis = analyze(real_events)
+        text = render_markdown(analysis)
+        assert text == render_markdown(analyze(real_events))
+        assert "# Observability report" in text
+        assert "## Grant delivery per task" in text
+        assert "## Scheduling overhead" in text
+
+    def test_json_report_round_trips(self, real_events):
+        payload = json.loads(analysis_to_json(analyze(real_events)))
+        assert payload["tasks"]
+        assert all(t["delivery_ratio"] == 1.0 for t in payload["tasks"])
+
+    def test_synthetic_misses_render_with_causes(self):
+        analysis = analyze(overload_stream())
+        text = render_markdown(analysis)
+        assert "## Deadline misses" in text
+        assert "qos-degraded" in text
+        assert isinstance(analysis.misses[0], AttributedMiss)

@@ -79,6 +79,7 @@ class TestEventTypes:
             "period-close",
             "rpc",
             "migration",
+            "slo-alert",
             "violation",
         }
 

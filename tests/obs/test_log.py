@@ -3,7 +3,13 @@
 import json
 
 from repro.obs.events import EVENT_TYPES, AdmissionEvent, RpcEvent, SwitchEvent
-from repro.obs.log import EventCollector, event_to_dict, event_to_json, events_to_jsonl
+from repro.obs.log import (
+    SCHEMA_VERSION,
+    EventCollector,
+    event_to_dict,
+    event_to_json,
+    events_to_jsonl,
+)
 
 
 class TestEncoding:
@@ -29,6 +35,7 @@ class TestEncoding:
         assert len(lines) == 2
         for line, original in zip(lines, events):
             decoded = json.loads(line)
+            assert decoded.pop("schema_version") == SCHEMA_VERSION
             cls = EVENT_TYPES[decoded.pop("type")]
             assert cls(**decoded) == original
 

@@ -1,0 +1,232 @@
+"""Cluster telemetry: registry snapshots, fleet merges, the aggregator's
+staleness/ordering discipline, and the broker's observed-load AIMD."""
+
+import pytest
+
+from repro import units
+from repro.errors import SimulationError
+from repro.obs.analysis.telemetry import (
+    MISSES_METRIC,
+    QOS_METRIC,
+    ObservedLoad,
+    TelemetryAggregator,
+    TelemetrySnapshot,
+    merge_snapshots,
+    snapshot_registry,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+def registry_with(node_values):
+    """A registry holding node-labelled misses/qos series plus one
+    unlabelled gauge (which a per-node snapshot must skip)."""
+    registry = MetricsRegistry()
+    misses = registry.counter(MISSES_METRIC, "misses", ("node",))
+    qos = registry.gauge(QOS_METRIC, "qos", ("node",))
+    registry.gauge("repro_global_temperature", "no node label")
+    for node, (miss_count, qos_value) in node_values.items():
+        misses.inc(miss_count, node=node)
+        qos.set(qos_value, node=node)
+    return registry
+
+
+class TestSnapshot:
+    def test_node_filter_cuts_one_nodes_slice(self):
+        registry = registry_with({"n0": (2, 0.5), "n1": (7, 1.0)})
+        snap = snapshot_registry(registry, "n0", time=100, node_filter="n0")
+        assert snap.metrics[MISSES_METRIC].series == {("n0",): 2}
+        assert snap.metrics[QOS_METRIC].series == {("n0",): 0.5}
+        # Metrics without a node label cannot be attributed to a node.
+        assert "repro_global_temperature" not in snap.metrics
+
+    def test_unfiltered_snapshot_keeps_everything(self):
+        registry = registry_with({"n0": (1, 1.0)})
+        snap = snapshot_registry(registry, "all", time=5)
+        assert "repro_global_temperature" in snap.metrics
+        assert snap.metrics[MISSES_METRIC].series == {("n0",): 1}
+
+    def test_snapshot_is_a_frozen_copy(self):
+        registry = registry_with({"n0": (1, 1.0)})
+        snap = snapshot_registry(registry, "n0", time=5, node_filter="n0")
+        registry.get(MISSES_METRIC).inc(10, node="n0")
+        assert snap.metrics[MISSES_METRIC].series == {("n0",): 1}
+
+    def test_histogram_series_are_copied(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_lat", "lat", (1.0, 10.0), ("node",))
+        hist.observe(0.5, node="n0")
+        snap = snapshot_registry(registry, "n0", time=5, node_filter="n0")
+        hist.observe(5.0, node="n0")
+        counts, inf_count, total = snap.metrics["repro_lat"].series[("n0",)]
+        assert counts == [1, 1] and inf_count == 1 and total == 0.5
+
+
+def snap(node, time, seq=0, misses=None, qos=None):
+    registry = registry_with(
+        {node: (misses if misses is not None else 0,
+                qos if qos is not None else 1.0)}
+    )
+    return snapshot_registry(registry, node, time=time, seq=seq,
+                             node_filter=node)
+
+
+class TestMerge:
+    def test_counters_sum_and_gauges_take_the_freshest(self):
+        merged = merge_snapshots([
+            snap("n0", time=100, misses=2, qos=0.5),
+            snap("n1", time=200, misses=3, qos=0.9),
+        ])
+        assert merged.node == "fleet" and merged.time == 200
+        series = merged.metrics[MISSES_METRIC].series
+        assert series == {("n0",): 2, ("n1",): 3}
+
+    def test_same_key_gauges_resolve_by_time(self):
+        # Two snapshots write the SAME series key with different values
+        # at different times; the merge must be input-order-free.
+        a = snap("n0", time=100, qos=0.25)
+        b = snap("n0", time=200, seq=1, qos=0.75)
+        for order in ([a, b], [b, a]):
+            merged = merge_snapshots(order)
+            assert merged.metrics[QOS_METRIC].series[("n0",)] == 0.75
+
+    def test_histogram_bucket_mismatch_is_an_error(self):
+        def hist_snap(node, buckets):
+            registry = MetricsRegistry(
+                bucket_overrides={"repro_lat": buckets} if buckets else None
+            )
+            registry.histogram("repro_lat", "lat", (1.0, 10.0), ("node",))
+            registry.get("repro_lat").observe(0.5, node=node)
+            return snapshot_registry(registry, node, time=1, node_filter=node)
+
+        with pytest.raises(SimulationError, match="bucket bounds differ"):
+            merge_snapshots([
+                hist_snap("n0", None),
+                hist_snap("n1", (1.0, 5.0, 25.0)),
+            ])
+
+    def test_matching_histograms_add_bucket_wise(self):
+        def hist_snap(node, value):
+            registry = MetricsRegistry()
+            registry.histogram("repro_lat", "lat", (1.0, 10.0), ("node",))
+            registry.get("repro_lat").observe(value, node=node)
+            return snapshot_registry(registry, node, time=1, node_filter=node)
+
+        merged = merge_snapshots([hist_snap("n0", 0.5), hist_snap("n1", 5.0)])
+        series = merged.metrics["repro_lat"].series
+        assert series[("n0",)][0] == [1, 1]
+        assert series[("n1",)][0] == [0, 1]
+
+    def test_kind_conflict_is_an_error(self):
+        a = TelemetrySnapshot(node="n0", time=1)
+        a.metrics["m"] = snap("n0", 1).metrics[MISSES_METRIC]
+        b = TelemetrySnapshot(node="n1", time=2)
+        b.metrics["m"] = snap("n1", 2).metrics[QOS_METRIC]
+        with pytest.raises(SimulationError, match="counter on one node"):
+            merge_snapshots([a, b])
+
+
+class TestAggregator:
+    def test_stale_and_duplicate_sequences_are_rejected(self):
+        agg = TelemetryAggregator()
+        assert agg.ingest(snap("n0", time=100, seq=1))
+        assert agg.ingest(snap("n0", time=200, seq=2))
+        assert not agg.ingest(snap("n0", time=150, seq=1))  # reordered
+        assert not agg.ingest(snap("n0", time=200, seq=2))  # duplicate
+        assert (agg.ingested, agg.rejected_stale) == (2, 2)
+        assert agg.latest("n0").seq == 2
+
+    def test_misses_delta_is_against_the_previous_snapshot(self):
+        agg = TelemetryAggregator()
+        agg.ingest(snap("n0", time=100, seq=1, misses=3))
+        load = agg.observed_load("n0")
+        assert load.misses_delta == 3  # first snapshot: delta from zero
+        agg.ingest(snap("n0", time=200, seq=2, misses=5))
+        load = agg.observed_load("n0")
+        assert load.misses_delta == 2
+        assert load.time == 200
+
+    def test_overloaded_signal(self):
+        assert ObservedLoad(node="n", time=0, misses_delta=1).overloaded
+        assert ObservedLoad(node="n", time=0, qos_fraction=0.9).overloaded
+        assert not ObservedLoad(node="n", time=0).overloaded
+
+    def test_staleness_bound(self):
+        agg = TelemetryAggregator()
+        agg.ingest(snap("n0", time=100, seq=1))
+        assert agg.observed_load("n0", now=150, staleness=100) is not None
+        assert agg.observed_load("n0", now=300, staleness=100) is None
+        assert agg.observed_load("unknown") is None
+
+    def test_fleet_merges_latest_snapshots(self):
+        agg = TelemetryAggregator()
+        agg.ingest(snap("n0", time=100, seq=1, misses=1))
+        agg.ingest(snap("n1", time=100, seq=1, misses=2))
+        fleet = agg.fleet()
+        assert sum(fleet.metrics[MISSES_METRIC].series.values()) == 3
+
+
+class TestBrokerIntegration:
+    @pytest.fixture(scope="class")
+    def rack(self):
+        from repro.obs.session import ObsSession
+        from repro.scenarios import cluster_rack
+
+        session = ObsSession()
+        sim = cluster_rack(
+            seed=0, horizon_sec=0.4, obs=session, telemetry=True
+        )
+        sim.run_until(sim.horizon)
+        return sim
+
+    def test_snapshots_flow_to_the_broker(self, rack):
+        agg = rack.broker.telemetry
+        assert agg.ingested > 0
+        assert agg.nodes() == sorted(rack.nodes)
+
+    def test_observed_load_reflects_measured_overload(self, rack):
+        loads = [
+            rack.broker.telemetry.observed_load(node)
+            for node in rack.broker.telemetry.nodes()
+        ]
+        assert all(load is not None for load in loads)
+        # The default rack oversubscribes: somebody is measurably degraded.
+        assert any(load.qos_fraction < 1.0 for load in loads)
+
+    def test_aimd_weights_follow_observed_load(self, rack):
+        weights = {
+            name: view.weight for name, view in rack.broker.views.items()
+        }
+        overloaded = {
+            node
+            for node in weights
+            if (load := rack.broker.telemetry.observed_load(node))
+            and load.qos_fraction < 1.0
+        }
+        healthy = set(weights) - overloaded
+        assert overloaded and healthy
+        assert max(weights[n] for n in overloaded) < min(
+            weights[n] for n in healthy
+        )
+
+    def test_telemetry_requires_an_obs_session(self):
+        from repro.scenarios import cluster_rack
+
+        with pytest.raises(SimulationError, match="needs an ObsSession"):
+            cluster_rack(seed=0, horizon_sec=0.1, telemetry=True)
+
+    def test_telemetry_run_is_deterministic(self):
+        from repro.obs.session import ObsSession
+        from repro.scenarios import cluster_rack
+
+        def run():
+            session = ObsSession()
+            sim = cluster_rack(
+                seed=3, horizon_sec=0.2, obs=session, telemetry=True
+            )
+            sim.run_until(sim.horizon)
+            weights = {
+                name: view.weight for name, view in sim.broker.views.items()
+            }
+            return weights, session.events_jsonl()
+
+        assert run() == run()

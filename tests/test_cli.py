@@ -88,3 +88,64 @@ class TestParser:
         main(["figure4", "--seed", "1", "--duration-ms", "400"])
         second = capsys.readouterr().out
         assert first == second
+
+
+class TestObsAnalysisCli:
+    @pytest.fixture(scope="class")
+    def obs_dir(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("obs") / "run"
+        assert main(["run", "--scenario", "figure5", "--seed", "11",
+                     "--duration-ms", "200", "--obs-out", str(out)]) == 0
+        return out
+
+    def test_report_renders_markdown(self, obs_dir, capsys):
+        assert main(["obs", "report", str(obs_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "# Observability report" in out
+        assert "## Grant delivery per task" in out
+
+    def test_report_is_byte_deterministic(self, obs_dir, tmp_path, capsys):
+        for fmt in ("markdown", "json"):
+            a, b = tmp_path / f"a.{fmt}", tmp_path / f"b.{fmt}"
+            assert main(["obs", "report", str(obs_dir), "--format", fmt,
+                         "--out", str(a)]) == 0
+            assert main(["obs", "report", str(obs_dir), "--format", fmt,
+                         "--out", str(b)]) == 0
+            assert a.read_bytes() == b.read_bytes()
+        capsys.readouterr()
+
+    def test_report_json_parses(self, obs_dir, capsys):
+        import json
+
+        assert main(["obs", "report", str(obs_dir), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert all(t["delivery_ratio"] == 1.0 for t in payload["tasks"])
+
+    def test_check_passes_on_the_committed_slos(self, obs_dir, capsys):
+        assert main(["obs", "check", str(obs_dir), "--slo", "slo.toml"]) == 0
+        out = capsys.readouterr().out
+        assert "0 violation(s)" in out
+        assert "VIOLATED" not in out
+
+    def test_check_fails_on_a_violated_objective(self, obs_dir, tmp_path, capsys):
+        slo = tmp_path / "impossible.toml"
+        slo.write_text(
+            '[[slo]]\nname = "impossible"\nmetric = "deadline_misses"\n'
+            'per = "fleet"\nop = ">="\nthreshold = 1.0\n',
+            encoding="utf-8",
+        )
+        assert main(["obs", "check", str(obs_dir), "--slo", str(slo)]) == 1
+        out = capsys.readouterr().out
+        assert "VIOLATED" in out
+        assert "1 violation(s)" in out
+
+    def test_report_with_slo_section(self, obs_dir, capsys):
+        assert main(["obs", "report", str(obs_dir), "--slo", "slo.toml"]) == 0
+        out = capsys.readouterr().out
+        assert "## Service-level objectives" in out
+
+    def test_obs_without_subcommand_describes_the_taxonomy(self, capsys):
+        assert main(["obs"]) == 0
+        out = capsys.readouterr().out
+        assert "Event taxonomy" in out
+        assert "slo-alert" in out
