@@ -11,6 +11,15 @@ architectural invariants as checkable rules:
 * **float-ticks** — units discipline: tick counts are integers;
 * **bare-except** / **silent-except** — error hygiene in the core.
 
+A second, whole-program tier (:mod:`repro.lint.flow`, enabled with
+``--flow``) parses the full target tree into a project index — symbol
+tables, a resolved call graph, a lightweight abstract interpreter —
+and checks what no single module can show: **tick-units** dimensional
+analysis, **determinism-reach** (wallclock/RNG sinks reachable through
+any call chain), **shared-state-race**, and **rpc-exception-safety**.
+Grandfathered flow findings live in the committed
+``lint-baseline.json``.
+
 Run as ``python -m repro.lint src/`` (or the ``repro-lint`` console
 script); see :mod:`repro.lint.cli` for flags and exit codes, and
 ``docs/lint.md`` for the rule catalog.  The runtime complement to this
@@ -18,21 +27,34 @@ static pass is :class:`repro.metrics.sanitizer.InvariantSanitizer`.
 """
 
 from repro.lint.config import LintConfig, LintConfigError, load_config
-from repro.lint.engine import collect_files, module_name, parse_module, run_lint
+from repro.lint.engine import (
+    collect_files,
+    module_name,
+    parse_module,
+    rule_catalog_hash,
+    run_lint,
+)
+from repro.lint.flow import FLOW_RULE_CLASSES, FlowRule, all_flow_rules
+from repro.lint.resolve import ModuleResolver
 from repro.lint.rules import RULE_CLASSES, all_rules
 from repro.lint.rules.base import LintViolation, ModuleInfo, Rule
 
 __all__ = [
+    "FLOW_RULE_CLASSES",
+    "FlowRule",
     "LintConfig",
     "LintConfigError",
     "LintViolation",
     "ModuleInfo",
+    "ModuleResolver",
     "Rule",
     "RULE_CLASSES",
+    "all_flow_rules",
     "all_rules",
     "collect_files",
     "load_config",
     "module_name",
     "parse_module",
+    "rule_catalog_hash",
     "run_lint",
 ]

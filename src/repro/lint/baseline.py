@@ -1,0 +1,126 @@
+"""Baseline file support: grandfathered findings for the flow tier.
+
+A baseline is a committed JSON file of known findings.  The CLI
+subtracts baselined findings from its output, so a new analysis tier
+can ship with real (but previously invisible) findings acknowledged
+instead of blocking every build, while *new* findings still fail CI.
+
+Matching is by :meth:`LintViolation.fingerprint` — path, rule id,
+message, and witness, but **not** line numbers — so edits elsewhere in
+a file do not churn the baseline.  Entries that no longer match any
+finding are *stale*: the CLI reports them on stderr as a nudge to
+shrink the file (the debt registry must only ever shrink).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint.rules.base import LintViolation
+
+BASELINE_SCHEMA_VERSION = 1
+
+#: Conventional baseline filename, next to pyproject.toml.
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+class BaselineError(Exception):
+    """The baseline file is unreadable or malformed (exit code 2)."""
+
+
+def load_baseline(path: Path) -> dict[str, dict]:
+    """Fingerprint -> entry mapping from a baseline file."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"{path}: invalid JSON: {exc}") from exc
+    if not isinstance(data, dict) or "findings" not in data:
+        raise BaselineError(f"{path}: expected an object with a 'findings' list")
+    version = data.get("schema_version")
+    if version != BASELINE_SCHEMA_VERSION:
+        raise BaselineError(
+            f"{path}: unsupported baseline schema_version {version!r} "
+            f"(expected {BASELINE_SCHEMA_VERSION})"
+        )
+    findings = data["findings"]
+    if not isinstance(findings, list):
+        raise BaselineError(f"{path}: 'findings' must be a list")
+    out: dict[str, dict] = {}
+    for entry in findings:
+        if not isinstance(entry, dict) or "fingerprint" not in entry:
+            raise BaselineError(
+                f"{path}: every finding needs a 'fingerprint' field"
+            )
+        out[entry["fingerprint"]] = entry
+    return out
+
+
+def apply_baseline(
+    violations: list[LintViolation], baseline: dict[str, dict]
+) -> tuple[list[LintViolation], list[dict]]:
+    """Split violations into (new, ...) and report stale entries.
+
+    Returns ``(surviving_violations, stale_entries)``: violations whose
+    fingerprint is baselined are dropped; baseline entries matched by
+    nothing come back as stale (sorted by fingerprint for stable
+    output).
+    """
+    matched: set[str] = set()
+    surviving: list[LintViolation] = []
+    for violation in violations:
+        fp = violation.fingerprint()
+        if fp in baseline:
+            matched.add(fp)
+        else:
+            surviving.append(violation)
+    stale = [
+        baseline[fp] for fp in sorted(set(baseline) - matched)
+    ]
+    return surviving, stale
+
+
+def write_baseline(path: Path, violations: list[LintViolation]) -> int:
+    """Write the violations as a fresh baseline; returns the entry count.
+
+    Entries carry the human-readable finding beside the fingerprint so
+    a reviewer can audit the debt without re-running the linter.
+    """
+    entries = []
+    seen: set[str] = set()
+    for violation in sorted(
+        violations, key=lambda v: (v.path, v.rule_id, v.message)
+    ):
+        fp = violation.fingerprint()
+        if fp in seen:
+            continue
+        seen.add(fp)
+        entries.append(
+            {
+                "fingerprint": fp,
+                "rule": violation.rule_id,
+                "path": violation.path,
+                "message": violation.message,
+                "witness": list(violation.witness),
+            }
+        )
+    payload = {
+        "schema_version": BASELINE_SCHEMA_VERSION,
+        "findings": entries,
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(entries)
+
+
+def find_default_baseline(start: Path | None = None) -> Path | None:
+    """Nearest committed baseline file, searching upward from ``start``."""
+    here = (start or Path.cwd()).resolve()
+    for directory in (here, *here.parents):
+        candidate = directory / DEFAULT_BASELINE_NAME
+        if candidate.is_file():
+            return candidate
+    return None

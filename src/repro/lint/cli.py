@@ -4,26 +4,47 @@ Usage::
 
     python -m repro.lint src/                 # human-readable output
     python -m repro.lint src/ --format=json   # machine-readable (CI)
+    python -m repro.lint src/ --flow          # + whole-program flow tier
     python -m repro.lint --list-rules
+    python -m repro.lint --explain tick-units
 
 Exit codes: 0 = clean, 1 = violations found, 2 = usage/config error —
 so CI can gate on the return code directly.
+
+The JSON payload is byte-deterministic (stable violation order, sorted
+keys) and self-describing: ``schema_version`` plus a
+``rule_catalog_hash`` digest of the active rule set, so the CI diff
+gate can compare two runs byte-for-byte and a mismatch names its own
+cause (different findings vs different rules).
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import json
 import sys
 from pathlib import Path
 
+from repro.lint.baseline import (
+    BaselineError,
+    apply_baseline,
+    find_default_baseline,
+    load_baseline,
+    write_baseline,
+)
 from repro.lint.config import LintConfig, LintConfigError, load_config
-from repro.lint.engine import iter_rule_catalog, run_lint
+from repro.lint.engine import iter_rule_catalog, rule_catalog_hash, run_lint
+from repro.lint.flow import FLOW_RULE_CLASSES
 from repro.lint.rules import RULE_CLASSES
 
 EXIT_CLEAN = 0
 EXIT_VIOLATIONS = 1
 EXIT_ERROR = 2
+
+#: Version of the ``--format=json`` payload.  Bump when its shape
+#: changes; consumers (the CI diff gate) reject unknown versions.
+JSON_SCHEMA_VERSION = 2
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -31,7 +52,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-lint",
         description=(
             "Static analysis for the Resource Distributor codebase: "
-            "layering, determinism, units discipline, error hygiene."
+            "layering, determinism, units discipline, error hygiene, "
+            "and whole-program flow analysis (--flow)."
         ),
     )
     parser.add_argument(
@@ -53,18 +75,107 @@ def build_parser() -> argparse.ArgumentParser:
         help="pyproject.toml to read [tool.repro-lint] from "
         "(default: search upward from the current directory)",
     )
+    flow = parser.add_mutually_exclusive_group()
+    flow.add_argument(
+        "--flow",
+        dest="flow",
+        action="store_true",
+        default=None,
+        help="run the whole-program flow tier (call graph, tick-unit "
+        "dimensional analysis, determinism/race reachability)",
+    )
+    flow.add_argument(
+        "--no-flow",
+        dest="flow",
+        action="store_false",
+        help="skip the flow tier even if the config enables it",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="baseline file of grandfathered findings to subtract "
+        "(default: [tool.repro-lint] baseline, else lint-baseline.json "
+        "found upward of the current directory when --flow is on)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to the baseline file and exit "
+        "clean (acknowledges today's debt; new findings still fail)",
+    )
     parser.add_argument(
         "--list-rules",
         action="store_true",
-        help="print the rule catalog and exit",
+        help="print the rule catalog (both tiers) and exit",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="RULE",
+        default=None,
+        help="print a rule's full documentation (docstring + rationale) "
+        "and exit",
     )
     return parser
 
 
 def _print_rules() -> None:
-    width = max(len(cls.id) for cls in RULE_CLASSES)
+    width = max(
+        len(cls.id) for cls in (*RULE_CLASSES, *FLOW_RULE_CLASSES)
+    )
     for rule_id, rationale in iter_rule_catalog():
         print(f"{rule_id:<{width}}  {rationale}")
+
+
+def _explain(rule_id: str) -> int:
+    for cls in (*RULE_CLASSES, *FLOW_RULE_CLASSES):
+        if cls.id == rule_id:
+            tier = "flow (whole-program)" if cls in FLOW_RULE_CLASSES else "per-module"
+            print(f"{cls.id} [{tier}]")
+            print(f"rationale: {cls.rationale}")
+            doc = inspect.getdoc(cls)
+            if doc:
+                print()
+                print(doc)
+            return EXIT_CLEAN
+    known = ", ".join(
+        sorted(cls.id for cls in (*RULE_CLASSES, *FLOW_RULE_CLASSES))
+    )
+    print(
+        f"repro-lint: unknown rule {rule_id!r} (known: {known})",
+        file=sys.stderr,
+    )
+    return EXIT_ERROR
+
+
+def _resolve_baseline(args, config: LintConfig, flow: bool) -> Path | None:
+    if args.baseline is not None:
+        return args.baseline
+    if not flow:
+        # The classic tier has always gated at zero findings and keeps
+        # doing so; flow-tier baseline entries would only read as
+        # stale noise there.
+        return None
+    configured = config.baseline_path()
+    if configured is not None:
+        return configured
+    return find_default_baseline()
+
+
+def _entry_in_scope(entry: dict, paths: list[Path]) -> bool:
+    recorded = entry.get("path")
+    if not isinstance(recorded, str):
+        return True  # malformed entry: never hide it
+    try:
+        resolved = Path(recorded).resolve()
+    except OSError:
+        return True
+    for scanned in paths:
+        root = scanned.resolve()
+        if resolved == root or root in resolved.parents:
+            return True
+    return False
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -72,14 +183,18 @@ def main(argv: list[str] | None = None) -> int:
     if args.list_rules:
         _print_rules()
         return EXIT_CLEAN
+    if args.explain is not None:
+        return _explain(args.explain)
 
+    known_ids = {cls.id for cls in (*RULE_CLASSES, *FLOW_RULE_CLASSES)}
     try:
         config = load_config(args.config)
-        config.validate_rule_ids({cls.id for cls in RULE_CLASSES})
+        config.validate_rule_ids(known_ids)
     except LintConfigError as exc:
         print(f"repro-lint: config error: {exc}", file=sys.stderr)
         return EXIT_ERROR
 
+    flow = config.flow if args.flow is None else args.flow
     paths = args.paths or [Path("src")]
     missing = [p for p in paths if not p.exists()]
     if missing:
@@ -89,22 +204,54 @@ def main(argv: list[str] | None = None) -> int:
         )
         return EXIT_ERROR
 
-    violations = run_lint(paths, config=config)
-    if args.format == "json":
+    violations = run_lint(paths, config=config, flow=flow)
+
+    baseline_path = _resolve_baseline(args, config, flow)
+    if args.write_baseline:
+        if baseline_path is None:
+            baseline_path = Path("lint-baseline.json")
+        count = write_baseline(baseline_path, violations)
         print(
-            json.dumps(
-                {
-                    "violations": [v.to_dict() for v in violations],
-                    "count": len(violations),
-                },
-                indent=2,
-            )
+            f"repro-lint: wrote {count} finding(s) to {baseline_path}",
+            file=sys.stderr,
         )
+        return EXIT_CLEAN
+
+    stale: list[dict] = []
+    if baseline_path is not None and baseline_path.is_file():
+        try:
+            baseline = load_baseline(baseline_path)
+        except BaselineError as exc:
+            print(f"repro-lint: baseline error: {exc}", file=sys.stderr)
+            return EXIT_ERROR
+        violations, stale = apply_baseline(violations, baseline)
+        # An entry is only *stale* if this run actually scanned where it
+        # points; a run scoped to a subtree must not condemn entries for
+        # files it never looked at.
+        stale = [e for e in stale if _entry_in_scope(e, paths)]
+
+    if args.format == "json":
+        payload = {
+            "schema_version": JSON_SCHEMA_VERSION,
+            "rule_catalog_hash": rule_catalog_hash(),
+            "flow": flow,
+            "count": len(violations),
+            "violations": [v.to_dict() for v in violations],
+            "stale_baseline_entries": stale,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         for violation in violations:
             print(violation.format())
         if violations:
             print(f"repro-lint: {len(violations)} violation(s)", file=sys.stderr)
+    for entry in stale:
+        print(
+            f"repro-lint: stale baseline entry {entry['fingerprint']} "
+            f"({entry.get('rule', '?')} in {entry.get('path', '?')}): "
+            f"finding no longer present — remove it from the baseline",
+            file=sys.stderr,
+        )
     return EXIT_VIOLATIONS if violations else EXIT_CLEAN
 
 

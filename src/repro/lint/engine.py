@@ -75,24 +75,82 @@ def parse_module(path: Path) -> ModuleInfo | LintViolation:
 
 
 def _suppressed(module: ModuleInfo, violation: LintViolation) -> bool:
-    if not 1 <= violation.line <= len(module.lines):
-        return False
-    match = _SUPPRESS_RE.search(module.lines[violation.line - 1])
-    if not match:
-        return False
-    ids = {part.strip() for part in match.group(1).split(",")}
-    return "all" in ids or violation.rule_id in ids
+    for line in _suppression_lines(module, violation.line):
+        if not 1 <= line <= len(module.lines):
+            continue
+        match = _SUPPRESS_RE.search(module.lines[line - 1])
+        if not match:
+            continue
+        ids = {part.strip() for part in match.group(1).split(",")}
+        if "all" in ids or violation.rule_id in ids:
+            return True
+    return False
+
+
+def _suppression_lines(module: ModuleInfo, line: int) -> set[int]:
+    """Lines whose ``# repro-lint: disable=`` comment covers ``line``.
+
+    A suppression is honoured anywhere on the violation's *statement*:
+    a call spanning several lines can carry the marker on any of them,
+    and a violation on a ``def``/``class`` header is suppressible from
+    its decorator lines.  For compound statements only the header (up
+    to the first body statement) counts — a marker inside a function
+    body never silences a violation on its signature.
+    """
+    candidates = {line}
+    stmt = _smallest_enclosing_stmt(module.tree, line)
+    if stmt is None:
+        return candidates
+    end = getattr(stmt, "end_lineno", stmt.lineno) or stmt.lineno
+    if hasattr(stmt, "body") and isinstance(getattr(stmt, "body"), list) and stmt.body:
+        # Compound statement: header lines plus decorators.
+        header_end = min(child.lineno for child in stmt.body) - 1
+        candidates.update(range(stmt.lineno, max(stmt.lineno, header_end) + 1))
+        for decorator in getattr(stmt, "decorator_list", []) or []:
+            dec_end = getattr(decorator, "end_lineno", decorator.lineno)
+            candidates.update(range(decorator.lineno, (dec_end or decorator.lineno) + 1))
+    else:
+        candidates.update(range(stmt.lineno, end + 1))
+    return candidates
+
+
+def _smallest_enclosing_stmt(tree: ast.Module, line: int) -> ast.stmt | None:
+    """The innermost statement whose span contains ``line``."""
+    best: ast.stmt | None = None
+    best_span = None
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        start = node.lineno
+        for decorator in getattr(node, "decorator_list", []) or []:
+            start = min(start, decorator.lineno)
+        end = getattr(node, "end_lineno", node.lineno) or node.lineno
+        if not start <= line <= end:
+            continue
+        span = (end - start, -start)
+        if best_span is None or span < best_span:
+            best, best_span = node, span
+    return best
 
 
 def run_lint(
     targets: Sequence[Path],
     config: LintConfig | None = None,
     rules: Iterable[Rule] | None = None,
+    flow: bool = False,
 ) -> list[LintViolation]:
     """Lint the targets and return every unsuppressed violation.
 
-    Violations come back sorted by path, line, then rule id — stable
-    output for both humans and CI diffs.
+    With ``flow=True`` the whole-program tier runs as well: every
+    parsed module joins one :class:`~repro.lint.flow.index.ProjectIndex`
+    and the registered flow rules (``tick-units``,
+    ``determinism-reach``, ``shared-state-race``,
+    ``rpc-exception-safety``) check it.  Flow violations respect the
+    same suppression comments and config enable/disable switches as
+    the per-module tier.
+
+    Violations come back sorted by path, line, col, then rule id —
+    byte-stable output for both humans and CI diffs.
     """
     config = config or LintConfig()
     active = [
@@ -101,6 +159,7 @@ def run_lint(
         if config.rule_enabled(rule.id)
     ]
     violations: list[LintViolation] = []
+    parsed_modules: list[ModuleInfo] = []
     for path in collect_files(targets):
         if config.path_excluded(path):
             continue
@@ -108,17 +167,57 @@ def run_lint(
         if isinstance(parsed, LintViolation):
             violations.append(parsed)
             continue
+        parsed_modules.append(parsed)
         for rule in active:
             if not rule.applies_to(parsed):
                 continue
             for violation in rule.check(parsed):
                 if not _suppressed(parsed, violation):
                     violations.append(violation)
-    violations.sort(key=lambda v: (v.path, v.line, v.rule_id))
+    if flow:
+        violations.extend(_run_flow(parsed_modules, config))
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id, v.message))
     return violations
 
 
+def _run_flow(
+    modules: list[ModuleInfo], config: LintConfig
+) -> Iterator[LintViolation]:
+    """Run the whole-program tier over the parsed modules."""
+    from repro.lint.flow import all_flow_rules
+    from repro.lint.flow.index import ProjectIndex
+
+    index = ProjectIndex(modules)
+    by_path = {str(info.path): info for info in modules}
+    for rule in all_flow_rules():
+        if not config.rule_enabled(rule.id):
+            continue
+        for violation in rule.check_project(index):
+            module = by_path.get(violation.path)
+            if module is not None and _suppressed(module, violation):
+                continue
+            yield violation
+
+
 def iter_rule_catalog(rules: Iterable[Rule] | None = None) -> Iterator[tuple[str, str]]:
-    """(rule id, rationale) pairs for ``--list-rules`` and the docs."""
-    for rule in rules if rules is not None else all_rules():
+    """(rule id, rationale) pairs for ``--list-rules`` and the docs.
+
+    Covers both tiers: the per-module rules in registry order, then
+    the flow rules.
+    """
+    from repro.lint.flow import all_flow_rules
+
+    for rule in rules if rules is not None else [*all_rules(), *all_flow_rules()]:
         yield rule.id, rule.rationale
+
+
+def rule_catalog_hash() -> str:
+    """Stable digest of the full rule catalog (both tiers).
+
+    Emitted in the JSON payload so CI can tell "same findings" from
+    "same findings, different rule set" when diffing runs byte-for-byte.
+    """
+    import hashlib
+
+    text = "\n".join(f"{rid}:{rationale}" for rid, rationale in iter_rule_catalog())
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]

@@ -1,0 +1,51 @@
+"""Flow-rule plumbing.
+
+A flow rule is the whole-program analogue of
+:class:`repro.lint.rules.base.Rule`: same stable ``id`` / ``rationale``
+contract (so ``--list-rules``, ``--explain``, suppressions, and the
+``[tool.repro-lint]`` config treat both tiers uniformly), but
+``check_project`` receives the full :class:`ProjectIndex` instead of
+one module, and its violations carry an interprocedural ``witness``
+path.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.lint.rules.base import LintViolation
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.lint.flow.index import FunctionInfo, ProjectIndex
+
+
+class FlowRule:
+    """Base class for whole-program flow rules."""
+
+    #: Stable identifier used in output, suppressions, and config.
+    id: str = ""
+    #: One-line rationale shown by ``--list-rules`` / ``--explain``.
+    rationale: str = ""
+
+    def check_project(self, index: "ProjectIndex") -> Iterator[LintViolation]:
+        raise NotImplementedError
+
+    def violation(
+        self,
+        fn: "FunctionInfo",
+        index: "ProjectIndex",
+        node: ast.AST,
+        message: str,
+        witness: tuple[str, ...] = (),
+    ) -> LintViolation:
+        table = index.table(fn.module)
+        assert table is not None
+        return LintViolation(
+            path=str(table.info.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.id,
+            message=message,
+            witness=witness,
+        )

@@ -1,0 +1,265 @@
+"""Flow rule: shared-state race reachability (``shared-state-race``)."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.lint.flow.base import FlowRule
+from repro.lint.flow.callgraph import CallGraph
+from repro.lint.flow.index import FunctionInfo, ProjectIndex
+from repro.lint.rules.base import LintViolation
+
+#: Packages whose public surface the epoch-lockstep loop drives; their
+#: entry points are the roots the race analysis fans out from.
+ENTRY_PREFIXES = ("repro.cluster", "repro.sim")
+
+#: The sanctioned cross-node seam: state changes that travel as
+#: messages serialise at the bus and survive worker-process sharding.
+SEAM_PREFIXES = ("repro.sim.messages.",)
+
+#: Method names that mutate the container they are called on.
+_MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "popleft",
+        "appendleft",
+        "remove",
+        "discard",
+        "clear",
+        "sort",
+    }
+)
+
+
+@dataclass(frozen=True)
+class _Mutation:
+    """One mutation of a module-level name inside a function."""
+
+    fn: FunctionInfo
+    name: str
+    node: ast.AST
+
+
+def _in_entry_scope(module: str) -> bool:
+    return any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in ENTRY_PREFIXES
+    )
+
+
+def _is_seam(qname: str) -> bool:
+    return qname.startswith(SEAM_PREFIXES)
+
+
+class SharedStateRaceRule(FlowRule):
+    """Flag module-level mutable state written from multiple lockstep
+    entry points outside the MessageBus seam.
+
+    ROADMAP item 4 shards node simulation into worker processes that
+    rendezvous at epoch boundaries.  Anything those workers exchange
+    must travel through the MessageBus/RPC seam — a module-level dict
+    or list that two entry points both mutate works by accident today
+    (single process, lockstep) and silently diverges the moment the
+    entry points land in different processes.
+
+    Detection: for every module-level mutable binding in the target
+    tree, collect the functions that mutate it (``global`` rebinding,
+    ``STATE[k] = v``, ``STATE.append(...)`` and friends, skipping
+    names shadowed by locals).  Each mutating function is traced back
+    through the *reverse* call graph to the lockstep entry points that
+    can reach it — public functions and methods of ``repro.cluster`` /
+    ``repro.sim`` — without crossing a seam function.  Two or more
+    distinct entry points reaching the same state is a violation; the
+    witness shows one offending entry path, the message names the
+    others.
+    """
+
+    id = "shared-state-race"
+    rationale = (
+        "module-level mutable state mutated from >1 lockstep entry "
+        "point without crossing the MessageBus seam diverges under "
+        "worker-process sharding (race reachability)"
+    )
+
+    def check_project(self, index: ProjectIndex) -> Iterator[LintViolation]:
+        graph = CallGraph(index)
+        mutations = list(_collect_mutations(index))
+        # Group by (module, state name): the hazard is per shared object.
+        grouped: dict[tuple[str, str], list[_Mutation]] = {}
+        for mutation in mutations:
+            grouped.setdefault((mutation.fn.module, mutation.name), []).append(
+                mutation
+            )
+        for (module, name), sites in sorted(grouped.items()):
+            entry_paths: dict[str, list[str]] = {}
+            for mutation in sites:
+                for entry, path in _entries_reaching(
+                    index, graph, mutation.fn
+                ).items():
+                    entry_paths.setdefault(entry, path)
+            if len(entry_paths) < 2:
+                continue
+            entries = sorted(entry_paths)
+            witness_entry = entries[0]
+            witness = tuple(entry_paths[witness_entry])
+            others = ", ".join(e + "()" for e in entries[1:])
+            for mutation in sites:
+                yield self.violation(
+                    mutation.fn,
+                    index,
+                    mutation.node,
+                    f"module-level state '{module}.{name}' is mutated here "
+                    f"and is reachable from {len(entries)} lockstep entry "
+                    f"points (also via {others}) without crossing the "
+                    f"MessageBus seam; shard-unsafe",
+                    witness=witness,
+                )
+
+
+def _collect_mutations(index: ProjectIndex) -> Iterator[_Mutation]:
+    for table in index.tables.values():
+        if not table.mutable_globals:
+            continue
+        names = set(table.mutable_globals)
+        for fn in _functions_of(table):
+            shadowed = _local_bindings(fn.node)
+            visible = names - (shadowed - _globals_declared(fn.node))
+            if not visible:
+                continue
+            declared_global = _globals_declared(fn.node)
+            for node in ast.walk(fn.node):
+                target_name = _mutated_name(node)
+                if target_name in visible:
+                    yield _Mutation(fn, target_name, node)
+                    continue
+                # ``global STATE; STATE = ...`` rebinding counts too.
+                if isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        if (
+                            isinstance(target, ast.Name)
+                            and target.id in names
+                            and target.id in declared_global
+                        ):
+                            yield _Mutation(fn, target.id, node)
+
+
+def _functions_of(table) -> Iterator[FunctionInfo]:
+    yield from table.functions.values()
+    for cls in table.classes.values():
+        yield from cls.methods.values()
+
+
+def _local_bindings(func: ast.AST) -> set[str]:
+    """Names assigned inside the function (they shadow module globals)."""
+    out: set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    out.add(target.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            if isinstance(node.target, ast.Name):
+                out.add(node.target.id)
+    args = getattr(func, "args", None)
+    if args is not None:
+        for a in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            out.add(a.arg)
+    return out
+
+
+def _globals_declared(func: ast.AST) -> set[str]:
+    out: set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Global):
+            out.update(node.names)
+    return out
+
+
+def _mutated_name(node: ast.AST) -> str | None:
+    """Module-level name this node mutates, if any."""
+    # STATE[k] = v  /  STATE[k] += v  /  del STATE[k]
+    if isinstance(node, (ast.Assign, ast.AugAssign)):
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            if isinstance(target, ast.Subscript) and isinstance(
+                target.value, ast.Name
+            ):
+                return target.value.id
+            # global STATE; STATE = ... rebinding is caught via the
+            # Global statement making the name non-shadowed; a plain
+            # Name target is a local shadow, not a mutation.
+            if (
+                isinstance(node, ast.AugAssign)
+                and isinstance(target, ast.Name)
+            ):
+                return target.id
+        return None
+    if isinstance(node, ast.Delete):
+        for target in node.targets:
+            if isinstance(target, ast.Subscript) and isinstance(
+                target.value, ast.Name
+            ):
+                return target.value.id
+        return None
+    # STATE.append(...) and friends.
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _MUTATING_METHODS
+        and isinstance(node.func.value, ast.Name)
+    ):
+        return node.func.value.id
+    return None
+
+
+def _entries_reaching(
+    index: ProjectIndex, graph: CallGraph, target: FunctionInfo
+) -> dict[str, list[str]]:
+    """Lockstep entry points that reach ``target`` seam-free.
+
+    Walks the reverse call graph from the mutating function; a path is
+    cut when it would cross a seam function.  Returns entry qname ->
+    forward witness path (entry first, mutating function last).
+    """
+    if _is_seam(target.qname):
+        return {}
+    entries: dict[str, list[str]] = {}
+    parent: dict[str, str] = {target.qname: ""}
+    queue = [target.qname]
+    while queue:
+        current = queue.pop(0)
+        fn = index.functions.get(current)
+        if fn is not None and _is_entry(fn):
+            path = [current]
+            while parent[path[-1]]:
+                path.append(parent[path[-1]])
+            entries[current] = path
+        for site in graph.callers(current):
+            caller = site.caller
+            if caller in parent or _is_seam(caller):
+                continue
+            parent[caller] = current
+            queue.append(caller)
+    return entries
+
+
+def _is_entry(fn: FunctionInfo) -> bool:
+    if not _in_entry_scope(fn.module):
+        return False
+    if fn.name.startswith("_"):
+        return False
+    if fn.class_name is not None and fn.class_name.startswith("_"):
+        return False
+    return True

@@ -1,0 +1,76 @@
+"""The shared call-target resolver.
+
+One resolver, two tiers: the direct per-module rules (``wallclock``,
+``unseeded-rng``) and the whole-program flow index both canonicalise
+call targets through this class, so ``import time as t; t.monotonic()``
+and ``from time import monotonic; monotonic()`` resolve to the same
+dotted name ``time.monotonic`` everywhere.  It lives outside both rule
+packages because each of them imports it.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.rules.base import ModuleInfo, dotted_name
+
+
+class ModuleResolver:
+    """Resolve names inside ONE module through its import aliases."""
+
+    def __init__(self, module: ModuleInfo) -> None:
+        self.module = module
+        #: Local alias -> imported dotted target (``rnd`` -> ``random``,
+        #: ``monotonic`` -> ``time.monotonic``).
+        self.imports: dict[str, str] = {}
+        #: Names bound by ``from X import name`` without ``as`` (the
+        #: import statement itself is what a direct rule flags once).
+        self.from_imports: set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    self.imports[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module is None:
+                    base = relative_base(module.module, node.level, node.module)
+                else:
+                    base = node.module
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.imports[local] = f"{base}.{alias.name}"
+                    if alias.asname is None:
+                        self.from_imports.add(local)
+
+    def canonical(self, name: str) -> str:
+        """Expand the leading alias of a dotted name, if any."""
+        head, _, rest = name.partition(".")
+        target = self.imports.get(head)
+        if target is None:
+            return name
+        return f"{target}.{rest}" if rest else target
+
+    def resolve_call(self, node: ast.Call) -> str | None:
+        """Canonical dotted name of a call's target, or ``None``."""
+        name = dotted_name(node.func)
+        if name is None:
+            return None
+        return self.canonical(name)
+
+
+def relative_base(module: str, level: int, target: str | None) -> str | None:
+    """Resolve ``from ..x import y``'s base package relative to ``module``."""
+    if level == 0:
+        return target
+    parts = module.split(".")
+    if len(parts) < level:
+        return None
+    base_parts = parts[: len(parts) - level]
+    if target:
+        base_parts.append(target)
+    return ".".join(base_parts) if base_parts else None

@@ -34,16 +34,25 @@ class ModuleInfo:
 
 @dataclass(frozen=True)
 class LintViolation:
-    """One broken rule at one source location."""
+    """One broken rule at one source location.
+
+    Flow-tier violations carry a ``witness``: the interprocedural call
+    path (``a.f -> b.g -> time.time``) that proves the finding, shown
+    in both output formats and stored in the baseline file.
+    """
 
     path: str
     line: int
     col: int
     rule_id: str
     message: str
+    witness: tuple[str, ...] = ()
 
     def format(self) -> str:
-        return f"{self.path}:{self.line} {self.rule_id} {self.message}"
+        text = f"{self.path}:{self.line} {self.rule_id} {self.message}"
+        if self.witness:
+            text += f" [{' -> '.join(self.witness)}]"
+        return text
 
     def to_dict(self) -> dict:
         return {
@@ -52,7 +61,32 @@ class LintViolation:
             "col": self.col,
             "rule": self.rule_id,
             "message": self.message,
+            "witness": list(self.witness),
         }
+
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching.
+
+        Line and column numbers are deliberately excluded so unrelated
+        edits above a grandfathered finding do not un-grandfather it;
+        the witness path pins the finding to its call chain instead.
+        """
+        import hashlib
+
+        key = "|".join(
+            (_posix_relpath(self.path), self.rule_id, self.message, *self.witness)
+        )
+        return hashlib.sha256(key.encode("utf-8")).hexdigest()[:16]
+
+
+def _posix_relpath(path: str) -> str:
+    """Normalise a violation path for fingerprints (cwd-relative, posix)."""
+    p = Path(path)
+    try:
+        p = p.resolve().relative_to(Path.cwd().resolve())
+    except ValueError:
+        pass
+    return p.as_posix()
 
 
 class Rule:

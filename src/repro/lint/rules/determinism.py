@@ -5,6 +5,16 @@ Every run of the simulator must be exactly reproducible from its seed
 depend on it.  Wall-clock reads and unseeded randomness inside the
 simulation core silently break that contract — results would vary from
 run to run with no failing test to show for it.
+
+Both rules resolve call targets through the shared
+:class:`~repro.lint.resolve.ModuleResolver` (the same resolver the
+whole-program flow tier builds its call graph on), so import aliases
+are seen through: ``import time as t; t.monotonic()`` and ``from time
+import monotonic; monotonic()`` are the same wall-clock read as
+``time.monotonic()``.  Their interprocedural complement is the
+``determinism-reach`` flow rule, which follows the call graph *out* of
+these packages; these direct rules keep their original ids and
+per-call diagnostics.
 """
 
 from __future__ import annotations
@@ -12,7 +22,8 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
-from repro.lint.rules.base import LintViolation, ModuleInfo, Rule, dotted_name
+from repro.lint.resolve import ModuleResolver
+from repro.lint.rules.base import LintViolation, ModuleInfo, Rule
 
 #: Wall-clock reads that have no place inside a discrete-event simulator.
 WALLCLOCK_CALLS = frozenset(
@@ -81,10 +92,11 @@ class WallClockRule(Rule):
     scope_prefixes = ("repro.core", "repro.sim", "repro.obs")
 
     def check(self, module: ModuleInfo) -> Iterator[LintViolation]:
+        resolver = ModuleResolver(module)
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):
                 continue
-            name = dotted_name(node.func)
+            name = resolver.resolve_call(node)
             if name in WALLCLOCK_CALLS:
                 yield self.violation(
                     module,
@@ -114,6 +126,7 @@ class UnseededRandomRule(Rule):
     def check(self, module: ModuleInfo) -> Iterator[LintViolation]:
         if module.module == "repro.sim.rng":
             return  # the sanctioned funnel wraps the random module itself
+        resolver = ModuleResolver(module)
         for node in ast.walk(module.tree):
             if isinstance(node, ast.ImportFrom) and node.module == "random":
                 bad = sorted(
@@ -132,7 +145,14 @@ class UnseededRandomRule(Rule):
                 continue
             if not isinstance(node, ast.Call):
                 continue
-            name = dotted_name(node.func)
+            if (
+                isinstance(node.func, ast.Name)
+                and node.func.id in resolver.from_imports
+            ):
+                # ``from random import choice; choice(...)``: the
+                # import statement carries the (single) diagnostic.
+                continue
+            name = resolver.resolve_call(node)
             if name is None:
                 continue
             if name == "random.Random" and not node.args and not node.keywords:

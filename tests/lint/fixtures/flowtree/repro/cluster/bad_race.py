@@ -1,0 +1,19 @@
+"""Fixture: shard-unsafe module-level state (shared-state-race).
+
+``EPOCH_CACHE`` is mutated from two public lockstep entry points
+(``on_epoch`` and ``drain_reports``) without crossing the MessageBus
+seam — exactly the state that diverges once those entry points run in
+different worker processes.
+"""
+
+EPOCH_CACHE: dict = {}
+
+
+def on_epoch(node, report):
+    EPOCH_CACHE[node] = report
+
+
+def drain_reports():
+    out = dict(EPOCH_CACHE)
+    EPOCH_CACHE.clear()
+    return out

@@ -1,0 +1,19 @@
+"""Fixture: idempotency token stranded on a raising send
+(rpc-exception-safety)."""
+
+from repro.sim.messages import MessageBus
+
+
+class MiniBroker:
+    def __init__(self, bus: MessageBus) -> None:
+        self.bus = bus
+        self._pending: dict = {}
+        self._seq = 0
+
+    def place(self, task, node, now):
+        self._seq += 1
+        request_id = f"admit:{task}:{self._seq}"
+        self._pending[request_id] = (task, node)
+        # BusError out of send() leaves the token stranded forever.
+        self.bus.send("broker", node, "admit", {"id": request_id}, now)
+        return request_id

@@ -1,0 +1,9 @@
+"""Fixture: module-level state with a single lockstep writer (clean)."""
+
+_SCRATCH: dict = {}
+
+
+def rebuild(snapshot):
+    _SCRATCH.clear()
+    _SCRATCH.update(snapshot)
+    return len(_SCRATCH)

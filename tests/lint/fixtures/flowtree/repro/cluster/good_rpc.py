@@ -1,0 +1,24 @@
+"""Fixture: exception-safe token bookkeeping around RPC sends (clean)."""
+
+from repro.sim.messages import MessageBus
+
+
+class SafeBroker:
+    def __init__(self, bus: MessageBus) -> None:
+        self.bus = bus
+        self._pending: dict = {}
+
+    def place(self, task, node, now):
+        request_id = f"admit:{task}"
+        self._pending[request_id] = (task, node)
+        try:
+            self.bus.send("broker", node, "admit", {"id": request_id}, now)
+        except Exception:
+            self._pending.pop(request_id, None)
+            raise
+        return request_id
+
+    def record(self, task, node, now):
+        ok = self.bus.send("broker", node, "ping", {}, now)
+        self._pending[task] = (node, ok)
+        return ok

@@ -1,0 +1,32 @@
+"""Fixture: tick-unit dimensional violations (tick-units)."""
+
+from repro.units import TICKS_PER_MS, ms_to_ticks
+
+
+def deadline_for(now, duration_ms):
+    # Cross-unit arithmetic: ticks + ms.
+    return now + duration_ms
+
+
+def overdue(deadline, elapsed_ms):
+    # Cross-unit comparison: ticks vs ms.
+    return elapsed_ms > deadline
+
+
+def relay(duration_ms):
+    # Interprocedural: a ms quantity into a ticks parameter.
+    return set_deadline(duration_ms)
+
+
+def set_deadline(deadline):
+    return deadline
+
+
+def double_convert(period):
+    # Converting an already-ticks quantity as if it were ms.
+    return ms_to_ticks(period)
+
+
+def wrong_factor(period):
+    # Multiplying ticks by a ticks/ms factor.
+    return period * TICKS_PER_MS

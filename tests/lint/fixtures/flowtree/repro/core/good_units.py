@@ -1,0 +1,27 @@
+"""Fixture: dimensionally sound tick handling (clean)."""
+
+from repro.units import TICKS_PER_MS, ms_to_ticks, ticks_to_ms
+
+
+def deadline_for(now, duration_ms):
+    return now + ms_to_ticks(duration_ms)
+
+
+def window(period, horizon):
+    return min(period, horizon)
+
+
+def report_ms(deadline, now):
+    return ticks_to_ms(deadline - now)
+
+
+def factor_convert(duration_ms):
+    return duration_ms * TICKS_PER_MS
+
+
+def relay(duration_ms):
+    return set_deadline(ms_to_ticks(duration_ms))
+
+
+def set_deadline(deadline):
+    return deadline

@@ -1,0 +1,27 @@
+"""Fixture: helpers OUTSIDE the determinism scope.
+
+The direct ``wallclock`` / ``unseeded-rng`` rules do not cover
+``repro.helpers`` — that blindness is exactly what the
+``determinism-reach`` flow rule exists to close: a scoped caller that
+reaches ``stamp``/``jitter``/``chain`` gets flagged with the path
+witness.
+"""
+
+import random
+import time
+
+
+def stamp():
+    return time.monotonic()
+
+
+def jitter():
+    return random.random()
+
+
+def chain():
+    return stamp() + 1
+
+
+def pure(x):
+    return x + 1

@@ -1,0 +1,26 @@
+"""Fixture: the mini MessageBus seam.
+
+``TRANSIT_LOG`` is module-level mutable state, but it is only mutated
+inside the seam itself (``MessageBus.send``), so the
+``shared-state-race`` rule must stay silent about it.
+"""
+
+TRANSIT_LOG: list = []
+
+
+class BusError(Exception):
+    pass
+
+
+class MessageBus:
+    def __init__(self) -> None:
+        self.endpoints: dict = {}
+
+    def send(self, src, dst, kind, payload, now):
+        if dst not in self.endpoints:
+            raise BusError(f"unknown endpoint {dst!r}")
+        TRANSIT_LOG.append((src, dst, kind))
+        return True
+
+    def deliver(self, now):
+        return []

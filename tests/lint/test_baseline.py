@@ -1,0 +1,137 @@
+"""Baseline (grandfathered-finding) file behavior."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint.baseline import (
+    BASELINE_SCHEMA_VERSION,
+    BaselineError,
+    apply_baseline,
+    find_default_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.rules.base import LintViolation
+
+
+def make_violation(line=10, message="wall-clock read", witness=()):
+    return LintViolation(
+        path="src/repro/core/clock.py",
+        line=line,
+        col=4,
+        rule_id="determinism-reach",
+        message=message,
+        witness=tuple(witness),
+    )
+
+
+class TestFingerprint:
+    def test_line_and_column_insensitive(self):
+        a = make_violation(line=10)
+        b = LintViolation(
+            path=a.path, line=99, col=0, rule_id=a.rule_id, message=a.message
+        )
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_witness_is_part_of_identity(self):
+        a = make_violation(witness=("f", "g", "time.time"))
+        b = make_violation(witness=("f", "h", "time.time"))
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_absolute_and_cwd_relative_paths_agree(self):
+        rel = make_violation()
+        absolute = LintViolation(
+            path=str(Path.cwd() / rel.path),
+            line=rel.line,
+            col=rel.col,
+            rule_id=rel.rule_id,
+            message=rel.message,
+        )
+        assert rel.fingerprint() == absolute.fingerprint()
+
+
+class TestRoundTrip:
+    def test_write_then_load_then_apply(self, tmp_path):
+        old = make_violation(message="stranded token")
+        still_new = make_violation(message="fresh finding")
+        path = tmp_path / "lint-baseline.json"
+
+        assert write_baseline(path, [old]) == 1
+        baseline = load_baseline(path)
+        surviving, stale = apply_baseline([old, still_new], baseline)
+
+        assert surviving == [still_new]
+        assert stale == []
+
+    def test_write_dedupes_by_fingerprint(self, tmp_path):
+        path = tmp_path / "b.json"
+        assert write_baseline(path, [make_violation(10), make_violation(99)]) == 1
+
+    def test_stale_entries_surface(self, tmp_path):
+        path = tmp_path / "b.json"
+        write_baseline(path, [make_violation(message="since fixed")])
+        surviving, stale = apply_baseline([], load_baseline(path))
+        assert surviving == []
+        assert [e["message"] for e in stale] == ["since fixed"]
+
+    def test_output_is_stable_bytes(self, tmp_path):
+        violations = [make_violation(message=m) for m in ("b", "a", "c")]
+        first, second = tmp_path / "1.json", tmp_path / "2.json"
+        write_baseline(first, violations)
+        write_baseline(second, list(reversed(violations)))
+        assert first.read_bytes() == second.read_bytes()
+
+
+class TestLoadErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(BaselineError, match="cannot read"):
+            load_baseline(tmp_path / "absent.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text("{not json")
+        with pytest.raises(BaselineError, match="invalid JSON"):
+            load_baseline(path)
+
+    def test_wrong_schema_version(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps({"schema_version": 999, "findings": []}))
+        with pytest.raises(BaselineError, match="schema_version"):
+            load_baseline(path)
+
+    def test_findings_entries_need_fingerprints(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "schema_version": BASELINE_SCHEMA_VERSION,
+                    "findings": [{"rule": "tick-units"}],
+                }
+            )
+        )
+        with pytest.raises(BaselineError, match="fingerprint"):
+            load_baseline(path)
+
+
+class TestDiscovery:
+    def test_finds_nearest_baseline_upward(self, tmp_path):
+        (tmp_path / "lint-baseline.json").write_text("{}")
+        nested = tmp_path / "pkg" / "sub"
+        nested.mkdir(parents=True)
+        assert find_default_baseline(nested) == tmp_path / "lint-baseline.json"
+
+    def test_none_when_absent(self, tmp_path):
+        assert find_default_baseline(tmp_path) is None
+
+    def test_repo_baseline_matches_current_flow_findings(self):
+        """The committed baseline stays in sync with `repro.lint src --flow`."""
+        from repro.lint import run_lint
+
+        repo_root = Path(__file__).resolve().parents[2]
+        baseline = load_baseline(repo_root / "lint-baseline.json")
+        violations = run_lint([repo_root / "src"], flow=True)
+        surviving, stale = apply_baseline(violations, baseline)
+        assert surviving == [], "new flow findings must be fixed, not baselined"
+        assert stale == [], "remove entries for findings that no longer fire"

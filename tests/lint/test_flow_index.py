@@ -1,0 +1,124 @@
+"""Flow substrate: project index, shared resolver, call graph."""
+
+import ast
+from pathlib import Path
+
+from repro.lint import ModuleResolver, collect_files, parse_module
+from repro.lint.flow.callgraph import CallGraph, ext
+from repro.lint.flow.index import ProjectIndex
+
+FLOWTREE = Path(__file__).parent / "fixtures" / "flowtree"
+
+
+def build_index(root=FLOWTREE) -> ProjectIndex:
+    modules = [parse_module(p) for p in collect_files([root])]
+    return ProjectIndex([m for m in modules if not isinstance(m, tuple)])
+
+
+def parse_source(tmp_path, source, name="mod.py"):
+    path = tmp_path / name
+    path.write_text(source)
+    return parse_module(path)
+
+
+class TestModuleResolver:
+    def test_plain_import_and_alias(self, tmp_path):
+        module = parse_source(
+            tmp_path, "import time\nimport random as rnd\n"
+        )
+        resolver = ModuleResolver(module)
+        assert resolver.canonical("time.monotonic") == "time.monotonic"
+        assert resolver.canonical("rnd.random") == "random.random"
+
+    def test_from_import_resolves_to_dotted_target(self, tmp_path):
+        module = parse_source(
+            tmp_path, "from time import monotonic\nfrom random import choice as c\n"
+        )
+        resolver = ModuleResolver(module)
+        assert resolver.canonical("monotonic") == "time.monotonic"
+        assert resolver.canonical("c") == "random.choice"
+        assert "monotonic" in resolver.from_imports
+        assert "c" not in resolver.from_imports  # aliased, not bare
+
+    def test_resolve_call_handles_attribute_chains(self, tmp_path):
+        module = parse_source(tmp_path, "import time as t\nx = t.monotonic()\n")
+        call = next(
+            n for n in ast.walk(module.tree) if isinstance(n, ast.Call)
+        )
+        assert ModuleResolver(module).resolve_call(call) == "time.monotonic"
+
+    def test_unimported_names_pass_through(self, tmp_path):
+        module = parse_source(tmp_path, "y = foo.bar()\n")
+        resolver = ModuleResolver(module)
+        assert resolver.canonical("foo.bar") == "foo.bar"
+
+
+class TestProjectIndex:
+    def test_indexes_functions_and_methods(self):
+        index = build_index()
+        assert "repro.helpers.util.stamp" in index.functions
+        assert "repro.sim.messages.MessageBus.send" in index.functions
+        fn = index.functions["repro.sim.messages.MessageBus.send"]
+        assert fn.class_name == "MessageBus"
+        assert fn.params[:2] == ["src", "dst"]  # self stripped
+
+    def test_resolves_through_from_import(self):
+        index = build_index()
+        qname = index.resolve_name("repro.cluster.bad_rpc", "MessageBus.send")
+        assert qname == "repro.sim.messages.MessageBus.send"
+
+    def test_self_attr_type_from_annotated_param(self):
+        index = build_index()
+        cls = index.classes["repro.cluster.bad_rpc.MiniBroker"]
+        assert cls.attr_types["bus"] == "MessageBus"
+
+    def test_module_level_mutables_collected(self):
+        index = build_index()
+        table = index.table("repro.cluster.bad_race")
+        assert "EPOCH_CACHE" in table.mutable_globals
+        assert "TRANSIT_LOG" in index.table("repro.sim.messages").mutable_globals
+
+
+class TestCallGraph:
+    def test_edges_resolve_across_modules(self):
+        index = build_index()
+        graph = CallGraph(index)
+        callees = {s.callee for s in graph.callees("repro.core.bad_reach.activate")}
+        assert "repro.helpers.util.stamp" in callees
+
+    def test_external_sinks_get_ext_keys(self):
+        index = build_index()
+        graph = CallGraph(index)
+        callees = {s.callee for s in graph.callees("repro.helpers.util.stamp")}
+        assert ext("time.monotonic") in callees
+
+    def test_reaches_returns_shortest_witness(self):
+        index = build_index()
+        graph = CallGraph(index)
+        path = graph.reaches(
+            "repro.core.bad_reach.schedule", {ext("time.monotonic")}
+        )
+        assert path == [
+            "repro.core.bad_reach.schedule",
+            "repro.helpers.util.chain",
+            "repro.helpers.util.stamp",
+            "ext:time.monotonic",
+        ]
+
+    def test_unreachable_returns_none(self):
+        index = build_index()
+        graph = CallGraph(index)
+        assert (
+            graph.reaches("repro.core.good_reach.advance", {ext("time.monotonic")})
+            is None
+        )
+
+    def test_skip_prunes_paths(self):
+        index = build_index()
+        graph = CallGraph(index)
+        path = graph.reaches(
+            "repro.core.bad_reach.schedule",
+            {ext("time.monotonic")},
+            skip=lambda key: key == "repro.helpers.util.chain",
+        )
+        assert path is None

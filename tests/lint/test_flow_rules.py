@@ -1,0 +1,171 @@
+"""Flow-rule behavior on the fixture project under fixtures/flowtree.
+
+Every flow rule gets a violating fixture (asserting exact lines and the
+interprocedural path witness) and a clean fixture (asserting silence).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import run_lint
+
+FLOWTREE = Path(__file__).parent / "fixtures" / "flowtree"
+
+
+@pytest.fixture(scope="module")
+def flow_violations():
+    return run_lint([FLOWTREE], flow=True)
+
+
+def by_file(violations, name):
+    return sorted(
+        (v for v in violations if Path(v.path).name == name),
+        key=lambda v: (v.line, v.col),
+    )
+
+
+class TestTickUnitsRule:
+    def test_flags_all_seeded_sites(self, flow_violations):
+        found = by_file(flow_violations, "bad_units.py")
+        assert [(v.line, v.rule_id) for v in found] == [
+            (8, "tick-units"),
+            (13, "tick-units"),
+            (18, "tick-units"),
+            (27, "tick-units"),
+            (32, "tick-units"),
+        ]
+
+    def test_cross_unit_arithmetic_and_comparison(self, flow_violations):
+        found = by_file(flow_violations, "bad_units.py")
+        assert found[0].message == "cross-unit arithmetic: ticks vs ms"
+        assert found[1].message == "cross-unit comparison: ms vs ticks"
+
+    def test_interprocedural_pass_carries_witness(self, flow_violations):
+        (v,) = [v for v in by_file(flow_violations, "bad_units.py") if v.line == 18]
+        assert "ms quantity into ticks parameter 'deadline'" in v.message
+        assert v.witness == (
+            "repro.core.bad_units.relay",
+            "repro.core.bad_units.set_deadline(deadline: ticks)",
+        )
+
+    def test_converter_misuse_and_wrong_direction_factor(self, flow_violations):
+        found = by_file(flow_violations, "bad_units.py")
+        assert "ms_to_ticks(), which expects ms" in found[3].message
+        assert "TICKS_PER_MS (ticks/ms factor)" in found[4].message
+
+    def test_clean_fixture_is_silent(self, flow_violations):
+        assert by_file(flow_violations, "good_units.py") == []
+
+
+class TestDeterminismReachRule:
+    def test_flags_all_seeded_sites(self, flow_violations):
+        found = by_file(flow_violations, "bad_reach.py")
+        assert [(v.line, v.rule_id) for v in found] == [
+            (11, "determinism-reach"),
+            (15, "determinism-reach"),
+            (19, "determinism-reach"),
+        ]
+
+    def test_two_hop_witness(self, flow_violations):
+        (v,) = [v for v in by_file(flow_violations, "bad_reach.py") if v.line == 11]
+        assert "time.monotonic() is reachable" in v.message
+        assert v.witness == (
+            "repro.core.bad_reach.activate",
+            "repro.helpers.util.stamp",
+            "time.monotonic",
+        )
+
+    def test_three_hop_witness(self, flow_violations):
+        (v,) = [v for v in by_file(flow_violations, "bad_reach.py") if v.line == 15]
+        assert "(3 call(s) away)" in v.message
+        assert v.witness == (
+            "repro.core.bad_reach.schedule",
+            "repro.helpers.util.chain",
+            "repro.helpers.util.stamp",
+            "time.monotonic",
+        )
+
+    def test_unseeded_rng_sink(self, flow_violations):
+        (v,) = [v for v in by_file(flow_violations, "bad_reach.py") if v.line == 19]
+        assert "random.random() is reachable" in v.message
+        assert v.witness[-1] == "random.random"
+
+    def test_clean_fixture_is_silent(self, flow_violations):
+        assert by_file(flow_violations, "good_reach.py") == []
+
+
+class TestSharedStateRaceRule:
+    def test_flags_each_mutation_site(self, flow_violations):
+        found = by_file(flow_violations, "bad_race.py")
+        assert [(v.line, v.rule_id) for v in found] == [
+            (13, "shared-state-race"),
+            (18, "shared-state-race"),
+        ]
+
+    def test_message_names_state_and_other_entry(self, flow_violations):
+        found = by_file(flow_violations, "bad_race.py")
+        for v in found:
+            assert "repro.cluster.bad_race.EPOCH_CACHE" in v.message
+            assert "2 lockstep entry points" in v.message
+            assert "repro.cluster.bad_race.on_epoch()" in v.message
+            assert v.witness == ("repro.cluster.bad_race.drain_reports",)
+
+    def test_single_writer_fixture_is_silent(self, flow_violations):
+        assert by_file(flow_violations, "good_race.py") == []
+
+    def test_seam_crossing_state_is_exempt(self, flow_violations):
+        # TRANSIT_LOG in messages.py is mutated behind the MessageBus seam.
+        assert by_file(flow_violations, "messages.py") == []
+
+
+class TestRpcExceptionSafetyRule:
+    def test_flags_stranded_token(self, flow_violations):
+        found = by_file(flow_violations, "bad_rpc.py")
+        assert [(v.line, v.rule_id) for v in found] == [
+            (18, "rpc-exception-safety"),
+        ]
+        (v,) = found
+        assert "registered into self._pending" in v.message
+        assert "try/finally or except path" in v.message
+
+    def test_witness_resolves_annotated_attr_receiver(self, flow_violations):
+        (v,) = by_file(flow_violations, "bad_rpc.py")
+        assert v.witness == (
+            "repro.cluster.bad_rpc.MiniBroker.place",
+            "repro.sim.messages.MessageBus.send",
+        )
+
+    def test_guarded_and_post_send_registration_are_clean(self, flow_violations):
+        assert by_file(flow_violations, "good_rpc.py") == []
+
+
+class TestFlowTierWiring:
+    def test_flow_off_reports_nothing_interprocedural(self):
+        flow_ids = {
+            "tick-units",
+            "determinism-reach",
+            "shared-state-race",
+            "rpc-exception-safety",
+        }
+        violations = run_lint([FLOWTREE], flow=False)
+        assert not [v for v in violations if v.rule_id in flow_ids]
+
+    def test_flow_rules_honor_rule_config(self, flow_violations):
+        from repro.lint.config import LintConfig
+
+        violations = run_lint(
+            [FLOWTREE],
+            config=LintConfig(disable=("tick-units", "determinism-reach")),
+            flow=True,
+        )
+        got = {v.rule_id for v in violations}
+        assert "tick-units" not in got
+        assert "determinism-reach" not in got
+        assert "shared-state-race" in got
+
+    def test_output_is_deterministic_across_runs(self, flow_violations):
+        again = run_lint([FLOWTREE], flow=True)
+        assert [v.to_dict() for v in again] == [
+            v.to_dict() for v in flow_violations
+        ]

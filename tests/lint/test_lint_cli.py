@@ -1,12 +1,21 @@
-"""The repro-lint command line: output formats and exit codes."""
+"""The repro-lint command line: output formats, flow tier, exit codes."""
 
 import json
 from pathlib import Path
 
-from repro.lint.cli import EXIT_CLEAN, EXIT_ERROR, EXIT_VIOLATIONS, main
+from repro.lint.cli import (
+    EXIT_CLEAN,
+    EXIT_ERROR,
+    EXIT_VIOLATIONS,
+    JSON_SCHEMA_VERSION,
+    main,
+)
+from repro.lint.engine import rule_catalog_hash
+from repro.lint.flow import FLOW_RULE_CLASSES
 from repro.lint.rules import RULE_CLASSES
 
 TREE = Path(__file__).parent / "fixtures" / "tree"
+FLOWTREE = Path(__file__).parent / "fixtures" / "flowtree"
 REPO = Path(__file__).parents[2]
 
 
@@ -43,13 +52,197 @@ class TestJsonOutput:
         assert code == EXIT_CLEAN
         assert json.loads(capsys.readouterr().out)["count"] == 0
 
+    def test_payload_is_self_describing(self, tmp_path, capsys):
+        empty = tmp_path / "b.json"
+        empty.write_text('{"schema_version": 1, "findings": []}')
+        main([str(FLOWTREE), "--flow", "--format=json", "--baseline", str(empty)])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == JSON_SCHEMA_VERSION
+        assert payload["rule_catalog_hash"] == rule_catalog_hash()
+        assert payload["flow"] is True
+        assert payload["stale_baseline_entries"] == []
+        witnessed = [v for v in payload["violations"] if v["witness"]]
+        assert witnessed, "flow findings must serialize their witness paths"
+
+    def test_output_is_byte_identical_across_runs(self, capsys):
+        main([str(FLOWTREE), "--flow", "--format=json"])
+        first = capsys.readouterr().out
+        main([str(FLOWTREE), "--flow", "--format=json"])
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_violations_arrive_fully_sorted(self, capsys):
+        main([str(FLOWTREE), "--flow", "--format=json"])
+        payload = json.loads(capsys.readouterr().out)
+        keys = [
+            (v["path"], v["line"], v["col"], v["rule"], v["message"])
+            for v in payload["violations"]
+        ]
+        assert keys == sorted(keys)
+
+
+class TestFlowTier:
+    def test_flow_flag_surfaces_interprocedural_findings(self, capsys):
+        code = main([str(FLOWTREE), "--flow"])
+        out = capsys.readouterr().out
+        assert code == EXIT_VIOLATIONS
+        assert "determinism-reach" in out
+        assert "tick-units" in out
+        # Text output renders the path witness inline.
+        assert "[repro.core.bad_reach.activate -> repro.helpers.util.stamp" in out
+
+    def test_no_flow_overrides_config(self, tmp_path, capsys):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text("[tool.repro-lint]\nflow = true\n")
+        code = main(
+            [
+                str(FLOWTREE / "repro/core/bad_units.py"),
+                "--no-flow",
+                "--config",
+                str(pyproject),
+            ]
+        )
+        capsys.readouterr()
+        assert code == EXIT_CLEAN
+
+    def test_config_can_enable_flow(self, tmp_path, capsys):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text("[tool.repro-lint]\nflow = true\n")
+        code = main([str(FLOWTREE), "--config", str(pyproject)])
+        out = capsys.readouterr().out
+        assert code == EXIT_VIOLATIONS
+        assert "tick-units" in out
+
+    def test_acceptance_repo_src_is_clean_with_flow(self, capsys):
+        code = main(
+            [
+                str(REPO / "src"),
+                "--flow",
+                "--config",
+                str(REPO / "pyproject.toml"),
+                "--baseline",
+                str(REPO / "lint-baseline.json"),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == EXIT_CLEAN, captured.out
+        assert "stale" not in captured.err
+
+
+class TestBaselineFlags:
+    def test_baseline_subtracts_known_findings(self, tmp_path, capsys):
+        target = FLOWTREE / "repro/cluster/bad_rpc.py"
+        baseline = tmp_path / "b.json"
+        assert main([str(FLOWTREE), "--flow", "--write-baseline",
+                     "--baseline", str(baseline)]) == EXIT_CLEAN
+        capsys.readouterr()
+        code = main([str(FLOWTREE), "--flow", "--baseline", str(baseline)])
+        captured = capsys.readouterr()
+        assert code == EXIT_CLEAN
+        assert captured.out == ""
+        assert str(target) not in captured.out
+
+    def _stale_baseline(self, tmp_path, entry_path):
+        baseline = tmp_path / "b.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "schema_version": 1,
+                    "findings": [
+                        {
+                            "fingerprint": "deadbeefdeadbeef",
+                            "rule": "tick-units",
+                            "path": entry_path,
+                            "message": "long since fixed",
+                            "witness": [],
+                        }
+                    ],
+                }
+            )
+        )
+        return baseline
+
+    def test_stale_entries_warn_on_stderr(self, tmp_path, capsys):
+        baseline = self._stale_baseline(
+            tmp_path, str(FLOWTREE / "repro/core/good_units.py")
+        )
+        code = main(
+            [
+                str(FLOWTREE / "repro/core/good_units.py"),
+                "--flow",
+                "--baseline",
+                str(baseline),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == EXIT_CLEAN  # stale entries warn, never fail
+        assert "stale baseline entry deadbeefdeadbeef" in captured.err
+        assert "remove it from the baseline" in captured.err
+
+    def test_out_of_scope_entries_are_not_stale(self, tmp_path, capsys):
+        # A run scoped to a subtree must not condemn baseline entries
+        # for files it never scanned.
+        baseline = self._stale_baseline(tmp_path, "src/repro/cluster/broker.py")
+        code = main(
+            [
+                str(FLOWTREE / "repro/core/good_units.py"),
+                "--flow",
+                "--baseline",
+                str(baseline),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == EXIT_CLEAN
+        assert "stale" not in captured.err
+
+    def test_malformed_baseline_is_a_usage_error(self, tmp_path, capsys):
+        baseline = tmp_path / "b.json"
+        baseline.write_text("{broken")
+        code = main(
+            [str(TREE / "repro/core/clean.py"), "--baseline", str(baseline)]
+        )
+        assert code == EXIT_ERROR
+        assert "baseline error" in capsys.readouterr().err
+
+    def test_baseline_ignored_without_flow(self, capsys):
+        # Classic runs must not report flow-tier baseline entries as stale.
+        code = main(
+            [
+                str(REPO / "src"),
+                "--no-flow",
+                "--config",
+                str(REPO / "pyproject.toml"),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == EXIT_CLEAN
+        assert "stale" not in captured.err
+
 
 class TestListRules:
     def test_catalog_names_every_registered_rule(self, capsys):
         assert main(["--list-rules"]) == EXIT_CLEAN
         out = capsys.readouterr().out
-        for cls in RULE_CLASSES:
+        for cls in (*RULE_CLASSES, *FLOW_RULE_CLASSES):
             assert cls.id in out
+
+
+class TestExplain:
+    def test_explains_a_flow_rule(self, capsys):
+        assert main(["--explain", "tick-units"]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        assert "tick-units [flow (whole-program)]" in out
+        assert "rationale:" in out
+
+    def test_explains_a_per_module_rule(self, capsys):
+        assert main(["--explain", "float-ticks"]) == EXIT_CLEAN
+        assert "[per-module]" in capsys.readouterr().out
+
+    def test_unknown_rule_is_a_usage_error(self, capsys):
+        assert main(["--explain", "no-such-rule"]) == EXIT_ERROR
+        err = capsys.readouterr().err
+        assert "unknown rule 'no-such-rule'" in err
+        assert "tick-units" in err  # lists the known ids
 
 
 class TestErrors:

@@ -40,6 +40,77 @@ class TestSuppression:
         assert [v.line for v in violations] == [7]
         assert violations[0].rule_id == "float-ticks"
 
+    def test_marker_anywhere_on_a_multiline_statement(self, tmp_path):
+        # The violation sits on the argument line; the marker sits on
+        # the closing-paren line of the same statement.
+        mod = tmp_path / "spread.py"
+        mod.write_text(
+            "def build():\n"
+            "    return validate_period(\n"
+            "        1.5,\n"
+            "    )  # repro-lint: disable=float-ticks\n"
+        )
+        assert run_lint([mod]) == []
+
+    def test_marker_on_def_header_covers_decorator_violation(self, tmp_path):
+        mod = tmp_path / "decorated.py"
+        mod.write_text(
+            "@register(period=1.5)\n"
+            "def tick():  # repro-lint: disable=float-ticks\n"
+            "    return 0\n"
+        )
+        assert run_lint([mod]) == []
+
+    def test_marker_on_multiline_decorator(self, tmp_path):
+        mod = tmp_path / "decorated_spread.py"
+        mod.write_text(
+            "@register(\n"
+            "    period=1.5,\n"
+            ")  # repro-lint: disable=float-ticks\n"
+            "def tick():\n"
+            "    return 0\n"
+        )
+        assert run_lint([mod]) == []
+
+    def test_marker_on_a_sibling_statement_does_not_leak(self, tmp_path):
+        mod = tmp_path / "sibling.py"
+        mod.write_text(
+            "def f():\n"
+            "    x = validate_period(1.5)\n"
+            "    return x  # repro-lint: disable=float-ticks\n"
+        )
+        violations = run_lint([mod])
+        assert [v.line for v in violations] == [2]
+
+    def test_marker_in_body_does_not_silence_the_whole_function(self, tmp_path):
+        mod = tmp_path / "body.py"
+        mod.write_text(
+            "def f():\n"
+            "    # repro-lint: disable=float-ticks\n"
+            "    pass\n"
+            "\n"
+            "def g():\n"
+            "    return validate_period(1.5)\n"
+        )
+        violations = run_lint([mod])
+        assert [v.line for v in violations] == [6]
+
+    def test_flow_violations_honor_suppressions(self, tmp_path):
+        pkg = tmp_path / "repro" / "cluster"
+        pkg.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        (pkg / "state.py").write_text(
+            "CACHE: dict = {}\n"
+            "\n"
+            "def on_epoch(k, v):\n"
+            "    CACHE[k] = v  # repro-lint: disable=shared-state-race\n"
+            "\n"
+            "def drain():\n"
+            "    CACHE.clear()  # repro-lint: disable=all\n"
+        )
+        assert run_lint([tmp_path], flow=True) == []
+
 
 class TestParseErrors:
     def test_syntax_error_becomes_a_violation(self, tmp_path):

@@ -49,6 +49,59 @@ class TestConversions:
         assert units.core_cycles_to_ticks(200) == 27
 
 
+class TestRoundTripEdges:
+    def test_every_whole_ms_round_trips_exactly(self):
+        for ms in (1, 2, 500, 159_000):
+            assert units.ticks_to_ms(units.ms_to_ticks(ms)) == ms
+
+    def test_sub_tick_quantities_round_to_nearest(self):
+        # Half a tick of microseconds (1/54 us) rounds via banker's rounding.
+        assert units.us_to_ticks(1 / 27) == 1
+        assert units.us_to_ticks(0.5 / 27) == 0  # round(0.5) -> 0
+        assert units.us_to_ticks(1.5 / 27) == 2  # round(1.5) -> 2
+
+    def test_zero_is_a_fixed_point(self):
+        assert units.ms_to_ticks(0) == 0
+        assert units.ticks_to_ms(0) == 0.0
+        assert units.us_to_ticks(0) == 0
+        assert units.sec_to_ticks(0) == 0
+
+    def test_fractional_ms_survives_one_round_trip_within_a_tick(self):
+        for ms in (0.5, 1.25, 3.7, 16.6667):
+            back = units.ticks_to_ms(units.ms_to_ticks(ms))
+            assert abs(back - ms) <= units.ticks_to_ms(1) / 2
+
+    def test_negative_offsets_convert_symmetrically(self):
+        # Deltas can be negative (deadline slack); conversion must not
+        # fold them toward zero differently than positive values.
+        assert units.ms_to_ticks(-10) == -units.ms_to_ticks(10)
+        assert units.ticks_to_us(-27) == -1.0
+
+    def test_unit_ladder_is_consistent(self):
+        assert units.ms_to_ticks(1) == units.us_to_ticks(1000)
+        assert units.sec_to_ticks(1) == units.ms_to_ticks(1000)
+        assert units.TICKS_PER_SEC == 1000 * units.TICKS_PER_MS
+        assert units.TICKS_PER_MS == 1000 * units.TICKS_PER_US
+
+
+class TestInfiniteSentinel:
+    def test_sentinel_is_far_beyond_any_schedulable_period(self):
+        assert units.INFINITE == 1 << 62
+        assert units.INFINITE > units.MAX_PERIOD_TICKS
+
+    def test_sentinel_is_not_a_valid_period(self):
+        # "Compute forever" work never enters the periodic admission path.
+        with pytest.raises(ValueError):
+            units.validate_period(units.INFINITE)
+
+    def test_sentinel_survives_ms_conversion_without_overflow(self):
+        # Python ints are unbounded, but the value must stay ordered
+        # after a float division (ticks_to_ms) for logging/telemetry.
+        assert units.ticks_to_ms(units.INFINITE) > units.ticks_to_ms(
+            units.MAX_PERIOD_TICKS
+        )
+
+
 class TestValidatePeriod:
     def test_accepts_bounds(self):
         assert units.validate_period(units.MIN_PERIOD_TICKS) == units.MIN_PERIOD_TICKS
@@ -65,3 +118,17 @@ class TestValidatePeriod:
     def test_rejects_non_int(self):
         with pytest.raises(TypeError):
             units.validate_period(900_000.0)
+
+    def test_boundary_periods_in_ms_terms(self):
+        # 500 us and 159 s expressed through the converters admit cleanly.
+        assert units.validate_period(units.us_to_ticks(500)) == units.MIN_PERIOD_TICKS
+        assert units.validate_period(units.sec_to_ticks(159)) == units.MAX_PERIOD_TICKS
+
+    def test_error_message_names_the_bounds(self):
+        with pytest.raises(ValueError, match=r"500 us to 159 s"):
+            units.validate_period(1)
+
+    def test_bool_is_rejected_despite_being_an_int_subclass(self):
+        # bool slips through isinstance(int); a period of True is a bug.
+        with pytest.raises((TypeError, ValueError)):
+            units.validate_period(True)
