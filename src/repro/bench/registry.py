@@ -20,7 +20,7 @@ from typing import Callable
 from repro.bench import workloads
 
 #: Suite names accepted by ``python -m repro bench --suite``.
-SUITES = ("core", "cluster", "obs")
+SUITES = ("core", "cluster", "obs", "serve")
 
 REGISTRY: dict[str, "Bench"] = {}
 
@@ -189,3 +189,17 @@ def _obs_session() -> object:
 def _obs_analysis() -> object:
     events = workloads.build_analysis_events(ms=200, seed=11)
     return workloads.run_obs_analysis(events, iterations=5)
+
+
+# -- serve: the live control plane's in-process mutation path ---------------
+
+
+@register(
+    "serve.engine_ops",
+    "serve",
+    ops=400,
+    description="400 settled submit/read/withdraw cycles through the serving "
+    "engine (the per-request cost floor under /v1/tasks)",
+)
+def _serve_engine_ops() -> object:
+    return workloads.run_serve_ops(ops=400, seed=5, nodes=4)

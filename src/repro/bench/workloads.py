@@ -163,3 +163,19 @@ def run_obs_analysis(events, iterations: int = 5):
     for _ in range(iterations):
         result = analyze(events)
     return result
+
+
+def run_serve_ops(ops: int = 400, seed: int = 5, nodes: int = 4):
+    """The serving engine's mutation path, no sockets: ``ops`` cycles of
+    submit -> read -> withdraw against a live :class:`ServeEngine`, each
+    settled through the broker before the next begins — the in-process
+    cost floor under every ``/v1/tasks`` request."""
+    from repro.serve.engine import ServeEngine
+
+    engine = ServeEngine(nodes=nodes, seed=seed)
+    for i in range(ops):
+        name = f"bench-{i:05d}"
+        engine.submit({"name": name, "period_ms": 2.0, "rate": 0.00002})
+        engine.task(name)
+        engine.remove(name)
+    return engine

@@ -15,6 +15,8 @@
     python -m repro obs report out/     # analytics report over an obs dir
     python -m repro obs check out/ --slo slo.toml  # SLO gate (exit 1 on violation)
     python -m repro bench --suite core  # wall-clock benches + regression gate
+    python -m repro serve --port 8642   # live HTTP control plane over a rack
+    python -m repro loadgen --clients 100 --duration 5  # drive a live service
 
 Every command is deterministic for a given ``--seed``.  Shared options
 (``--seed``, ``--duration-ms``, ``--sanitize``) are defined once on a
@@ -513,6 +515,20 @@ def cmd_validate(args) -> int:
     return 0 if report.ok and sanitizer_ok and not rd.trace.misses() else 1
 
 
+def cmd_serve(args) -> int:
+    """Boot the live HTTP control plane (blocks until SIGTERM/SIGINT)."""
+    from repro.serve import serve_main
+
+    return serve_main(args)
+
+
+def cmd_loadgen(args) -> int:
+    """Drive a running control plane with the seeded open-loop generator."""
+    from repro.serve import loadgen_main
+
+    return loadgen_main(args)
+
+
 # -- entry point ----------------------------------------------------------------
 
 
@@ -618,7 +634,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = command("bench", cmd_bench, "wall-clock bench suites + regression gate")
     p.add_argument(
         "--suite",
-        choices=["core", "cluster", "obs", "all"],
+        choices=["core", "cluster", "obs", "serve", "all"],
         default="core",
         help="bench suite to run",
     )
@@ -643,6 +659,66 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.25,
         help="allowed normalized-cost growth before a bench counts as regressed",
+    )
+    p = command("serve", cmd_serve, "live HTTP control plane over a broker rack")
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument("--port", type=int, default=8642, help="bind port (0 = ephemeral)")
+    p.add_argument("--nodes", type=int, default=16, help="distributor node count")
+    p.add_argument(
+        "--policy",
+        choices=["aimd", "best-fit", "first-fit"],
+        default="aimd",
+        help="placement policy (aimd spreads load, keeping per-node "
+        "kernel scans short under churn)",
+    )
+    p.add_argument(
+        "--latency-us", type=float, default=20.0, help="one-way bus latency"
+    )
+    p.add_argument(
+        "--migrate", action="store_true", help="enable epoch migration passes"
+    )
+    p.add_argument(
+        "--slo",
+        metavar="PATH",
+        default=None,
+        help="attach a streaming SLO engine fed from this TOML spec",
+    )
+    p.add_argument(
+        "--obs-out",
+        metavar="DIR",
+        default=None,
+        help="write the obs artifacts on graceful shutdown",
+    )
+    p = command("loadgen", cmd_loadgen, "seeded open-loop load generator")
+    p.add_argument("--host", default="127.0.0.1", help="target address")
+    p.add_argument("--port", type=int, default=8642, help="target port")
+    p.add_argument("--clients", type=int, default=100, help="concurrent clients")
+    p.add_argument(
+        "--duration", type=float, default=5.0, help="schedule length in seconds"
+    )
+    p.add_argument(
+        "--rps-per-client",
+        type=float,
+        default=4.0,
+        help="open-loop request rate per client",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="emit the full report on stdout"
+    )
+    p.add_argument(
+        "--out", metavar="PATH", default=None, help="write the report to PATH"
+    )
+    p.add_argument(
+        "--check-against",
+        metavar="PATH",
+        default=None,
+        help="gate sustained RPS against a committed BENCH_serve.json",
+    )
+    p.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed normalized cost growth before the gate fails",
     )
     p = command("cluster", cmd_cluster, "multi-node rack behind a broker")
     p.add_argument(

@@ -49,6 +49,7 @@ over migration, migration over denial.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 
 from repro import units
@@ -56,6 +57,7 @@ from repro.cluster.node import NodeLoadReport
 from repro.cluster.placement import NodeView, PlacementPolicy
 from repro.obs.analysis.telemetry import TelemetryAggregator, TelemetrySnapshot
 from repro.obs.events import MigrationEvent, RpcEvent
+from repro.sim.backoff import BackoffPolicy
 from repro.sim.messages import Envelope, MessageBus
 from repro.tasks.base import TaskDefinition
 
@@ -70,6 +72,16 @@ class BrokerConfig:
     rpc_timeout_ticks: int = units.ms_to_ticks(5)
     #: Transmissions per node (1 original + retries) before giving up on it.
     max_attempts_per_node: int = 3
+    #: Multiplicative growth of the retry timeout per attempt (bounded
+    #: exponential backoff, :class:`repro.sim.backoff.BackoffPolicy`).
+    #: The 1.0 default keeps the legacy fixed cadence tick for tick.
+    retry_backoff_factor: float = 1.0
+    #: Cap on the backed-off timeout; ``None`` = unbounded growth.
+    retry_backoff_cap_ticks: int | None = None
+    #: Uniform extra delay in ``[0, jitter]`` ticks per retransmission,
+    #: drawn from the broker's seeded retry stream (desynchronizes
+    #: retry bursts under sustained loss without losing determinism).
+    retry_jitter_ticks: int = 0
     #: AIMD additive increase per healthy load report.
     ai_step: float = 0.05
     #: AIMD multiplicative decrease factor per overloaded report.
@@ -149,17 +161,27 @@ class ClusterBroker:
         policy: PlacementPolicy,
         config: BrokerConfig | None = None,
         obs=None,
+        retry_rng: random.Random | None = None,
     ) -> None:
         """``nodes`` maps node name -> schedulable capacity (the initial
         headroom of an empty node).  ``obs`` is an optional
         :class:`repro.obs.session.ObsSession`: each place/migrate
         operation becomes one span tree (root span for the operation, a
         child span per node attempt) and retries/timeouts/migrations
-        become structured events."""
+        become structured events.  ``retry_rng`` is the seeded stream
+        jittered retry backoff draws from; required only when
+        ``config.retry_jitter_ticks > 0``."""
         self.bus = bus
         self.policy = policy
         self.config = config or BrokerConfig()
         self.obs = obs
+        self._backoff = BackoffPolicy(
+            base_ticks=self.config.rpc_timeout_ticks,
+            factor=self.config.retry_backoff_factor,
+            cap_ticks=self.config.retry_backoff_cap_ticks,
+            jitter_ticks=self.config.retry_jitter_ticks,
+        )
+        self._retry_rng = retry_rng
         self._obs_bus = obs.scoped(BROKER) if obs is not None else None
         self._spans = obs.spans if obs is not None else None
         self.views: dict[str, NodeView] = {
@@ -259,8 +281,7 @@ class ClusterBroker:
             op_span=op_span,
             span=span,
         )
-        self._pending[pending.request_id] = pending
-        self._transmit(pending, now)
+        self._register_and_transmit(pending, now)
 
     def _send_remove(self, task: str, node: str, purpose: str, now: int) -> None:
         pending = _PendingRpc(
@@ -271,8 +292,22 @@ class ClusterBroker:
             node=node,
             deadline=now + self.config.rpc_timeout_ticks,
         )
+        self._register_and_transmit(pending, now)
+
+    def _register_and_transmit(self, pending: _PendingRpc, now: int) -> None:
+        """Register the idempotency token, then send — exception-safely.
+
+        ``MessageBus.send`` can raise (negative time, a poisoned
+        payload, a shut-down transport); if it does, the just-registered
+        token must not stay behind, or the request is never retried
+        *and* never resolved — a stranded placement.
+        """
         self._pending[pending.request_id] = pending
-        self._transmit(pending, now)
+        try:
+            self._transmit(pending, now)
+        except BaseException:
+            self._pending.pop(pending.request_id, None)
+            raise
 
     def _transmit(self, pending: _PendingRpc, now: int) -> None:
         payload: dict = {"request_id": pending.request_id, "task": pending.task}
@@ -280,7 +315,7 @@ class ClusterBroker:
             payload["definition"] = pending.definition
         trace = pending.span.context() if pending.span is not None else None
         self.bus.send(BROKER, pending.node, pending.kind, payload, now, trace=trace)
-        pending.deadline = now + self.config.rpc_timeout_ticks
+        pending.deadline = now + self._backoff.delay(pending.attempts, self._retry_rng)
 
     def check_timeouts(self, now: int) -> None:
         """Retry or fail over every RPC whose reply is overdue."""

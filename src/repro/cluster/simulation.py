@@ -134,6 +134,7 @@ class ClusterSimulation:
             self.policy,
             broker_config,
             obs=obs,
+            retry_rng=self.rngs.stream("cluster.broker.retry"),
         )
         self.events = EventQueue()
         self._now = 0
@@ -183,6 +184,44 @@ class ClusterSimulation:
             while self._next_epoch <= self._now:
                 self._epoch()
                 self._next_epoch += self.epoch_ticks
+
+    def settle(self, max_rounds: int = 10_000) -> bool:
+        """Advance sim time until every in-flight broker interaction has
+        resolved (no pending RPC, nothing on the bus).
+
+        This is the serving layer's drain hook: a live front-end calls
+        it after each mutation batch so admit/withdraw outcomes are
+        decided before the caller is answered, and once more on
+        shutdown so the books are consistent when the final artifacts
+        are written.  Returns ``False`` when ``max_rounds`` advances
+        were not enough (a cycle that keeps feeding the bus — with a
+        reliable in-process bus this indicates a bug, and callers
+        should surface it rather than spin forever).
+        """
+        for _ in range(max_rounds):
+            if self.broker.idle and len(self.bus) == 0:
+                return True
+            candidates = []
+            bus_next = self.bus.next_time()
+            if bus_next is not None:
+                candidates.append(bus_next)
+            deadline = self.broker.next_deadline()
+            if deadline is not None:
+                candidates.append(deadline)
+            if not candidates:
+                break
+            self.run_until(max(self._now + 1, min(candidates)))
+        return self.broker.idle and len(self.bus) == 0
+
+    def drain(self, max_rounds: int = 10_000) -> bool:
+        """Withdraw every placement, then :meth:`settle` the fallout.
+
+        The graceful-shutdown hook: after a successful drain no task
+        holds a grant anywhere in the cluster and no RPC is in flight.
+        """
+        for task in sorted(self.broker.placements):
+            self.broker.withdraw(task, self._now)
+        return self.settle(max_rounds=max_rounds)
 
     def _next_time(self, horizon: int) -> int:
         """The next global time anything cluster-level can happen."""

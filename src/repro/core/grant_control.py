@@ -81,6 +81,9 @@ class GrantSetResult:
     minimum_fallback: bool = False
     #: Exclusive-unit ownership implied by the set: unit -> thread id.
     exclusive_assignment: dict[str, int] = field(default_factory=dict)
+    #: Threads whose grant object differs from the previous compute, or
+    #: None when unknown (the scheduler then falls back to a full diff).
+    changed: frozenset[int] | None = None
 
 
 class GrantController:
@@ -101,6 +104,12 @@ class GrantController:
         self._capacity = capacity
         self._bandwidth = bandwidth_capacity
         self._policy_box = policy_box
+        #: Fast-path grants reused across recomputes while a thread's
+        #: maximum entry is unchanged.  ``Grant`` is frozen, so sharing
+        #: one instance is safe — and it lets the scheduler's notify
+        #: diff discard unchanged threads on the ``a is b`` fast path
+        #: instead of comparing fields for the whole population.
+        self._grant_cache: dict[int, Grant] = {}
 
     @property
     def capacity(self) -> float:
@@ -139,6 +148,11 @@ class GrantController:
         fast = self._fast_path(active)
         if fast is not None:
             return fast
+        # The policy path builds grants outside the cache, so cached
+        # Grant objects no longer mirror what threads were last told.
+        # Drop them: the next fast-path compute then reconstructs every
+        # grant and reports all threads as changed.
+        self._grant_cache.clear()
         return self._policy_path(active, observe=observe)
 
     # -- fast path -----------------------------------------------------------
@@ -159,15 +173,26 @@ class GrantController:
                 if unit in owners:
                     return None  # conflict: resolve through the policy path
                 owners[unit] = request.thread_id
-        grants = {
-            r.thread_id: Grant(thread_id=r.thread_id, entry=r.resource_list.maximum, entry_index=0)
-            for r in active
-        }
+        cache = self._grant_cache
+        grants: dict[int, Grant] = {}
+        changed: set[int] = set()
+        for r in active:
+            entry = r.resource_list.maximum
+            grant = cache.get(r.thread_id)
+            if grant is None or grant.entry is not entry:
+                grant = Grant(thread_id=r.thread_id, entry=entry, entry_index=0)
+                cache[r.thread_id] = grant
+                changed.add(r.thread_id)
+            grants[r.thread_id] = grant
+        if len(cache) > 2 * len(grants) + 32:
+            # Drop entries for threads that left the population.
+            self._grant_cache = dict(grants)
         return GrantSetResult(
             grant_set=GrantSet(grants, self._capacity, self._bandwidth),
             policy=None,
             passes=0,
             exclusive_assignment=owners,
+            changed=frozenset(changed),
         )
 
     # -- policy correlation ----------------------------------------------------

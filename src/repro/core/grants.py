@@ -93,6 +93,11 @@ class GrantSet:
     def get(self, thread_id: int) -> Grant | None:
         return self._grants.get(thread_id)
 
+    def ids(self):
+        """Thread ids in the set, as a set-like dict view (C-speed
+        difference/symmetric-difference for notify diffs)."""
+        return self._grants.keys()
+
     def items(self) -> Iterator[tuple[int, Grant]]:
         """(thread_id, grant) pairs, in admission order."""
         return iter(self._grants.items())

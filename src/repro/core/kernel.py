@@ -20,6 +20,7 @@ from __future__ import annotations
 import enum
 from typing import Callable, Iterable
 
+from repro import units
 from repro.config import MachineConfig, SimConfig
 from repro.core.grants import Grant, GrantDelivery
 from repro.core.threads import SimThread, ThreadKind, ThreadState
@@ -87,9 +88,18 @@ class Kernel:
         #: Periodic threads in creation order — the rollover scan runs
         #: several times per dispatch-loop iteration and must not pay
         #: for filtering sporadic/idle threads out of ``threads`` each
-        #: time.  Threads are never removed (EXITED threads stay, with
-        #: ``in_period`` False), so the list only ever appends.
+        #: time.  EXITED threads are swept out amortized (see
+        #: :meth:`reap_exited`) so a long-lived system with task churn
+        #: — the serving layer admits and withdraws tasks forever —
+        #: keeps the scan proportional to *live* threads, not to every
+        #: thread ever admitted.  ``threads`` itself never shrinks: tid
+        #: lookups and trace exports still see retired names.
         self._periodic: list[SimThread] = []
+        self._exited_periodic = 0
+        #: Earliest upcoming period boundary, or 0 when unknown —
+        #: lets the rollover scan (run several times per dispatch-loop
+        #: iteration) return O(1) when no boundary is due.
+        self._next_rollover = 0
         self._next_tid = self.IDLE_TID + 1
         self.idle = SimThread(self.IDLE_TID, "Idle", ThreadKind.IDLE)
         self.policy = None  # bound by the scheduler policy
@@ -171,6 +181,32 @@ class Kernel:
     def periodic_threads(self) -> Iterable[SimThread]:
         return iter(self._periodic)
 
+    def note_periodic_exit(self, thread: SimThread) -> None:
+        """A periodic thread reached EXITED; sweep the scan list when
+        the dead outnumber the living (amortized O(1) per exit)."""
+        if thread.kind is not ThreadKind.PERIODIC:
+            return
+        self._exited_periodic += 1
+        if (
+            self._exited_periodic >= 32
+            and self._exited_periodic * 2 >= len(self._periodic)
+        ):
+            self.reap_exited()
+
+    def reap_exited(self) -> None:
+        """Drop EXITED threads from the periodic scan list.
+
+        An EXITED periodic thread has no grant and no open period, so
+        it contributes nothing to rollover, overtime election, or timer
+        computation — removing it cannot change any scheduling
+        decision.  It stays in :attr:`threads` for tid lookups and
+        trace thread names.
+        """
+        self._periodic = [
+            t for t in self._periodic if t.state is not ThreadState.EXITED
+        ]
+        self._exited_periodic = 0
+
     def thread(self, tid: int) -> SimThread:
         try:
             return self.threads[tid]
@@ -210,6 +246,8 @@ class Kernel:
         thread.period_index += 1
         thread.period_start = now
         thread.deadline = now + grant.period
+        if thread.deadline < self._next_rollover:
+            self._next_rollover = thread.deadline
         thread.remaining = grant.cpu_ticks
         thread.used = 0
         thread.overtime_used = 0
@@ -293,6 +331,11 @@ class Kernel:
             # The switch cost may have carried the clock across period
             # boundaries; bring accounting current before setting the timer.
             self._rollover_all()
+            if not thread.is_idle and not thread.in_period:
+                # The boundary that just rolled over retired this
+                # thread's grant (a pending removal took effect inside
+                # the switch-cost window); there is nothing to dispatch.
+                continue
             stop, preemptive = self._compute_stop(thread, horizon)
             self._dispatch(thread, stop, preemptive)
             self._guard_progress(before)
@@ -701,14 +744,31 @@ class Kernel:
 
     def _rollover_all(self, strict: bool = False) -> None:
         """Process every period boundary at or before the current time
-        (strictly before it when ``strict``)."""
+        (strictly before it when ``strict``).
+
+        The earliest upcoming boundary is cached across calls, so the
+        common case — nothing due yet — is O(1) instead of a scan of
+        the whole periodic population.  Period opens that happen
+        outside this scan (:meth:`start_first_period`) lower the cache;
+        opens inside the scan are folded into the minimum it computes.
+        """
         now = self.clock.now
+        cached = self._next_rollover
+        if cached > now or (strict and cached == now):
+            return
+        # Any first period started by a policy hook while the scan runs
+        # lowers _next_rollover; fold it into the final minimum.
+        self._next_rollover = units.INFINITE
+        earliest = units.INFINITE
         for thread in self._periodic:
             while thread.in_period and (
                 thread.deadline < now or (not strict and thread.deadline == now)
             ):
                 self._close_period(thread)
                 self._open_next_period(thread)
+            if thread.in_period and thread.deadline < earliest:
+                earliest = thread.deadline
+        self._next_rollover = min(self._next_rollover, earliest)
 
     def _close_period(self, thread: SimThread) -> None:
         grant = thread.grant
@@ -856,6 +916,8 @@ class Kernel:
         thread.pending_state = None
         if thread.state is not ThreadState.BLOCKED or new_state is ThreadState.EXITED:
             thread.state = new_state
+        if new_state is ThreadState.EXITED:
+            self.note_periodic_exit(thread)
         self.exclusive.release_thread(thread.tid)
         self._record_grant_change(
             GrantChangeRecord(

@@ -40,6 +40,9 @@ class _AdmittedRecord:
     thread: SimThread
     definition: TaskDefinition
     quiescent: bool
+    #: Memoized grant request; rebuilt whenever the fields it mirrors
+    #: drift (the cache validates itself, so no invalidation hooks).
+    request: GrantRequest | None = None
 
 
 @dataclass(frozen=True)
@@ -211,6 +214,7 @@ class ResourceManager:
             thread.pending_state = ThreadState.EXITED
         else:
             thread.state = ThreadState.EXITED
+            self.kernel.note_periodic_exit(thread)
             self.kernel.exclusive.release_thread(tid)
         self._recompute()
 
@@ -332,7 +336,15 @@ class ResourceManager:
             self.kernel.sanitizer.on_grant_set(result)
         self.last_result = result
         if self.obs:
-            degraded = sum(1 for g in result.grant_set if g.entry_index > 0)
+            # Fast-path sets grant every maximum entry (index 0), so no
+            # thread is degraded and the delivered QOS fraction is
+            # exactly 1.0 — skip the O(admitted) scans.
+            if result.passes == 0:
+                degraded = 0
+                qos_fraction = 1.0
+            else:
+                degraded = sum(1 for g in result.grant_set if g.entry_index > 0)
+                qos_fraction = self.capacity_snapshot().qos_fraction
             self.obs.emit(
                 GrantRecomputeEvent(
                     time=self.kernel.now,
@@ -341,7 +353,7 @@ class ResourceManager:
                     degraded=degraded,
                     passes=result.passes,
                     minimum_fallback=result.minimum_fallback,
-                    qos_fraction=self.capacity_snapshot().qos_fraction,
+                    qos_fraction=qos_fraction,
                     headroom=self.admission.headroom,
                 )
             )
@@ -353,15 +365,24 @@ class ResourceManager:
         self.scheduler.notify_grant_set(result)
 
     def _requests(self) -> list[GrantRequest]:
-        return [
-            GrantRequest(
-                thread_id=tid,
-                policy_id=record.thread.policy_id,
-                resource_list=record.definition.resource_list,
-                quiescent=record.quiescent,
-            )
-            for tid, record in sorted(self._records.items())
-        ]
+        requests: list[GrantRequest] = []
+        for tid, record in sorted(self._records.items()):
+            request = record.request
+            if (
+                request is None
+                or request.quiescent is not record.quiescent
+                or request.resource_list is not record.definition.resource_list
+                or request.policy_id != record.thread.policy_id
+            ):
+                request = GrantRequest(
+                    thread_id=tid,
+                    policy_id=record.thread.policy_id,
+                    resource_list=record.definition.resource_list,
+                    quiescent=record.quiescent,
+                )
+                record.request = request
+            requests.append(request)
+        return requests
 
     def _record(self, tid: int) -> _AdmittedRecord:
         try:

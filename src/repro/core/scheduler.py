@@ -124,14 +124,25 @@ class RDScheduler:
         # re-asserted on every call.
         work = set(self._inflight)
         work.update(pending)
-        for tid, grant in grant_set.items():
-            old = None if previous is None else previous.get(tid)
-            if old is None or not _same_grant(old, grant):
-                work.add(tid)
-        if previous is not None:
-            for tid, _ in previous.items():
-                if tid not in grant_set:
+        if result.changed is not None and previous is not None:
+            # Fast path: the controller told us exactly which threads got
+            # a new Grant object.  Membership changes (appearances and
+            # disappearances) are the symmetric difference of the id
+            # sets — dict-view set ops at C speed.  Reappearances matter
+            # even when the cached Grant object is identical, because a
+            # thread that left and returned needs its pending state
+            # re-seeded.
+            work.update(result.changed)
+            work.update(previous.ids() ^ grant_set.ids())
+        else:
+            for tid, grant in grant_set.items():
+                old = None if previous is None else previous.get(tid)
+                if old is None or not _same_grant(old, grant):
                     work.add(tid)
+            if previous is not None:
+                for tid, _ in previous.items():
+                    if tid not in grant_set:
+                        work.add(tid)
         threads = self.kernel.threads
         for tid in sorted(work):
             thread = threads.get(tid)

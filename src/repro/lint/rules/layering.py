@@ -52,6 +52,16 @@ class LayeringRule(Rule):
     beside ``repro.cli``: it may import anything, and nothing below it
     may import it (it reads the wall clock, which must never leak into
     the simulated layers).
+
+    ``repro.serve`` is the serving boundary at the very top: it may
+    import ``repro.cluster``, ``repro.obs``, and ``repro.core``, but
+    NOTHING may import it — it is the one layer that legitimately
+    lives in wall-clock land (asyncio timeouts, request latencies),
+    and its exemption from the determinism rules must not leak into
+    the simulated layers through an upward import.  Every simulated
+    row therefore lists ``repro.serve`` as forbidden, including
+    ``repro.cluster`` and ``repro.metrics``, which have no other
+    upward constraints.
     """
 
     id = "layering"
@@ -72,6 +82,7 @@ class LayeringRule(Rule):
                 "repro.metrics.report",
                 "repro.cluster",
                 "repro.bench",
+                "repro.serve",
             ),
         ),
         (
@@ -83,6 +94,7 @@ class LayeringRule(Rule):
                 "repro.metrics",
                 "repro.cluster",
                 "repro.bench",
+                "repro.serve",
             ),
         ),
         (
@@ -98,6 +110,7 @@ class LayeringRule(Rule):
                 "repro.workloads",
                 "repro.baselines",
                 "repro.bench",
+                "repro.serve",
             ),
         ),
         (
@@ -114,8 +127,11 @@ class LayeringRule(Rule):
                 "repro.baselines",
                 "repro.cluster",
                 "repro.bench",
+                "repro.serve",
             ),
         ),
+        ("repro.cluster", ("repro.serve",)),
+        ("repro.metrics", ("repro.serve",)),
     )
 
     def check(self, module: ModuleInfo) -> Iterator[LintViolation]:

@@ -250,6 +250,18 @@ class ObsBus:
     def subscribe(self, sink: Callable[[ObsEvent], None]) -> None:
         self._subscribers.append(sink)
 
+    def unsubscribe(self, sink: Callable[[ObsEvent], None]) -> None:
+        """Detach ``sink``; unknown sinks are ignored (idempotent).
+
+        Live consumers (the serving layer's ``/v1/events`` stream)
+        attach per-client sinks and must detach them on disconnect, or
+        a long-lived session would accumulate dead subscribers.
+        """
+        try:
+            self._subscribers.remove(sink)
+        except ValueError:
+            pass
+
     def __bool__(self) -> bool:
         """True when at least one subscriber is attached.
 
@@ -281,6 +293,9 @@ class ScopedBus:
 
     def subscribe(self, sink: Callable[[ObsEvent], None]) -> None:
         self._bus.subscribe(sink)
+
+    def unsubscribe(self, sink: Callable[[ObsEvent], None]) -> None:
+        self._bus.unsubscribe(sink)
 
     def __bool__(self) -> bool:
         return bool(self._bus)

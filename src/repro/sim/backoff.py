@@ -1,0 +1,94 @@
+"""Bounded exponential backoff with deterministic, seeded jitter.
+
+Retry cadence is a *sender* concern (the :class:`MessageBus` never
+re-sends), and until now every sender retried on a fixed timer: attempt
+N fired exactly ``timeout`` ticks after attempt N-1.  Under sustained
+loss that synchronizes retries into periodic bursts.  A
+:class:`BackoffPolicy` computes the classic bounded exponential delay
+instead — ``base * factor**(attempt-1)``, capped — plus optional
+uniform jitter drawn from an explicit seeded ``random.Random`` stream,
+so the retry schedule stays exactly reproducible from the run seed.
+
+The default ``factor=1.0, jitter_ticks=0`` policy reproduces the old
+fixed cadence tick for tick, which is what keeps the committed
+determinism artifacts stable: backoff is opt-in per sender (see
+``BrokerConfig.retry_backoff_factor``).
+
+This module sits in the simulation substrate beside
+:mod:`repro.sim.messages`: pure tick arithmetic, no imports from any
+higher layer, no wall-clock reads.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Delay schedule for retransmissions, in simulated ticks.
+
+    Args:
+        base_ticks: delay before the second transmission (attempt 1's
+            timeout).  Must be positive — a zero delay would retry in
+            the same instant forever.
+        factor: multiplicative growth per attempt; ``1.0`` is a fixed
+            cadence, ``2.0`` the classic doubling.
+        cap_ticks: upper bound on the computed delay (before jitter);
+            ``None`` means unbounded growth.
+        jitter_ticks: uniform extra delay in ``[0, jitter_ticks]``,
+            drawn per call from the ``rng`` handed to :meth:`delay`.
+    """
+
+    base_ticks: int
+    factor: float = 1.0
+    cap_ticks: int | None = None
+    jitter_ticks: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base_ticks <= 0:
+            raise SimulationError(
+                f"backoff base must be a positive tick count, got {self.base_ticks}"
+            )
+        if self.factor < 1.0:
+            raise SimulationError(
+                f"backoff factor must be >= 1.0 (delays never shrink), "
+                f"got {self.factor}"
+            )
+        if self.cap_ticks is not None and self.cap_ticks < self.base_ticks:
+            raise SimulationError(
+                f"backoff cap {self.cap_ticks} is below the base delay "
+                f"{self.base_ticks}"
+            )
+        if self.jitter_ticks < 0:
+            raise SimulationError(
+                f"backoff jitter must be non-negative, got {self.jitter_ticks}"
+            )
+
+    def delay(self, attempt: int, rng: random.Random | None = None) -> int:
+        """Ticks to wait after transmission number ``attempt`` (1-based).
+
+        With ``jitter_ticks > 0`` an ``rng`` is required: jitter must
+        come from a named seeded stream, never from hidden global
+        state, or the run stops being reproducible.
+        """
+        if attempt < 1:
+            raise SimulationError(f"attempt is 1-based, got {attempt}")
+        delay = int(self.base_ticks * self.factor ** (attempt - 1))
+        if self.cap_ticks is not None:
+            delay = min(delay, self.cap_ticks)
+        if self.jitter_ticks:
+            if rng is None:
+                raise SimulationError(
+                    "jittered backoff needs an explicit seeded rng stream"
+                )
+            delay += rng.randrange(self.jitter_ticks + 1)
+        return delay
+
+    @property
+    def fixed(self) -> bool:
+        """True when this policy reproduces the legacy fixed cadence."""
+        return self.factor == 1.0 and self.jitter_ticks == 0

@@ -95,7 +95,7 @@ class TestCommittedBaseline:
         from repro.bench import REGISTRY
 
         payload = load_baseline(str(REPO_ROOT / "BENCH.json"))
-        assert sorted(payload["suites"]) == ["cluster", "core", "obs"]
+        assert sorted(payload["suites"]) == ["cluster", "core", "obs", "serve"]
         assert set(payload["benches"]) == set(REGISTRY)
 
 

@@ -1,0 +1,1 @@
+"""Fixture package: the cluster coordination layer."""

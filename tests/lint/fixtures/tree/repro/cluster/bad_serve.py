@@ -1,0 +1,8 @@
+"""Fixture: the cluster layer importing the serving boundary above it
+(layering) — the wall-clock exemption must not leak downward."""
+
+import repro.serve.app
+
+
+def handle():
+    return repro.serve.app

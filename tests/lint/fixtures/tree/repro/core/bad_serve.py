@@ -1,0 +1,7 @@
+"""Fixture: core reaching up into the serving boundary (layering)."""
+
+from repro.serve.engine import ServeEngine
+
+
+def serve():
+    return ServeEngine

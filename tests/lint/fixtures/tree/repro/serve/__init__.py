@@ -1,0 +1,1 @@
+"""Fixture package: the serving boundary (wall-clock land)."""

@@ -56,6 +56,23 @@ class TestLayering:
         assert any("repro.core" in v.message for v in violations)
         assert any("repro.sim" in v.message for v in violations)
 
+    def test_core_importing_serve_is_flagged(self):
+        violations = lint("repro/core/bad_serve.py")
+        assert rule_ids(violations) == ["layering"]
+        assert "repro.serve" in violations[0].message
+
+    def test_cluster_importing_serve_is_flagged(self):
+        violations = lint("repro/cluster/bad_serve.py")
+        assert rule_ids(violations) == ["layering"]
+        assert "repro.serve" in violations[0].message
+
+    def test_serve_may_import_down_and_read_the_wall_clock(self):
+        """The serving boundary's wall-clock exemption is a property of
+        its *position*, not a blanket waiver: the module imports
+        cluster/obs/core and reads time.monotonic, and no rule fires —
+        while the reverse imports (above) are all flagged."""
+        assert lint("repro/serve/clean.py") == []
+
     def test_clean_core_module_passes(self):
         assert lint("repro/core/clean.py") == []
 

@@ -1,0 +1,1 @@
+"""Tests for the serving control plane (repro.serve)."""

@@ -1,0 +1,211 @@
+"""ServeApp over a real socket: routes, statuses, backpressure, drain."""
+
+import asyncio
+import json
+
+from repro.serve.app import ServeApp
+from repro.serve.engine import ServeEngine
+from repro.serve.http import Request, Response
+from repro.serve.loadgen import PlannedRequest, _Connection
+
+
+def run_with_app(scenario, **app_kwargs):
+    """Boot a ServeApp on an ephemeral port, run ``scenario(app)``, stop."""
+
+    async def main():
+        engine = ServeEngine(nodes=2, seed=7, policy="first-fit")
+        app = ServeApp(engine, port=0, **app_kwargs)
+        await app.start()
+        try:
+            return await scenario(app)
+        finally:
+            await app.stop()
+
+    return asyncio.run(main())
+
+
+async def call(app, method, path, body=None):
+    """One request over a fresh keep-alive connection; parsed JSON body."""
+    conn = _Connection("127.0.0.1", app.server.port)
+    payload = b"" if body is None else json.dumps(body).encode()
+    try:
+        status, data = await conn.request(
+            PlannedRequest(at_s=0.0, method=method, path=path, body=payload)
+        )
+    finally:
+        conn.close()
+    text = data.decode()
+    parsed = json.loads(text) if text.lstrip().startswith(("{", "[")) else text
+    return status, parsed
+
+
+def spec(name, rate=0.1):
+    return {"name": name, "rate": rate, "period_ms": 10.0}
+
+
+class TestRoutes:
+    def test_health_and_readiness(self):
+        async def scenario(app):
+            assert await call(app, "GET", "/healthz") == (200, "ok\n")
+            assert await call(app, "GET", "/readyz") == (200, "ready\n")
+
+        run_with_app(scenario)
+
+    def test_task_lifecycle_over_http(self):
+        async def scenario(app):
+            status, body = await call(app, "POST", "/v1/tasks", spec("a"))
+            assert (status, body["status"], body["node"]) == (201, "admitted", "node00")
+
+            status, body = await call(app, "GET", "/v1/tasks/a")
+            assert status == 200 and body["status"] == "admitted"
+
+            status, body = await call(app, "GET", "/v1/tasks")
+            assert status == 200 and body["tasks"] == ["a"]
+
+            status, body = await call(app, "DELETE", "/v1/tasks/a")
+            assert status == 200 and body["removed"]
+
+            # Deleting again is idempotent: 200, removed=False.
+            status, body = await call(app, "DELETE", "/v1/tasks/a")
+            assert status == 200 and not body["removed"]
+
+        run_with_app(scenario)
+
+    def test_denied_and_rejected_status_codes(self):
+        async def scenario(app):
+            status, body = await call(app, "POST", "/v1/tasks", spec("w", rate=0.99))
+            assert status == 200 and body["status"] == "denied"
+            status, body = await call(app, "POST", "/v1/tasks", {"rate": 0.1})
+            assert status == 400 and body["status"] == "rejected"
+            status, body = await call(app, "POST", "/v1/tasks", "nonsense")
+            assert status == 400 and "error" in body
+
+        run_with_app(scenario)
+
+    def test_batch_body(self):
+        async def scenario(app):
+            status, body = await call(
+                app, "POST", "/v1/tasks", [spec("a"), spec("w", rate=0.99)]
+            )
+            assert status == 200
+            assert [t["status"] for t in body["tasks"]] == ["admitted", "denied"]
+
+        run_with_app(scenario)
+
+    def test_unknown_task_and_route_and_method(self):
+        async def scenario(app):
+            assert (await call(app, "GET", "/v1/tasks/ghost"))[0] == 404
+            assert (await call(app, "DELETE", "/v1/tasks/ghost"))[0] == 404
+            assert (await call(app, "GET", "/v1/warp"))[0] == 404
+            assert (await call(app, "PUT", "/v1/tasks"))[0] == 405
+
+        run_with_app(scenario)
+
+    def test_read_views(self):
+        async def scenario(app):
+            await call(app, "POST", "/v1/tasks", spec("a"))
+            status, body = await call(app, "GET", "/v1/nodes")
+            assert status == 200 and len(body["nodes"]) == 2
+            status, body = await call(app, "GET", "/v1/stats")
+            assert status == 200 and body["admitted"] == 1
+            status, body = await call(app, "GET", "/v1/state")
+            assert status == 200 and body["digest"] == app.engine.state_digest()
+            status, body = await call(app, "GET", "/v1/slo")
+            assert status == 200 and body["enabled"] is False
+
+        run_with_app(scenario)
+
+    def test_metrics_exposes_request_counters(self):
+        async def scenario(app):
+            await call(app, "POST", "/v1/tasks", spec("a"))
+            status, text = await call(app, "GET", "/metrics")
+            assert status == 200
+            assert 'repro_http_requests_total{route="/v1/tasks"' in text
+            assert "repro_http_request_latency_seconds_bucket" in text
+
+        run_with_app(scenario)
+
+    def test_events_stream_delivers_ndjson(self):
+        async def scenario(app):
+            port = app.server.port
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(
+                b"GET /v1/events?limit=1&timeout_s=5 HTTP/1.1\r\n"
+                b"Host: t\r\nContent-Length: 0\r\n\r\n"
+            )
+            await writer.drain()
+            head = await reader.readuntil(b"\r\n\r\n")
+            assert b"200" in head.split(b"\r\n", 1)[0]
+            assert b"chunked" in head.lower()
+            # Now cause an event; the subscribed stream must emit it.
+            await call(app, "POST", "/v1/tasks", spec("a"))
+            size_line = await asyncio.wait_for(reader.readline(), 5)
+            size = int(size_line.strip(), 16)
+            chunk = await reader.readexactly(size)
+            event = json.loads(chunk)
+            assert event["type"]
+            writer.close()
+
+        run_with_app(scenario)
+
+
+class TestBackpressureAndDrain:
+    def test_full_queue_answers_429(self):
+        # No writer running: the queue cannot drain, so the second
+        # mutation must be refused with Retry-After.
+        async def main():
+            engine = ServeEngine(nodes=2, seed=7)
+            app = ServeApp(engine, port=0, queue_limit=1)
+            app._ops.put_nowait(({"op": "remove", "task": "x"}, asyncio.Future()))
+            response = await app._mutate({"op": "submit", "spec": spec("a")})
+            assert response.status == 429
+            assert response.headers["Retry-After"] == "1"
+            assert app.m_backpressure.value() == 1
+
+        asyncio.run(main())
+
+    def test_drain_refuses_new_mutations(self):
+        async def scenario(app):
+            await call(app, "POST", "/v1/tasks", spec("a"))
+            status, body = await call(app, "POST", "/admin/drain")
+            assert status == 200 and body["status"] == "drained"
+            assert body["withdrawn"] == 1
+            assert (await call(app, "GET", "/readyz"))[0] == 503
+            assert (await call(app, "POST", "/v1/tasks", spec("b")))[0] == 503
+            # Reads still work while draining.
+            assert (await call(app, "GET", "/v1/stats"))[0] == 200
+
+        run_with_app(scenario)
+
+    def test_handler_exception_becomes_counted_500(self):
+        async def main():
+            engine = ServeEngine(nodes=2, seed=7)
+            app = ServeApp(engine, port=0)
+
+            async def boom(request):
+                raise RuntimeError("kaboom")
+
+            app._route = boom
+            response = await app._handle(
+                Request(method="GET", path="/x", query={}, headers={})
+            )
+            assert isinstance(response, Response)
+            assert response.status == 500
+
+        asyncio.run(main())
+
+
+class TestWriterBatching:
+    def test_concurrent_mutations_group_commit(self):
+        async def scenario(app):
+            results = await asyncio.gather(
+                *(call(app, "POST", "/v1/tasks", spec(f"t{i}")) for i in range(8))
+            )
+            assert all(status == 201 for status, _ in results)
+            # The writer coalesced at least some ops: fewer oplog
+            # entries than mutations, and at least one commit group.
+            ops = app.engine.oplog
+            assert len(ops) <= 8
+            assert app.engine.stats()["admitted"] == 8
+
+        run_with_app(scenario)

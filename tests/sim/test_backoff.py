@@ -1,0 +1,79 @@
+"""Unit tests for the bounded exponential backoff helper."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.backoff import BackoffPolicy
+
+
+class TestBackoffPolicy:
+    def test_factor_one_is_the_legacy_fixed_cadence(self):
+        policy = BackoffPolicy(base_ticks=1000)
+        assert [policy.delay(a) for a in range(1, 6)] == [1000] * 5
+        assert policy.fixed
+
+    def test_exponential_growth_per_attempt(self):
+        policy = BackoffPolicy(base_ticks=1000, factor=2.0)
+        assert [policy.delay(a) for a in range(1, 5)] == [1000, 2000, 4000, 8000]
+        assert not policy.fixed
+
+    def test_cap_bounds_the_growth(self):
+        policy = BackoffPolicy(base_ticks=1000, factor=2.0, cap_ticks=3000)
+        assert [policy.delay(a) for a in range(1, 6)] == [
+            1000,
+            2000,
+            3000,
+            3000,
+            3000,
+        ]
+
+    def test_fractional_factor_floors_to_integer_ticks(self):
+        policy = BackoffPolicy(base_ticks=1000, factor=1.5)
+        assert policy.delay(2) == 1500
+        assert policy.delay(3) == 2250
+
+    def test_jitter_is_deterministic_from_the_seed(self):
+        policy = BackoffPolicy(base_ticks=1000, factor=2.0, jitter_ticks=100)
+        a = [policy.delay(n, random.Random(7)) for n in range(1, 5)]
+        b = [policy.delay(n, random.Random(7)) for n in range(1, 5)]
+        assert a == b
+
+    def test_jitter_stays_within_its_bound(self):
+        policy = BackoffPolicy(base_ticks=1000, jitter_ticks=50)
+        rng = random.Random(3)
+        for attempt in range(1, 50):
+            delay = policy.delay(attempt, rng)
+            assert 1000 <= delay <= 1050
+
+    def test_jitter_without_an_rng_is_an_error(self):
+        policy = BackoffPolicy(base_ticks=1000, jitter_ticks=10)
+        with pytest.raises(SimulationError):
+            policy.delay(1)
+
+    def test_zero_jitter_never_consumes_randomness(self):
+        policy = BackoffPolicy(base_ticks=1000, factor=2.0)
+        rng = random.Random(11)
+        before = rng.getstate()
+        policy.delay(3, rng)
+        assert rng.getstate() == before
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"base_ticks": 0},
+            {"base_ticks": -5},
+            {"base_ticks": 100, "factor": 0.5},
+            {"base_ticks": 100, "cap_ticks": 50},
+            {"base_ticks": 100, "jitter_ticks": -1},
+        ],
+    )
+    def test_invalid_policies_are_rejected(self, kwargs):
+        with pytest.raises(SimulationError):
+            BackoffPolicy(**kwargs)
+
+    def test_attempt_is_one_based(self):
+        policy = BackoffPolicy(base_ticks=100)
+        with pytest.raises(SimulationError):
+            policy.delay(0)
