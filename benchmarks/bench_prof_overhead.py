@@ -1,0 +1,103 @@
+"""Profiler overhead: the instrumenting tier must stay under 10 %.
+
+The tentpole claim for ``repro.obs.prof`` mirrors the obs one: every
+hook site is one attribute read plus a falsy branch when ``prof is
+None`` (unprofiled must be indistinguishable from before the hooks
+existed), and when a :class:`PhaseProfiler` *is* attached, the full
+begin/end bookkeeping across kernel, scheduler, resource manager, grant
+control, and bus may cost at most 10 % over the unprofiled run — the
+gate the ``prof-smoke`` CI job enforces.
+
+Baseline and candidate runs are interleaved so clock drift and thermal
+effects hit both alike; the gate compares per-variant minima — the
+``timeit`` rationale: the minimum is the least-contended measurement of
+the same deterministic work, so scheduler and cache noise (which only
+ever adds time) cancels out of the ratio.  Medians are reported
+alongside for context.  The scenario is the shared
+``repro.bench.workloads.run_figure5`` builder — the same workload the
+``repro bench --suite obs`` runner times as ``obs.prof_overhead``.
+"""
+
+import gc
+import statistics
+import time
+
+from repro.bench.workloads import run_figure5
+from repro.viz import format_table
+
+HORIZON_MS = 400
+REPEATS = 9
+BUDGET = 0.10  # a live PhaseProfiler may cost at most 10 % over unprofiled
+
+VARIANTS = {
+    "unprofiled (prof=None)": False,
+    "profiled (PhaseProfiler attached)": True,
+}
+
+
+def run_once(prof: bool) -> float:
+    start = time.perf_counter()
+    run_figure5(obs="disabled", ms=HORIZON_MS, seed=11, prof=prof)
+    return time.perf_counter() - start
+
+
+def interleaved_samples() -> dict[str, list[float]]:
+    for prof in VARIANTS.values():
+        run_once(prof)  # warm-up: imports, allocator, caches
+    samples: dict[str, list[float]] = {name: [] for name in VARIANTS}
+    # Collector pauses land on random runs and this gate has single-digit
+    # margins, so time with gc off (each run allocates, none of it cyclic).
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(REPEATS):
+            for name, prof in VARIANTS.items():
+                samples[name].append(run_once(prof))
+    finally:
+        gc.enable()
+    return samples
+
+
+def test_prof_overhead_within_budget(report):
+    samples = interleaved_samples()
+    best = {name: min(times) for name, times in samples.items()}
+    baseline = best["unprofiled (prof=None)"]
+    profiled = best["profiled (PhaseProfiler attached)"]
+    if profiled / baseline - 1 > BUDGET:
+        # A regression must survive a second sampling window before it
+        # fails the gate: a burst of background load (CI runners share
+        # hardware) can inflate every sample in one window, and minima
+        # only cancel noise *within* a window.  Merging the windows
+        # keeps the per-variant minimum honest across both.
+        for name, times in interleaved_samples().items():
+            samples[name].extend(times)
+        best = {name: min(times) for name, times in samples.items()}
+    baseline = best["unprofiled (prof=None)"]
+    runs = len(samples["unprofiled (prof=None)"])
+    rows = [
+        [
+            name,
+            f"{best[name] * 1e3:.1f}",
+            f"{statistics.median(times) * 1e3:.1f}",
+            f"{best[name] / baseline - 1:+.1%}",
+        ]
+        for name, times in samples.items()
+    ]
+    table = format_table(
+        [
+            "configuration",
+            f"best of {runs} runs (ms)",
+            "median (ms)",
+            "vs unprofiled",
+        ],
+        rows,
+        title=f"repro.obs.prof overhead — figure5, {HORIZON_MS} ms simulated",
+    )
+    report("prof_overhead", table)
+
+    profiled = best["profiled (PhaseProfiler attached)"]
+    overhead = profiled / baseline - 1
+    assert overhead <= BUDGET, (
+        f"a live PhaseProfiler costs {overhead:+.1%} over the unprofiled "
+        f"baseline (budget {BUDGET:.0%}): begin/end bookkeeping got heavy"
+    )

@@ -180,6 +180,17 @@ def _obs_session() -> object:
 
 
 @register(
+    "obs.prof_overhead",
+    "obs",
+    ops=200,
+    description="figure5, 200 simulated ms, obs=None but every phase-profiler "
+    "hook live (the instrumenting tier's full cost)",
+)
+def _obs_prof_overhead() -> object:
+    return workloads.run_figure5(obs="disabled", ms=200, seed=11, prof=True)
+
+
+@register(
     "obs.analysis",
     "obs",
     ops=5,
@@ -203,3 +214,14 @@ def _obs_analysis() -> object:
 )
 def _serve_engine_ops() -> object:
     return workloads.run_serve_ops(ops=400, seed=5, nodes=4)
+
+
+@register(
+    "serve.profiled_settle",
+    "serve",
+    ops=400,
+    description="the same 400 settled cycles with phase hooks live from the "
+    "engine down through the broker and kernels",
+)
+def _serve_profiled_settle() -> object:
+    return workloads.run_serve_ops(ops=400, seed=5, nodes=4, profiled=True)

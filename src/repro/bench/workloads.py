@@ -121,17 +121,26 @@ def run_settop(ms: float = 400, seed: int = 53):
     return settop(seed=seed).run_for(units.ms_to_ticks(ms))
 
 
-def run_figure5(obs: str = "disabled", ms: float = 400, seed: int = 11):
+def run_figure5(
+    obs: str = "disabled", ms: float = 400, seed: int = 11, prof: bool = False
+):
     """The Figure 5 load-shedding staircase under one of three
     instrumentation configurations: ``disabled`` (obs=None), ``no-sink``
     (an ObsBus with zero subscribers), or ``session`` (a full
-    ObsSession: collector + metrics)."""
+    ObsSession: collector + metrics).  ``prof=True`` additionally wires
+    a :class:`~repro.obs.prof.phases.PhaseProfiler` into every hook
+    slot, for the profiler-overhead bench."""
     from repro.obs.events import ObsBus
     from repro.obs.session import ObsSession
     from repro.scenarios import figure5
 
     bus = {"disabled": lambda: None, "no-sink": ObsBus, "session": ObsSession}[obs]()
-    return figure5(seed=seed, obs=bus).run_for(units.ms_to_ticks(ms))
+    scenario = figure5(seed=seed, obs=bus)
+    if prof:
+        from repro.obs.prof import PhaseProfiler
+
+        scenario.rd.attach_prof(PhaseProfiler())
+    return scenario.run_for(units.ms_to_ticks(ms))
 
 
 def run_cluster_rack(seed: int = 7, nodes: int = 4, horizon_sec: float = 0.4):
@@ -165,14 +174,22 @@ def run_obs_analysis(events, iterations: int = 5):
     return result
 
 
-def run_serve_ops(ops: int = 400, seed: int = 5, nodes: int = 4):
+def run_serve_ops(
+    ops: int = 400, seed: int = 5, nodes: int = 4, profiled: bool = False
+):
     """The serving engine's mutation path, no sockets: ``ops`` cycles of
     submit -> read -> withdraw against a live :class:`ServeEngine`, each
     settled through the broker before the next begins — the in-process
-    cost floor under every ``/v1/tasks`` request."""
+    cost floor under every ``/v1/tasks`` request.  ``profiled=True``
+    runs the same cycles with phase hooks live end to end."""
     from repro.serve.engine import ServeEngine
 
-    engine = ServeEngine(nodes=nodes, seed=seed)
+    prof = None
+    if profiled:
+        from repro.obs.prof import PhaseProfiler
+
+        prof = PhaseProfiler()
+    engine = ServeEngine(nodes=nodes, seed=seed, prof=prof)
     for i in range(ops):
         name = f"bench-{i:05d}"
         engine.submit({"name": name, "period_ms": 2.0, "rate": 0.00002})

@@ -14,6 +14,9 @@
     python -m repro obs                 # describe the telemetry surface
     python -m repro obs report out/     # analytics report over an obs dir
     python -m repro obs check out/ --slo slo.toml  # SLO gate (exit 1 on violation)
+    python -m repro run --scenario cluster_rack --profile prof/  # profiled run
+    python -m repro obs prof report prof/   # phase-cost report over a profile
+    python -m repro obs prof diff a/ b/     # attribute a regression to phases
     python -m repro bench --suite core  # wall-clock benches + regression gate
     python -m repro serve --port 8642   # live HTTP control plane over a rack
     python -m repro loadgen --clients 100 --duration 5  # drive a live service
@@ -296,7 +299,9 @@ def cmd_cluster(args) -> int:
         obs=session,
         telemetry=args.telemetry,
     )
+    prof = _attach_prof(args, sim)
     sim.run_until(sim.horizon)
+    _write_prof(prof, args, sim.now)
     if args.format == "json":
         print(cluster_metrics_json(sim), end="")
     else:
@@ -326,7 +331,9 @@ def cmd_run(args) -> int:
             obs=session,
             telemetry=True,
         )
+        prof = _attach_prof(args, sim)
         sim.run_until(sim.horizon)
+        _write_prof(prof, args, sim.now)
         print(session.summary())
         if args.obs_out:
             _write_obs(session, args.obs_out, sim.now)
@@ -358,7 +365,9 @@ def cmd_run(args) -> int:
         rd.trace.segments,
         lambda: {t.tid: t.name for t in rd.kernel.threads.values()},
     )
+    prof = _attach_prof(args, rd)
     rd.run_for(_ms(max(args.duration_ms, 200)))
+    _write_prof(prof, args, rd.now)
     print(session.summary())
     print(f"deadline misses: {len(rd.trace.misses())}")
     if rd.sanitizer is not None:
@@ -372,6 +381,27 @@ def _write_obs(session, directory: str, now: int) -> None:
     paths = session.write(directory, now)
     for name in sorted(paths):
         print(f"wrote {paths[name]}")
+
+
+def _attach_prof(args, target):
+    """Wire a ProfSession into ``target`` (a distributor or a cluster
+    simulation) when ``--profile DIR`` was given; starts the sampler."""
+    if not getattr(args, "profile", None):
+        return None
+    from repro.obs.prof import ProfSession
+
+    prof = ProfSession(name=args.command)
+    target.attach_prof(prof)
+    prof.start()
+    return prof
+
+
+def _write_prof(prof, args, now: int) -> None:
+    if prof is None:
+        return
+    prof.stop()
+    out = prof.write(args.profile, now)
+    print(f"wrote profile to {out}")
 
 
 def cmd_obs_report(args) -> int:
@@ -424,6 +454,58 @@ def cmd_obs_check(args) -> int:
     return 1 if violations else 0
 
 
+def _emit_rendered(rendered: str, out: str | None) -> None:
+    if out:
+        with open(out, "w", encoding="utf-8") as fh:
+            fh.write(rendered)
+        print(f"wrote {out}")
+    else:
+        print(rendered, end="")
+
+
+def cmd_obs_prof_report(args) -> int:
+    """Render the phase-cost report for a ``--profile`` directory."""
+    from repro.obs.prof import load_profile, render_json, render_markdown
+
+    try:
+        profile = load_profile(args.dir)
+    except ValueError as exc:
+        print(exc)
+        return 2
+    rendered = (
+        render_json(profile, top=args.top)
+        if args.format == "json"
+        else render_markdown(profile, top=args.top)
+    )
+    _emit_rendered(rendered, args.out)
+    return 0
+
+
+def cmd_obs_prof_diff(args) -> int:
+    """Attribute a regression to phases: B's costs minus A's."""
+    from repro.obs.prof import (
+        diff_profiles,
+        load_profile,
+        render_diff_json,
+        render_diff_markdown,
+    )
+
+    try:
+        before = load_profile(args.a)
+        after = load_profile(args.b)
+    except ValueError as exc:
+        print(exc)
+        return 2
+    diff = diff_profiles(before, after)
+    rendered = (
+        render_diff_json(diff)
+        if args.format == "json"
+        else render_diff_markdown(diff)
+    )
+    _emit_rendered(rendered, args.out)
+    return 0
+
+
 def cmd_obs(args) -> int:
     """Describe the telemetry surface: events, metrics, artifacts."""
     import dataclasses
@@ -461,7 +543,23 @@ def cmd_bench(args) -> int:
 
     suites = list(SUITES) if args.suite == "all" else [args.suite]
     progress = None if args.json else (lambda name: print(f"  running {name} ..."))
-    payload = run_suites(suites, repetitions=args.repetitions, progress=progress)
+    prof = None
+    if args.profile:
+        # Sampling tier only: the bench workloads build their own
+        # systems internally, so the flamegraph (not the phase books)
+        # is what attributes where the bench's wall time goes.
+        from repro.obs.prof import ProfSession
+
+        prof = ProfSession(name=f"bench-{args.suite}")
+        prof.start()
+    try:
+        payload = run_suites(
+            suites, repetitions=args.repetitions, progress=progress
+        )
+    finally:
+        if prof is not None:
+            prof.stop()
+            print(f"wrote profile to {prof.write(args.profile)}")
     rendered = json.dumps(payload, indent=2, sort_keys=True) + "\n"
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
@@ -594,6 +692,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write events.jsonl, metrics.prom, trace.perfetto.json to DIR",
     )
+    p.add_argument(
+        "--profile",
+        metavar="DIR",
+        default=None,
+        help="profile the run: deterministic phase counts, wall timings, "
+        "and a sampled flamegraph land in DIR",
+    )
     p = command("obs", cmd_obs, "telemetry surface: describe / report / check")
     obs_sub = p.add_subparsers(dest="obs_command", metavar="subcommand")
     p_report = obs_sub.add_parser(
@@ -631,6 +736,49 @@ def build_parser() -> argparse.ArgumentParser:
         default="slo.toml",
         help="SLO spec to enforce (default: slo.toml)",
     )
+    p_prof = obs_sub.add_parser(
+        "prof", help="phase-cost reports over --profile directories"
+    )
+    prof_sub = p_prof.add_subparsers(
+        dest="prof_command", metavar="subcommand", required=True
+    )
+    pp_report = prof_sub.add_parser(
+        "report", help="top-N self-time table for one profile"
+    )
+    pp_report.set_defaults(func=cmd_obs_prof_report)
+    pp_report.add_argument(
+        "dir", metavar="DIR", help="directory written by --profile"
+    )
+    pp_report.add_argument(
+        "--format",
+        choices=["markdown", "json"],
+        default="markdown",
+        help="report format",
+    )
+    pp_report.add_argument(
+        "--top",
+        type=int,
+        default=0,
+        help="limit the table to the N most expensive phases (0 = all)",
+    )
+    pp_report.add_argument(
+        "--out", metavar="PATH", default=None, help="write the report to PATH"
+    )
+    pp_diff = prof_sub.add_parser(
+        "diff", help="per-phase cost deltas between two profiles"
+    )
+    pp_diff.set_defaults(func=cmd_obs_prof_diff)
+    pp_diff.add_argument("a", metavar="A", help="baseline profile directory")
+    pp_diff.add_argument("b", metavar="B", help="comparison profile directory")
+    pp_diff.add_argument(
+        "--format",
+        choices=["markdown", "json"],
+        default="markdown",
+        help="diff format",
+    )
+    pp_diff.add_argument(
+        "--out", metavar="PATH", default=None, help="write the diff to PATH"
+    )
     p = command("bench", cmd_bench, "wall-clock bench suites + regression gate")
     p.add_argument(
         "--suite",
@@ -660,6 +808,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.25,
         help="allowed normalized-cost growth before a bench counts as regressed",
     )
+    p.add_argument(
+        "--profile",
+        metavar="DIR",
+        default=None,
+        help="sample the whole bench run into a flamegraph profile at DIR",
+    )
     p = command("serve", cmd_serve, "live HTTP control plane over a broker rack")
     p.add_argument("--host", default="127.0.0.1", help="bind address")
     p.add_argument("--port", type=int, default=8642, help="bind port (0 = ephemeral)")
@@ -688,6 +842,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         default=None,
         help="write the obs artifacts on graceful shutdown",
+    )
+    p.add_argument(
+        "--profile",
+        metavar="DIR",
+        default=None,
+        help="profile the service; /debug/prof goes live and the profile "
+        "directory is written on graceful shutdown",
     )
     p = command("loadgen", cmd_loadgen, "seeded open-loop load generator")
     p.add_argument("--host", default="127.0.0.1", help="target address")
@@ -726,6 +887,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         default=None,
         help="write events.jsonl, metrics.prom, trace.perfetto.json to DIR",
+    )
+    p.add_argument(
+        "--profile",
+        metavar="DIR",
+        default=None,
+        help="profile the run: deterministic phase counts, wall timings, "
+        "and a sampled flamegraph land in DIR",
     )
     p.add_argument(
         "--telemetry",

@@ -198,6 +198,8 @@ class ClusterBroker:
         self._overload_streak: dict[str, int] = {name: 0 for name in nodes}
         #: Fleet telemetry ingested from ``telemetry`` bus messages.
         self.telemetry = TelemetryAggregator()
+        #: Optional phase profiler, wired by the cluster simulation.
+        self.prof = None
         self._migrating: set[str] = set()
         self._cooldown_until: dict[str, int] = {}
         self._epoch = 0
@@ -410,6 +412,17 @@ class ClusterBroker:
 
     def on_message(self, envelope: Envelope, now: int) -> None:
         """Process one delivered envelope addressed to the broker."""
+        prof = self.prof
+        if prof:
+            prof.begin("broker.rpc")
+            try:
+                self._on_message(envelope, now)
+            finally:
+                prof.end("broker.rpc")
+            return
+        self._on_message(envelope, now)
+
+    def _on_message(self, envelope: Envelope, now: int) -> None:
         if envelope.kind == "load-report":
             self._on_load_report(envelope.payload)
             return
@@ -515,6 +528,17 @@ class ClusterBroker:
 
     def _on_telemetry(self, snapshot: TelemetrySnapshot, now: int) -> None:
         """Ingest one node's metric snapshot; maybe steer AIMD with it."""
+        prof = self.prof
+        if prof:
+            prof.begin("broker.telemetry-merge")
+            try:
+                self._ingest_telemetry(snapshot, now)
+            finally:
+                prof.end("broker.telemetry-merge")
+            return
+        self._ingest_telemetry(snapshot, now)
+
+    def _ingest_telemetry(self, snapshot: TelemetrySnapshot, now: int) -> None:
         if not self.telemetry.ingest(snapshot):
             return  # stale or duplicate delivery
         if not self.config.telemetry_aimd:
@@ -548,6 +572,17 @@ class ClusterBroker:
 
     def on_epoch(self, now: int) -> None:
         """Per-epoch control decisions (currently: migration)."""
+        prof = self.prof
+        if prof:
+            prof.begin("broker.epoch")
+            try:
+                self._on_epoch(now)
+            finally:
+                prof.end("broker.epoch")
+            return
+        self._on_epoch(now)
+
+    def _on_epoch(self, now: int) -> None:
         self._epoch += 1
         if not self.config.migrate:
             return

@@ -139,6 +139,23 @@ class ClusterSimulation:
         self.events = EventQueue()
         self._now = 0
         self._next_epoch = self.epoch_ticks
+        #: Optional phase profiler; see :meth:`attach_prof`.
+        self.prof = None
+
+    def attach_prof(self, prof) -> None:
+        """Wire a phase profiler (:class:`repro.obs.prof.PhaseProfiler`
+        or a :class:`~repro.obs.prof.ProfSession`) through the whole
+        cluster: the bus, the broker, and every node's distributor.
+
+        Mirrors the obs wiring — the simulated layers only hold
+        duck-typed ``prof`` slots, so an unprofiled run pays one falsy
+        branch per hook site."""
+        prof = getattr(prof, "phases", prof)
+        self.prof = prof
+        self.bus.prof = prof
+        self.broker.prof = prof
+        for node in self.nodes.values():
+            node.rd.attach_prof(prof)
 
     # -- scripting the run ---------------------------------------------------
 
@@ -198,6 +215,16 @@ class ClusterSimulation:
         reliable in-process bus this indicates a bug, and callers
         should surface it rather than spin forever).
         """
+        prof = self.prof
+        if prof:
+            prof.begin("cluster.settle")
+            try:
+                return self._settle(max_rounds)
+            finally:
+                prof.end("cluster.settle")
+        return self._settle(max_rounds)
+
+    def _settle(self, max_rounds: int) -> bool:
         for _ in range(max_rounds):
             if self.broker.idle and len(self.bus) == 0:
                 return True

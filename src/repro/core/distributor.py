@@ -68,6 +68,19 @@ class ResourceDistributor:
             self.kernel.sanitizer = self.sanitizer
             self.sanitizer.obs = self.obs
 
+    def attach_prof(self, prof) -> None:
+        """Wire a phase profiler (duck-typed ``begin``/``end``, e.g.
+        :class:`repro.obs.prof.PhaseProfiler`) into every hook slot.
+
+        Mirrors the obs wiring: core never imports the profiler — it
+        only holds ``prof`` attributes that default to ``None``, so an
+        unprofiled run costs one falsy branch per hook site."""
+        prof = getattr(prof, "phases", prof)
+        self.kernel.prof = prof
+        self.resource_manager.prof = prof
+        self.resource_manager.grant_control.prof = prof
+        self.policy_box.prof = prof
+
     def _on_crash(self, thread: SimThread, exc: Exception) -> None:
         """A task raised: release its admission so its capacity flows
         back to the survivors.  Sporadic tasks just exit."""

@@ -110,6 +110,8 @@ class GrantController:
         #: diff discard unchanged threads on the ``a is b`` fast path
         #: instead of comparing fields for the whole population.
         self._grant_cache: dict[int, Grant] = {}
+        #: Optional phase profiler; wired by the distributor like obs.
+        self.prof = None
 
     @property
     def capacity(self) -> float:
@@ -132,6 +134,18 @@ class GrantController:
         Policy Box counters or telemetry) — used by the sanitizer to
         cross-check memoized results against a fresh computation.
         """
+        prof = self.prof
+        if prof and observe:
+            prof.begin("grant.compute")
+            try:
+                return self._compute(requests, observe)
+            finally:
+                prof.end("grant.compute")
+        return self._compute(requests, observe)
+
+    def _compute(
+        self, requests: list[GrantRequest], observe: bool
+    ) -> GrantSetResult:
         active = [r for r in requests if not r.quiescent]
         if not active:
             return GrantSetResult(

@@ -125,6 +125,10 @@ class Kernel:
         #: node-scoped view); None means uninstrumented — every hook
         #: site costs one attribute read and a falsy branch.
         self.obs = None
+        #: Optional phase profiler (duck-typed ``begin``/``end``; wired
+        #: by the distributor, never imported here — the same contract
+        #: as ``obs``: one attribute read and a falsy branch when off.
+        self.prof = None
 
     # -- properties ----------------------------------------------------------
 
@@ -309,6 +313,7 @@ class Kernel:
         clock = self.clock
         policy = self.policy
         sanitizer = self.sanitizer
+        prof = self.prof
         while clock.now < horizon:
             before = clock.now
             # Bring period accounting current *before* firing events:
@@ -324,6 +329,12 @@ class Kernel:
                 self._scan_wakes()
             self._rollover_all()
             self._reschedule = False
+            # One phase frame covers the whole decision: pick, context
+            # switch, and the dispatched slice.  A single begin/end pair
+            # per loop iteration keeps the profiled hot path within the
+            # overhead budget the prof-smoke CI gate enforces.
+            if prof:
+                prof.begin("kernel.dispatch")
             thread = policy.pick(clock.now)
             if sanitizer is not None:
                 sanitizer.on_pick(thread, clock.now)
@@ -335,9 +346,13 @@ class Kernel:
                 # The boundary that just rolled over retired this
                 # thread's grant (a pending removal took effect inside
                 # the switch-cost window); there is nothing to dispatch.
+                if prof:
+                    prof.end("kernel.dispatch")
                 continue
             stop, preemptive = self._compute_stop(thread, horizon)
             self._dispatch(thread, stop, preemptive)
+            if prof:
+                prof.end("kernel.dispatch")
             self._guard_progress(before)
         # Close any period ending exactly at the horizon so trace
         # accounting covers the whole run, and materialize the open

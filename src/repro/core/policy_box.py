@@ -77,6 +77,8 @@ class PolicyBox:
         #: distributor wires ``clock`` to the kernel's).
         self.obs = None
         self.clock = lambda: 0
+        #: Optional phase profiler; wired by the distributor like obs.
+        self.prof = None
 
     # -- task identity ---------------------------------------------------
 
@@ -151,6 +153,18 @@ class PolicyBox:
         memoization cross-check uses it to recompute a grant set without
         perturbing the observable event stream.
         """
+        prof = self.prof
+        if prof and observe:
+            prof.begin("policy.resolve")
+            try:
+                return self._resolve(policy_ids, observe)
+            finally:
+                prof.end("policy.resolve")
+        return self._resolve(policy_ids, observe)
+
+    def _resolve(
+        self, policy_ids: frozenset[int] | set[int], observe: bool
+    ) -> Policy:
         key = frozenset(policy_ids)
         if not key:
             raise PolicyError("cannot resolve a policy for an empty task set")

@@ -114,6 +114,8 @@ class ResourceManager:
         self.last_result: GrantSetResult | None = None
         #: Optional telemetry bus; set alongside :attr:`Kernel.obs`.
         self.obs = None
+        #: Optional phase profiler; set alongside :attr:`Kernel.prof`.
+        self.prof = None
         #: Memoization signature of the population the last grant set
         #: was computed for: (policy revision, capacity, per-thread
         #: (tid, policy id, resource list, quiescent) tuples).  Holding
@@ -307,6 +309,17 @@ class ResourceManager:
         if self._defer_depth:
             self._defer_dirty = True
             return
+        prof = self.prof
+        if prof:
+            prof.begin("rm.recompute")
+            try:
+                self._recompute_now()
+            finally:
+                prof.end("rm.recompute")
+            return
+        self._recompute_now()
+
+    def _recompute_now(self) -> None:
         signature = self._signature()
         if (
             self.last_result is not None

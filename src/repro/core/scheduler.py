@@ -114,6 +114,9 @@ class RDScheduler:
         CPU time, the Scheduler makes a callback to the Resource Manager
         to get the new grant information").
         """
+        prof = self.kernel.prof
+        if prof:
+            prof.begin("sched.notify")
         grant_set = result.grant_set
         previous = self._last_notified
         pending = self._pending_activation
@@ -179,6 +182,8 @@ class RDScheduler:
                     pending[tid] = new
         self._last_notified = grant_set
         self.kernel.request_reschedule()
+        if prof:
+            prof.end("sched.notify")
 
     @property
     def has_pending_activation(self) -> bool:
@@ -187,6 +192,9 @@ class RDScheduler:
     def _activate(self, now: int) -> None:
         """The unallocated-time callback: start new grants."""
         self.activation_count += 1
+        prof = self.kernel.prof
+        if prof:
+            prof.begin("sched.activate")
         pending, self._pending_activation = self._pending_activation, {}
         obs = self.kernel.obs
         if obs:
@@ -209,6 +217,8 @@ class RDScheduler:
                 # period starts now, in time that would otherwise have
                 # been unallocated.
                 self.kernel.start_first_period(thread, grant, now)
+        if prof:
+            prof.end("sched.activate")
 
     # -- queue views -----------------------------------------------------------
 

@@ -82,6 +82,11 @@ class WallClockRule(Rule):
     telemetry layer is in scope because its artifacts must be
     byte-identical across same-seed runs — a wall-clock timestamp in an
     event record would break the determinism gate.
+
+    ``repro.obs.prof`` is the one sanctioned exception: the phase
+    profiler's whole job is to measure host wall-clock cost, and it
+    keeps the determinism gate honest by writing timings to a separate
+    artifact (``prof_times.json``) that is never byte-compared.
     """
 
     id = "wallclock"
@@ -92,6 +97,8 @@ class WallClockRule(Rule):
     scope_prefixes = ("repro.core", "repro.sim", "repro.obs")
 
     def check(self, module: ModuleInfo) -> Iterator[LintViolation]:
+        if module.in_package("repro.obs.prof"):
+            return  # the sanctioned funnel: wall-clock cost measurement
         resolver = ModuleResolver(module)
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):

@@ -31,7 +31,10 @@ class LayeringRule(Rule):
     * ``repro.core`` -> ``repro.viz``, ``repro.cli``,
       ``repro.metrics.report``, ``repro.cluster`` (presentation,
       reporting, and cluster coordination sit above the mechanism
-      layer: a distributor never learns it is being clustered);
+      layer: a distributor never learns it is being clustered), plus
+      ``repro.obs.prof`` (hook sites hold a duck-typed ``prof`` slot;
+      the profiler is injected from above, never imported from below
+      — same for ``repro.sim``);
     * ``repro.core.scheduler`` -> ``repro.core.policy_box`` (the
       mechanism/policy separation: the Scheduler talks only to the
       Resource Manager);
@@ -83,6 +86,7 @@ class LayeringRule(Rule):
                 "repro.cluster",
                 "repro.bench",
                 "repro.serve",
+                "repro.obs.prof",
             ),
         ),
         (
@@ -95,6 +99,7 @@ class LayeringRule(Rule):
                 "repro.cluster",
                 "repro.bench",
                 "repro.serve",
+                "repro.obs.prof",
             ),
         ),
         (

@@ -7,6 +7,12 @@ allocation.  An emit without that guard (or guarded with ``is not
 None``, which is always true once a bus is wired even when it has no
 subscribers) silently re-introduces per-event allocation on every
 period close and context switch.
+
+The same contract covers the phase profiler (``repro.obs.prof``): hook
+sites hold a duck-typed ``prof`` slot defaulting to ``None``, and every
+``prof.begin(...)`` / ``prof.end(...)`` must sit behind a truthy
+``if prof:`` guard so an unprofiled run pays one attribute read and a
+falsy branch — never a method call.
 """
 
 from __future__ import annotations
@@ -22,6 +28,13 @@ def _is_emitter_name(prefix: str) -> bool:
     ``obs``, ``self._obs_bus``)?"""
     last = prefix.rsplit(".", 1)[-1].lower()
     return "obs" in last
+
+
+def _is_prof_name(prefix: str) -> bool:
+    """Does the dotted receiver look like a phase profiler
+    (``self.prof``, ``prof``, ``self.kernel.prof``)?"""
+    last = prefix.rsplit(".", 1)[-1].lower()
+    return "prof" in last
 
 
 def _constructs_event(call: ast.Call) -> bool:
@@ -91,15 +104,27 @@ class ObsUnguardedEmitRule(Rule):
     is flagged too: a wired bus with zero subscribers is not None but
     *is* falsy, and the whole point of the idiom is that such a run
     never constructs the event.
+
+    Profiler hooks are held to the same guard: ``prof.begin(...)`` /
+    ``prof.end(...)`` on a prof-named receiver must be reachable only
+    when the profiler is truthy, so the unprofiled hot path never pays
+    a method call.
     """
 
     id = "obs-unguarded-emit"
     rationale = (
         "an emit without a truthy `if self.obs:` guard allocates an "
-        "event even when nobody is listening; `is not None` does not "
-        "count because an unsinked bus is falsy"
+        "event even when nobody is listening (`is not None` does not "
+        "count because an unsinked bus is falsy); profiler "
+        "begin/end hooks need the same `if self.prof:` guard"
     )
-    scope_prefixes = ("repro.core", "repro.sim", "repro.cluster", "repro.metrics")
+    scope_prefixes = (
+        "repro.core",
+        "repro.sim",
+        "repro.cluster",
+        "repro.metrics",
+        "repro.serve",
+    )
 
     def check(self, module: ModuleInfo) -> Iterator[LintViolation]:
         parents: dict[ast.AST, ast.AST] = {}
@@ -110,33 +135,40 @@ class ObsUnguardedEmitRule(Rule):
             if not isinstance(node, ast.Call):
                 continue
             func = node.func
-            if not (isinstance(func, ast.Attribute) and func.attr == "emit"):
+            if not isinstance(func, ast.Attribute):
                 continue
             prefix = dotted_name(func.value)
             if prefix is None:
                 continue
-            if not (_is_emitter_name(prefix) or _constructs_event(node)):
+            if func.attr == "emit":
+                if not (_is_emitter_name(prefix) or _constructs_event(node)):
+                    continue
+                kind = "emit"
+            elif func.attr in ("begin", "end") and _is_prof_name(prefix):
+                kind = func.attr
+            else:
                 continue
             verdict = self._guard_verdict(node, prefix, parents)
             if verdict == "truthy":
                 continue
+            noun = "bus" if kind == "emit" else "profiler"
             if verdict == "identity":
                 yield self.violation(
                     module,
                     node,
-                    f"emit on {prefix!r} guarded only by an identity check; "
-                    f"an unsinked bus is not None but falsy — use "
-                    f"`if {prefix}:` so the uninstrumented path constructs "
-                    f"nothing",
+                    f"{kind} on {prefix!r} guarded only by an identity "
+                    f"check; an unsinked {noun} is not None but falsy — "
+                    f"use `if {prefix}:` so the uninstrumented path "
+                    f"constructs nothing",
                 )
             else:
                 yield self.violation(
                     module,
                     node,
-                    f"emit on {prefix!r} without a truthy bus guard; wrap "
-                    f"in `if {prefix}:` (or guard-clause "
-                    f"`if not {prefix}: return`) so an unsinked run never "
-                    f"constructs the event",
+                    f"{kind} on {prefix!r} without a truthy {noun} guard; "
+                    f"wrap in `if {prefix}:` (or guard-clause "
+                    f"`if not {prefix}: return`) so an uninstrumented run "
+                    f"never pays for the hook",
                 )
 
     def _guard_verdict(

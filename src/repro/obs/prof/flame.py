@@ -1,0 +1,93 @@
+"""Flamegraph exporters for sampled stacks.
+
+Two standard formats over the :class:`~repro.obs.prof.sampler.StackSampler`
+sample map (root-first stack tuple -> observed count):
+
+* **Collapsed stacks** ("folded" format): one ``frame;frame;frame count``
+  line per distinct stack, sorted — the input format of
+  ``flamegraph.pl``, ``inferno``, and speedscope's folded importer.
+* **speedscope JSON**: the ``"sampled"`` profile type of the
+  https://www.speedscope.app file format, loadable directly in the
+  viewer.
+
+Both exports are pure functions of the sample map: rendering twice
+yields byte-identical output.
+"""
+
+from __future__ import annotations
+
+import json
+
+SPEEDSCOPE_SCHEMA = "https://www.speedscope.app/file-format-schema.json"
+
+
+def collapsed(samples: dict[tuple[str, ...], int]) -> str:
+    """Render samples as collapsed-stack (folded) flamegraph text."""
+    lines = [
+        f"{';'.join(stack)} {count}"
+        for stack, count in sorted(samples.items())
+        if stack
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def speedscope(
+    samples: dict[tuple[str, ...], int],
+    name: str = "repro",
+    interval_s: float = 0.005,
+) -> dict:
+    """Build a speedscope-compatible ``sampled`` profile document.
+
+    Each distinct stack becomes one sample whose weight is its observed
+    count times the sampling interval, in milliseconds.
+    """
+    frame_index: dict[str, int] = {}
+    frames: list[dict] = []
+    profile_samples: list[list[int]] = []
+    weights: list[float] = []
+    interval_ms = interval_s * 1000.0
+    for stack, count in sorted(samples.items()):
+        if not stack:
+            continue
+        indexed = []
+        for label in stack:
+            idx = frame_index.get(label)
+            if idx is None:
+                idx = len(frames)
+                frame_index[label] = idx
+                frames.append({"name": label})
+            indexed.append(idx)
+        profile_samples.append(indexed)
+        weights.append(count * interval_ms)
+    total_ms = sum(weights)
+    return {
+        "$schema": SPEEDSCOPE_SCHEMA,
+        "exporter": "repro.obs.prof",
+        "name": name,
+        "activeProfileIndex": 0,
+        "shared": {"frames": frames},
+        "profiles": [
+            {
+                "type": "sampled",
+                "name": name,
+                "unit": "milliseconds",
+                "startValue": 0,
+                "endValue": total_ms,
+                "samples": profile_samples,
+                "weights": weights,
+            }
+        ],
+    }
+
+
+def speedscope_json(
+    samples: dict[tuple[str, ...], int],
+    name: str = "repro",
+    interval_s: float = 0.005,
+) -> str:
+    """Serialized :func:`speedscope` document (stable key order)."""
+    return json.dumps(
+        speedscope(samples, name=name, interval_s=interval_s),
+        indent=1,
+        sort_keys=True,
+    )

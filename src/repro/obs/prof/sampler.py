@@ -1,0 +1,91 @@
+"""Signal-free sampling stack profiler.
+
+A daemon thread polls ``sys._current_frames()`` for the target thread
+every ``interval_s`` seconds and accumulates collapsed call stacks
+(root-first tuples of frame labels) with sample counts.  No signals, no
+``sys.setprofile`` hook on the profiled thread: the sampled code runs
+untouched, which keeps overhead to the cost of the polling thread's own
+work and leaves the deterministic artifacts byte-identical.
+
+Samples export through :mod:`repro.obs.prof.flame` as collapsed-stack
+flamegraph text (``flamegraph.pl`` / speedscope "folded" input) and
+speedscope JSON.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+
+
+def _frame_label(frame) -> str:
+    code = frame.f_code
+    filename = code.co_filename
+    slash = filename.rfind("/")
+    if slash < 0:
+        slash = filename.rfind("\\")
+    return f"{filename[slash + 1:]}:{code.co_name}"
+
+
+class StackSampler:
+    """Polls the target thread's stack from a daemon thread.
+
+    ``start()`` records the calling thread as the target and launches
+    the poller; ``stop()`` joins it.  ``samples`` maps a root-first
+    tuple of ``file.py:function`` labels to the number of times that
+    exact stack was observed.
+    """
+
+    def __init__(self, interval_s: float = 0.005) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be positive, got {interval_s}")
+        self.interval_s = interval_s
+        self.samples: dict[tuple[str, ...], int] = {}
+        self.sample_count = 0
+        self.started_ns = 0
+        self.stopped_ns = 0
+        self._target_tid: int | None = None
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeError("sampler already started")
+        self._target_tid = threading.get_ident()
+        self.started_ns = time.perf_counter_ns()
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-prof-sampler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join()
+        self._thread = None
+        self.stopped_ns = time.perf_counter_ns()
+
+    def _run(self) -> None:
+        target = self._target_tid
+        samples = self.samples
+        while not self._stop.wait(self.interval_s):
+            frame = sys._current_frames().get(target)
+            if frame is None:
+                continue
+            labels: list[str] = []
+            while frame is not None:
+                labels.append(_frame_label(frame))
+                frame = frame.f_back
+            labels.reverse()
+            stack = tuple(labels)
+            samples[stack] = samples.get(stack, 0) + 1
+            self.sample_count += 1
+
+    def elapsed_s(self) -> float:
+        """Wall seconds between start and stop (0.0 if never run)."""
+        if not self.started_ns or not self.stopped_ns:
+            return 0.0
+        return (self.stopped_ns - self.started_ns) / 1e9

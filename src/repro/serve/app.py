@@ -48,6 +48,9 @@ _EVENT_STREAM_BUFFER = 4096
 #: Most mutations one group-commit may coalesce (bounds writer stalls).
 _MAX_COMMIT = 512
 
+#: Group-commit batch-size buckets (powers of two up to ``_MAX_COMMIT``).
+_BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0)
+
 
 class ServeApp:
     """Routes + single-writer mutation loop over one :class:`ServeEngine`."""
@@ -81,6 +84,18 @@ class ServeApp:
             "repro_http_backpressure_total",
             "Mutations refused with 429 because the op queue was full",
         )
+        self.m_queue_depth = registry.gauge(
+            "repro_http_op_queue_depth",
+            "Mutations waiting in the single-writer queue",
+        )
+        self.m_batch_size = registry.histogram(
+            "repro_http_commit_batch_size",
+            "Mutations coalesced per group commit",
+            _BATCH_BUCKETS,
+        )
+        # The serving boundary may import the profiler directly; the
+        # HTTP parser's hook slot shares the engine's phase books.
+        self.server.prof = engine._phases
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -130,6 +145,8 @@ class ServeApp:
                     batch.append(self._ops.get_nowait())
                 except asyncio.QueueEmpty:
                     break
+            self.m_queue_depth.set(self._ops.qsize())
+            self.m_batch_size.observe(len(batch))
             try:
                 results = self.engine.commit([op for op, _ in batch])
                 for (_, future), result in zip(batch, results):
@@ -149,6 +166,7 @@ class ServeApp:
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         try:
             self._ops.put_nowait((op, future))
+            self.m_queue_depth.set(self._ops.qsize())
         except asyncio.QueueFull:
             self.m_backpressure.inc()
             return Response.json(
@@ -204,6 +222,13 @@ class ServeApp:
             return "/readyz", Response.error(503, "not ready")
         if path == "/metrics":
             return "/metrics", Response.text(self.engine.session.metrics_prom())
+        if path == "/debug/prof":
+            phases = self.engine._phases
+            if phases is None:
+                return "/debug/prof", Response.error(
+                    404, "profiling is off (restart with --profile DIR)"
+                )
+            return "/debug/prof", Response.json(phases.snapshot())
         if path == "/v1/nodes" and method == "GET":
             return "/v1/nodes", Response.json({"nodes": self.engine.nodes()})
         if path == "/v1/slo" and method == "GET":
@@ -302,6 +327,11 @@ async def _amain(args) -> int:
     from repro.obs.analysis import load_slo_file
 
     specs = load_slo_file(args.slo) if args.slo else None
+    prof = None
+    if getattr(args, "profile", None):
+        from repro.obs.prof import ProfSession
+
+        prof = ProfSession(name="serve")
     engine = ServeEngine(
         nodes=args.nodes,
         seed=args.seed,
@@ -309,8 +339,11 @@ async def _amain(args) -> int:
         latency_us=args.latency_us,
         migrate=args.migrate,
         slo_specs=specs,
+        prof=prof,
     )
     app = ServeApp(engine, host=args.host, port=args.port)
+    if prof is not None:
+        prof.start()
     await app.start()
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
@@ -333,6 +366,10 @@ async def _amain(args) -> int:
         paths = engine.session.write(args.obs_out, engine.sim.now)
         for path in paths.values():
             print(f"wrote {path}", flush=True)
+    if prof is not None:
+        prof.stop()
+        out = prof.write(args.profile, engine.sim.now)
+        print(f"wrote profile to {out}", flush=True)
     print(json.dumps({"final": engine.stats()}), flush=True)
     return 0
 

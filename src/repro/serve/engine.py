@@ -52,7 +52,12 @@ class ServeEngine:
         latency_us: float = 20.0,
         migrate: bool = False,
         slo_specs: Iterable[SloSpec] | None = None,
+        prof=None,
     ) -> None:
+        """``prof`` is an optional :class:`repro.obs.prof.ProfSession`
+        (or bare :class:`~repro.obs.prof.PhaseProfiler`): its phase
+        books are wired through the cluster, and the engine brackets
+        its own commit path with ``serve.commit``."""
         self.session = ObsSession()
         self.sim = ClusterSimulation(
             node_count=nodes,
@@ -64,6 +69,10 @@ class ServeEngine:
             sanitize=False,
             obs=self.session,
         )
+        self.prof = prof
+        self._phases = getattr(prof, "phases", prof)
+        if prof is not None:
+            self.sim.attach_prof(self._phases)
         self.slo: SloEngine | None = None
         if slo_specs is not None:
             self.slo = SloEngine(self.session.bus, slo_specs)
@@ -105,6 +114,16 @@ class ServeEngine:
         reproduces the same batch boundaries — and therefore the same
         :meth:`state_digest` — as the live run.
         """
+        prof = self._phases
+        if prof:
+            prof.begin("serve.commit")
+            try:
+                return self._commit(ops)
+            finally:
+                prof.end("serve.commit")
+        return self._commit(ops)
+
+    def _commit(self, ops: list[dict]) -> list[dict]:
         if len(ops) == 1:
             return [self.apply(ops[0])]
         fired: list[dict] = []

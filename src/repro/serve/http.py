@@ -108,8 +108,14 @@ class Response:
 Handler = Callable[[Request], Awaitable[Response]]
 
 
-async def read_request(reader: asyncio.StreamReader) -> Request | None:
-    """Parse one request off the wire; ``None`` on a clean EOF."""
+async def read_request(
+    reader: asyncio.StreamReader, prof=None
+) -> Request | None:
+    """Parse one request off the wire; ``None`` on a clean EOF.
+
+    ``prof`` is an optional phase profiler; the ``serve.http-parse``
+    phase brackets the parse work only — never the wait for bytes.
+    """
     try:
         head = await reader.readuntil(b"\r\n\r\n")
     except asyncio.IncompleteReadError as exc:
@@ -118,6 +124,18 @@ async def read_request(reader: asyncio.StreamReader) -> Request | None:
         raise HttpProtocolError(400, "truncated request head") from None
     except asyncio.LimitOverrunError:
         raise HttpProtocolError(413, "request head too large") from None
+    if prof:
+        prof.begin("serve.http-parse")
+        try:
+            return await _parse_request(head, reader)
+        finally:
+            prof.end("serve.http-parse")
+    return await _parse_request(head, reader)
+
+
+async def _parse_request(
+    head: bytes, reader: asyncio.StreamReader
+) -> Request:
     if len(head) > MAX_HEADER_BYTES:
         raise HttpProtocolError(413, "request head too large")
     lines = head.decode("latin-1").split("\r\n")
@@ -197,6 +215,8 @@ class HttpServer:
         self.port = port
         self._server: asyncio.base_events.Server | None = None
         self._connections: set[asyncio.Task] = set()
+        #: Optional phase profiler (duck-typed, wired by the app layer).
+        self.prof = None
 
     async def start(self) -> None:
         self._server = await asyncio.start_server(
@@ -238,7 +258,7 @@ class HttpServer:
     ) -> None:
         while True:
             try:
-                request = await read_request(reader)
+                request = await read_request(reader, self.prof)
             except HttpProtocolError as exc:
                 await write_response(
                     writer,

@@ -95,6 +95,9 @@ class MessageBus:
         self.dropped: list[Envelope] = []
         #: Optional telemetry bus (:class:`repro.obs.events.ObsBus`).
         self.obs = None
+        #: Optional phase profiler (duck-typed, wired from above like
+        #: ``obs`` — the bus never imports it).
+        self.prof = None
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -114,6 +117,24 @@ class MessageBus:
         message is recorded in :attr:`dropped` and never delivered — the
         sender learns of the loss only through its own timeout.
         """
+        prof = self.prof
+        if prof:
+            prof.begin("bus.rpc")
+            try:
+                return self._send(src, dst, kind, payload, now, trace)
+            finally:
+                prof.end("bus.rpc")
+        return self._send(src, dst, kind, payload, now, trace)
+
+    def _send(
+        self,
+        src: str,
+        dst: str,
+        kind: str,
+        payload: object,
+        now: int,
+        trace: object = None,
+    ) -> Envelope:
         if now < 0:
             raise SimulationError(f"cannot send a message at negative time {now}")
         delay = self.latency_ticks
@@ -167,6 +188,9 @@ class MessageBus:
     def pop_due(self, now: int) -> list[Envelope]:
         """Remove and return every envelope with ``deliver_at <= now``,
         in deterministic ``(deliver_at, seq)`` order."""
+        prof = self.prof
+        if prof:
+            prof.begin("bus.rpc")
         due: list[Envelope] = []
         while self._heap and self._heap[0].deliver_at <= now:
             due.append(heapq.heappop(self._heap))
@@ -174,4 +198,6 @@ class MessageBus:
         if self.obs:
             for envelope in due:
                 self.obs.emit(self._rpc_event("receive", envelope, now))
+        if prof:
+            prof.end("bus.rpc")
         return due

@@ -1,0 +1,23 @@
+"""Fixture: profiler hooks without (or with the wrong kind of) guard."""
+
+
+class Kernel:
+    def __init__(self, prof):
+        self.prof = prof
+
+    def unguarded_begin(self, now):
+        self.prof.begin("kernel.dispatch")  # no guard at all
+
+    def identity_guarded(self, now):
+        if self.prof is not None:  # wired-but-disabled profiler is falsy
+            self.prof.end("kernel.dispatch")
+
+    def or_is_not_a_guard(self, now, forced):
+        if self.prof or forced:  # either side alone reaches the hook
+            self.prof.begin("kernel.dispatch")
+
+    def guard_clause_without_exit(self, now):
+        prof = self.prof
+        if not prof:
+            now += 1  # falls through: hook still reachable unprofiled
+        prof.end("kernel.dispatch")

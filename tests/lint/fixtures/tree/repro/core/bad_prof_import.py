@@ -1,0 +1,7 @@
+"""Fixture: the mechanism layer importing the profiler package.
+
+Hook sites hold a duck-typed ``prof`` slot; the profiler is injected
+from above (``Distributor.attach_prof``), never imported from below.
+"""
+
+from repro.obs.prof import PhaseProfiler  # noqa: F401

@@ -1,0 +1,51 @@
+"""Fixture: every accepted form of the truthy profiler guard (all
+negatives), including the impl-rename wrapper for early-return sites."""
+
+
+class Kernel:
+    def __init__(self, prof):
+        self.prof = prof
+
+    def paired_guards(self, policy):
+        prof = self.prof
+        if prof:
+            prof.begin("sched.pick")
+        decision = policy.pick()
+        if prof:
+            prof.end("sched.pick")
+        return decision
+
+    def wrapper_pattern(self, task):
+        prof = self.prof
+        if prof:
+            prof.begin("kernel.dispatch")
+            try:
+                return self._dispatch(task)
+            finally:
+                prof.end("kernel.dispatch")
+        return self._dispatch(task)
+
+    def conjunction_guard(self, observe):
+        prof = self.prof
+        if prof and observe:
+            prof.begin("grant.compute")
+        if prof and observe:
+            prof.end("grant.compute")
+
+    def guard_clause(self, now):
+        if not self.prof:
+            return
+        self.prof.begin("rm.recompute")
+        self.prof.end("rm.recompute")
+
+    def dotted_receiver(self, kernel):
+        prof = kernel.prof
+        if prof:
+            prof.begin("sched.notify")
+            prof.end("sched.notify")
+
+    def _dispatch(self, task):
+        return task
+
+    def unrelated_begin(self, transaction):
+        transaction.begin()  # not a profiler: receiver is not prof-named

@@ -1,0 +1,1 @@
+"""Fixture package: the profiler's sanctioned wall-clock exemption."""

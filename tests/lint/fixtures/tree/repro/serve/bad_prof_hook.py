@@ -1,0 +1,7 @@
+"""Fixture: the serving layer is in scope for the prof-hook guard too."""
+
+
+async def read_request(reader, prof):
+    head = await reader.readuntil(b"\r\n\r\n")
+    prof.begin("serve.http-parse")  # unguarded: unprofiled path pays a call
+    return head

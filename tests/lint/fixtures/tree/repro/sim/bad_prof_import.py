@@ -1,0 +1,3 @@
+"""Fixture: the simulation substrate importing the profiler package."""
+
+import repro.obs.prof  # noqa: F401

@@ -66,6 +66,16 @@ class TestLayering:
         assert rule_ids(violations) == ["layering"]
         assert "repro.serve" in violations[0].message
 
+    def test_core_importing_prof_is_flagged(self):
+        violations = lint("repro/core/bad_prof_import.py")
+        assert rule_ids(violations) == ["layering"]
+        assert "repro.obs.prof" in violations[0].message
+
+    def test_sim_importing_prof_is_flagged(self):
+        violations = lint("repro/sim/bad_prof_import.py")
+        assert rule_ids(violations) == ["layering"]
+        assert "repro.obs.prof" in violations[0].message
+
     def test_serve_may_import_down_and_read_the_wall_clock(self):
         """The serving boundary's wall-clock exemption is a property of
         its *position*, not a blanket waiver: the module imports
@@ -94,6 +104,12 @@ class TestWallClock:
 
     def test_wallclock_outside_sim_core_is_ignored(self):
         assert lint("outside_scope.py") == []
+
+    def test_prof_package_is_exempt(self):
+        """``repro.obs.prof`` is the sanctioned wall-clock funnel: it
+        measures host cost by design, and its timings land in a
+        separate never-byte-compared artifact."""
+        assert lint("repro/obs/prof/clean.py") == []
 
 
 class TestUnseededRandom:
@@ -146,6 +162,26 @@ class TestObsUnguardedEmit:
 
     def test_emit_outside_scope_is_ignored(self):
         assert lint("outside_scope.py") == []
+
+    def test_unguarded_and_identity_guarded_prof_hooks_are_flagged(self):
+        violations = lint("repro/core/bad_prof_hook.py")
+        assert rule_ids(violations) == ["obs-unguarded-emit"] * 4
+        identity = [v for v in violations if "identity check" in v.message]
+        assert len(identity) == 1
+        assert all("falsy" in v.message for v in identity)
+        assert all("profiler" in v.message for v in violations)
+
+    def test_every_accepted_prof_guard_form_passes(self):
+        """Paired guards, the impl-rename wrapper (hook inside the
+        guarded try/finally), conjunctions, guard clauses, and dotted
+        receivers all pass; a non-prof ``.begin()`` is ignored."""
+        assert lint("repro/core/good_prof_hook.py") == []
+
+    def test_serve_layer_prof_hooks_are_in_scope(self):
+        violations = lint("repro/serve/bad_prof_hook.py")
+        assert rule_ids(violations) == ["obs-unguarded-emit"]
+        assert "serve.http-parse" not in violations[0].message
+        assert "'prof'" in violations[0].message
 
 
 class TestWholeTree:
