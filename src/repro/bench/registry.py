@@ -20,7 +20,7 @@ from typing import Callable
 from repro.bench import workloads
 
 #: Suite names accepted by ``python -m repro bench --suite``.
-SUITES = ("core", "cluster", "obs", "serve")
+SUITES = ("core", "cluster", "obs", "serve", "fuzz")
 
 REGISTRY: dict[str, "Bench"] = {}
 
@@ -225,3 +225,28 @@ def _serve_engine_ops() -> object:
 )
 def _serve_profiled_settle() -> object:
     return workloads.run_serve_ops(ops=400, seed=5, nodes=4, profiled=True)
+
+
+# -- fuzz: the scenario-fuzzing pipeline ------------------------------------
+
+
+@register(
+    "fuzz.campaign",
+    "fuzz",
+    ops=10,
+    description="10 generated scenarios run under the strict sanitizer "
+    "(the fuzz driver's per-scenario cost, no shrinking)",
+)
+def _fuzz_campaign() -> object:
+    return workloads.run_fuzz_campaign(budget=10, seed=17)
+
+
+@register(
+    "fuzz.trace_round_trip",
+    "fuzz",
+    ops=20,
+    description="20 canonical-JSON serialize/parse round trips of one "
+    "generated spec (the corpus loader's per-file cost)",
+)
+def _fuzz_trace_round_trip() -> object:
+    return workloads.run_fuzz_replay(iterations=20, seed=17)

@@ -196,3 +196,32 @@ def run_serve_ops(
         engine.task(name)
         engine.remove(name)
     return engine
+
+
+def run_fuzz_campaign(budget: int = 10, seed: int = 17):
+    """A seeded fuzz campaign, no shrinking and no disk: generate
+    ``budget`` scenarios and run each under the strict sanitizer — the
+    generate→materialize→check loop whose wall-clock cost bounds how
+    many scenarios a CI time budget can explore."""
+    from repro.fuzz import generate, run_spec, scenario_seed
+
+    stats = []
+    for index in range(budget):
+        spec = generate(scenario_seed(seed, index))
+        stats.append(run_spec(spec))
+    assert all(r.ok for r in stats)
+    return stats
+
+
+def run_fuzz_replay(iterations: int = 20, seed: int = 17):
+    """Trace-format round trips: serialize one generated spec to
+    canonical JSON and parse it back ``iterations`` times (the corpus
+    replay loader's per-file cost, minus the run itself)."""
+    from repro.fuzz import ScenarioSpec, generate
+
+    spec = generate(seed)
+    text = None
+    for _ in range(iterations):
+        text = spec.to_json()
+        spec = ScenarioSpec.from_json(text)
+    return text

@@ -18,6 +18,9 @@
     python -m repro obs prof report prof/   # phase-cost report over a profile
     python -m repro obs prof diff a/ b/     # attribute a regression to phases
     python -m repro bench --suite core  # wall-clock benches + regression gate
+    python -m repro fuzz --budget 200 --seed 9      # seeded scenario fuzzing
+    python -m repro fuzz replay tests/fuzz/corpus   # replay a trace corpus
+    python -m repro fuzz sweep --append-bench BENCH.json  # threshold curve
     python -m repro serve --port 8642   # live HTTP control plane over a rack
     python -m repro loadgen --clients 100 --duration 5  # drive a live service
 
@@ -308,11 +311,7 @@ def cmd_cluster(args) -> int:
         print(cluster_report(sim), end="")
     if session is not None:
         _write_obs(session, args.obs_out, sim.now)
-    clean = all(
-        node.rd.sanitizer is None or node.rd.sanitizer.ok
-        for node in sim.nodes.values()
-    )
-    return 0 if clean else 1
+    return 0 if sim.all_sanitizers_ok else 1
 
 
 def cmd_run(args) -> int:
@@ -613,6 +612,67 @@ def cmd_validate(args) -> int:
     return 0 if report.ok and sanitizer_ok and not rd.trace.misses() else 1
 
 
+def cmd_fuzz(args) -> int:
+    """Run a fuzz campaign: generate, run, classify, shrink, persist."""
+    from repro.fuzz import run_campaign
+
+    stats = run_campaign(
+        budget=args.budget,
+        seed=args.seed,
+        cluster=args.cluster,
+        inject=args.inject,
+        out_dir=args.out,
+        shrink_failures=not args.no_shrink,
+        time_budget_s=args.time_budget,
+        progress=print,
+    )
+    print(stats.summary())
+    return 0 if stats.ok else 1
+
+
+def cmd_fuzz_replay(args) -> int:
+    """Replay trace files; exit 1 when any diverges from its expectation."""
+    from pathlib import Path
+
+    from repro.fuzz import replay_corpus, replay_trace
+
+    target = Path(args.path)
+    results = (
+        replay_corpus(target) if target.is_dir() else [replay_trace(target)]
+    )
+    if not results:
+        print(f"no *.trace.json under {target}")
+        return 2
+    for result in results:
+        print(result.summary())
+    diverged = [r for r in results if not r.matches]
+    print(f"\n{len(results)} trace(s), {len(diverged)} diverged")
+    return 1 if diverged else 0
+
+
+def cmd_fuzz_sweep(args) -> int:
+    """Bisect per-mix admission thresholds; optionally append to a bench
+    payload (the curve rides along under the ``fuzz_thresholds`` key)."""
+    import json
+
+    from repro.fuzz.sweep import append_to_bench, render_sweep, run_sweep
+
+    payload = run_sweep(args.seed, mixes=args.mixes, iterations=args.iterations)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render_sweep(payload))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    if args.append_bench:
+        append_to_bench(args.append_bench, payload)
+        print(f"appended fuzz_thresholds to {args.append_bench}")
+    return 0
+
+
 def cmd_serve(args) -> int:
     """Boot the live HTTP control plane (blocks until SIGTERM/SIGINT)."""
     from repro.serve import serve_main
@@ -779,10 +839,77 @@ def build_parser() -> argparse.ArgumentParser:
     pp_diff.add_argument(
         "--out", metavar="PATH", default=None, help="write the diff to PATH"
     )
+    p = command("fuzz", cmd_fuzz, "seeded scenario fuzzing / trace replay")
+    p.add_argument(
+        "--budget", type=int, default=25, help="number of scenarios to run"
+    )
+    p.add_argument(
+        "--cluster",
+        action="store_true",
+        help="fuzz lossy-bus cluster placements instead of single-node mixes",
+    )
+    p.add_argument(
+        "--inject",
+        choices=["edf-invert", "terminate-admitted"],
+        default=None,
+        help="arm a synthetic scheduler bug (pipeline self-test)",
+    )
+    p.add_argument(
+        "--out",
+        metavar="DIR",
+        default="fuzz-failures",
+        help="directory for shrunk reproducer trace files",
+    )
+    p.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop starting new scenarios after this much wall time",
+    )
+    p.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="write failing specs as-is instead of shrinking them",
+    )
+    fuzz_sub = p.add_subparsers(dest="fuzz_command", metavar="subcommand")
+    p_replay = fuzz_sub.add_parser(
+        "replay", parents=[common], help="replay .trace.json files"
+    )
+    p_replay.set_defaults(func=cmd_fuzz_replay)
+    p_replay.add_argument(
+        "path",
+        metavar="PATH",
+        help="one .trace.json, or a directory of them (a corpus)",
+    )
+    p_sweep = fuzz_sub.add_parser(
+        "sweep",
+        parents=[common],
+        help="bisect the empirical admission-threshold curve",
+    )
+    p_sweep.set_defaults(func=cmd_fuzz_sweep)
+    p_sweep.add_argument(
+        "--mixes", type=int, default=8, help="generated mixes to bisect"
+    )
+    p_sweep.add_argument(
+        "--iterations", type=int, default=10, help="bisection steps per mix"
+    )
+    p_sweep.add_argument(
+        "--json", action="store_true", help="emit the sweep payload on stdout"
+    )
+    p_sweep.add_argument(
+        "--out", metavar="PATH", default=None, help="write the payload to PATH"
+    )
+    p_sweep.add_argument(
+        "--append-bench",
+        metavar="PATH",
+        default=None,
+        help="attach the curve to an existing bench payload (BENCH.json)",
+    )
     p = command("bench", cmd_bench, "wall-clock bench suites + regression gate")
     p.add_argument(
         "--suite",
-        choices=["core", "cluster", "obs", "serve", "all"],
+        choices=["core", "cluster", "obs", "serve", "fuzz", "all"],
         default="core",
         help="bench suite to run",
     )

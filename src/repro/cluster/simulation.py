@@ -163,6 +163,15 @@ class ClusterSimulation:
     def now(self) -> int:
         return self._now
 
+    @property
+    def all_sanitizers_ok(self) -> bool:
+        """True when no node's sanitizer recorded a violation (a node
+        running without a sanitizer counts as clean)."""
+        return all(
+            node.rd.sanitizer is None or node.rd.sanitizer.ok
+            for node in self.nodes.values()
+        )
+
     def at(self, time: int, action: Callable[[], None], label: str = "") -> None:
         """Schedule an external cluster-level event."""
         if time < self._now:

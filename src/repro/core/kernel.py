@@ -100,6 +100,10 @@ class Kernel:
         #: lets the rollover scan (run several times per dispatch-loop
         #: iteration) return O(1) when no boundary is due.
         self._next_rollover = 0
+        #: Monotone count of period opens; the dispatch loop compares it
+        #: across the switch-cost window to spot a stale pick (a period
+        #: that opened while the switch was charged).
+        self._periods_opened = 0
         self._next_tid = self.IDLE_TID + 1
         self.idle = SimThread(self.IDLE_TID, "Idle", ThreadKind.IDLE)
         self.policy = None  # bound by the scheduler policy
@@ -261,6 +265,7 @@ class Kernel:
         thread.completed_at = -1
         thread.restart_pending = True
         thread.pending_compute = 0
+        self._periods_opened += 1
         thread.next_delivery = GrantDelivery(
             previous_completed=thread.last_completed,
             previous_used=thread.last_used,
@@ -341,11 +346,21 @@ class Kernel:
             self._switch_to(thread)
             # The switch cost may have carried the clock across period
             # boundaries; bring accounting current before setting the timer.
+            opened_before = self._periods_opened
             self._rollover_all()
             if not thread.is_idle and not thread.in_period:
                 # The boundary that just rolled over retired this
                 # thread's grant (a pending removal took effect inside
                 # the switch-cost window); there is nothing to dispatch.
+                if prof:
+                    prof.end("kernel.dispatch")
+                continue
+            if self._periods_opened != opened_before:
+                # A period opened inside the switch-cost window, so the
+                # pick is stale: the opened thread may now head the EDF
+                # queue — and dispatching a stale Idle pick would sleep
+                # through that thread's whole period.  Re-decide, exactly
+                # as the boundary's timer interrupt would have forced.
                 if prof:
                     prof.end("kernel.dispatch")
                 continue
@@ -882,6 +897,7 @@ class Kernel:
         thread.restart_pending = self._needs_restart(thread, old_grant, new_grant, changed)
         if thread.restart_pending:
             thread.pending_compute = 0
+        self._periods_opened += 1
         self._notify_period_open(thread)
 
     def _needs_restart(

@@ -1,0 +1,336 @@
+"""Seeded scenario generator: random task mixes around the admission edge.
+
+``generate(seed)`` composes one :class:`~repro.fuzz.spec.ScenarioSpec`
+from a single integer seed — deterministically: the same seed always
+yields the byte-identical spec (a property test holds us to it).  The
+mixes cover the vocabulary the distributor must survive:
+
+* periodic tasks with 1–4 QOS levels (follower / greedy / jittery /
+  clock-drifting behaviors),
+* deliberate **over-scheduling pressure**: the summed minimum rates are
+  aimed at 0.6×–1.25× the schedulable capacity, so late arrivals land
+  on both sides of the admission boundary and denials are routine,
+* **bursty arrivals** (several tasks admitted at the same tick) and
+  **channel-surfing churn** (tasks that depart mid-run with a successor
+  arriving moments later),
+* **quiescent spans** — tasks that sleep and wake, including tasks
+  admitted already-quiescent,
+* a Sporadic Server fed by jittered sporadic **sources** (inter-arrival
+  jitter is drawn in whole ticks; fractional ticks do not exist),
+* in cluster mode, **lossy-bus placements**: a node rack behind the
+  broker with drawn latency/jitter/drop parameters.
+
+All randomness flows through :func:`repro.sim.rng.derive`, the
+library's one seed-derivation function.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import units
+from repro.fuzz.spec import ClusterSpec, LevelSpec, ScenarioSpec, SporadicSpec, TaskSpec
+from repro.sim.rng import derive
+
+#: The paper's schedulable capacity (1 − 4% interrupt reserve); the
+#: generator aims summed minimum rates at a band around this.
+CAPACITY = 0.96
+
+#: Over-scheduling band: summed minimum rates target this × capacity.
+PRESSURE_LOW = 0.60
+PRESSURE_HIGH = 1.25
+
+#: Periods drawn for generated tasks, in milliseconds.
+PERIOD_CHOICES_MS = (5, 10, 20, 30, 40, 50, 100)
+
+#: Core-run horizons, in milliseconds (kept modest: a fuzz campaign
+#: runs hundreds of these).
+HORIZON_CHOICES_MS = (150, 250, 400)
+
+#: Cluster-run horizons, in milliseconds.
+CLUSTER_HORIZON_CHOICES_MS = (300, 500)
+
+#: The smallest per-task minimum rate worth generating.
+MIN_RATE = 0.01
+
+#: The largest single-task minimum rate (leaves room for a mix).
+MAX_TASK_RATE = 0.45
+
+
+def _weighted_choice(rng: random.Random, pairs: list[tuple[str, float]]) -> str:
+    """One draw from explicit (value, weight) pairs, order-stable."""
+    total = sum(weight for _, weight in pairs)
+    point = rng.uniform(0.0, total)
+    acc = 0.0
+    for value, weight in pairs:
+        acc += weight
+        if point <= acc:
+            return value
+    return pairs[-1][0]
+
+
+def _levels(rng: random.Random, min_rate: float) -> tuple[LevelSpec, ...]:
+    """1–4 QOS levels with strictly decreasing rates, bottoming out at
+    ``min_rate`` (the admission-relevant level).  CPU requirements are
+    floored at one tick and collapsed duplicates are dropped, so the
+    resulting list always satisfies ResourceList's strictness rule."""
+    period_ticks = units.ms_to_ticks(rng.choice(PERIOD_CHOICES_MS))
+    level_count = rng.randint(1, 4)
+    top = min(0.9, min_rate * rng.uniform(1.0, 3.0))
+    rates = sorted(
+        [min_rate] + [rng.uniform(min_rate, top) for _ in range(level_count - 1)],
+        reverse=True,
+    )
+    levels: list[LevelSpec] = []
+    for rate in rates:
+        cpu_ticks = max(1, round(period_ticks * rate))
+        if levels and cpu_ticks >= levels[-1].cpu_ticks:
+            continue  # rounding collapsed two levels; keep rates strict
+        levels.append(LevelSpec(period_ticks=period_ticks, cpu_ticks=cpu_ticks))
+    # The bottom level *is* the admission commitment: floor it so the
+    # realized minimum rate never rounds above the budgeted share.
+    bottom_cpu = max(1, int(period_ticks * min_rate))
+    if bottom_cpu < levels[-1].cpu_ticks:
+        levels.append(LevelSpec(period_ticks=period_ticks, cpu_ticks=bottom_cpu))
+    return tuple(levels)
+
+
+def _behavior(rng: random.Random) -> str:
+    return _weighted_choice(
+        rng,
+        [("follower", 0.5), ("greedy", 0.2), ("jittery", 0.2), ("drifting", 0.1)],
+    )
+
+
+def _quiescent_spans(
+    rng: random.Random,
+    arrival_ticks: int,
+    end_ticks: int,
+    period_ticks: int,
+    start_quiescent: bool,
+) -> tuple[tuple[int, int], ...]:
+    """0–2 non-overlapping sleep/wake spans inside [arrival, end).
+
+    A start-quiescent task's first span begins *at* arrival (the runner
+    then only schedules the wake).  Spans are at least two periods long
+    so the sleep actually voids whole periods."""
+    spans: list[tuple[int, int]] = []
+    cursor = arrival_ticks
+    if start_quiescent:
+        wake = min(end_ticks - 1, arrival_ticks + rng.randint(2, 6) * period_ticks)
+        if wake <= arrival_ticks:
+            return ()
+        spans.append((arrival_ticks, wake))
+        cursor = wake + period_ticks
+    extra = rng.randint(0, 1) if spans else rng.randint(1, 2)
+    for _ in range(extra):
+        sleep = cursor + rng.randint(1, 4) * period_ticks
+        wake = sleep + rng.randint(2, 5) * period_ticks
+        if wake >= end_ticks:
+            break
+        spans.append((sleep, wake))
+        cursor = wake + period_ticks
+    return tuple(spans)
+
+
+def _periodic_tasks(
+    rng: random.Random, horizon_ticks: int
+) -> tuple[list[TaskSpec], float]:
+    """The periodic population: shares of an over-scheduling target."""
+    count = rng.randint(2, 6)
+    target = CAPACITY * rng.uniform(PRESSURE_LOW, PRESSURE_HIGH)
+    weights = [rng.uniform(0.5, 1.5) for _ in range(count)]
+    scale = target / sum(weights)
+    tasks: list[TaskSpec] = []
+    # Bursty arrivals: some mixes admit several tasks on the same tick.
+    burst_at = (
+        rng.randint(0, horizon_ticks // 3) if rng.random() < 0.35 else None
+    )
+    for i in range(count):
+        min_rate = min(MAX_TASK_RATE, max(MIN_RATE, weights[i] * scale))
+        levels = _levels(rng, min_rate)
+        period_ticks = levels[0].period_ticks
+        behavior = _behavior(rng)
+        if burst_at is not None and rng.random() < 0.5:
+            arrival = burst_at
+        elif i == 0 or rng.random() < 0.3:
+            arrival = 0
+        else:
+            arrival = rng.randint(0, horizon_ticks // 2)
+        departure: int | None = None
+        # Channel-surfing churn: the task hangs up mid-run and a
+        # successor with its own mix arrives right behind it.
+        churn = i >= 2 and rng.random() < 0.3
+        if churn:
+            earliest = arrival + 3 * period_ticks
+            if earliest < horizon_ticks - period_ticks:
+                departure = rng.randint(earliest, horizon_ticks - period_ticks)
+        start_quiescent = behavior != "greedy" and rng.random() < 0.1
+        spans: tuple[tuple[int, int], ...] = ()
+        if behavior in ("follower", "jittery") and (
+            start_quiescent or rng.random() < 0.2
+        ):
+            spans = _quiescent_spans(
+                rng,
+                arrival,
+                departure if departure is not None else horizon_ticks,
+                period_ticks,
+                start_quiescent,
+            )
+        if start_quiescent and not spans:
+            start_quiescent = False  # no room to wake before the end
+        drift = (
+            rng.randint(units.us_to_ticks(10), units.us_to_ticks(200))
+            if behavior == "drifting"
+            else 0
+        )
+        tasks.append(
+            TaskSpec(
+                name=f"fz{i:02d}",
+                behavior=behavior,
+                levels=levels,
+                arrival_ticks=arrival,
+                departure_ticks=departure,
+                quiescent_spans=spans,
+                start_quiescent=start_quiescent,
+                drift_ticks_per_period=drift,
+            )
+        )
+        if departure is not None and rng.random() < 0.6:
+            succ_rate = min(MAX_TASK_RATE, max(MIN_RATE, min_rate * rng.uniform(0.5, 1.2)))
+            succ_levels = _levels(rng, succ_rate)
+            succ_arrival = departure + rng.randint(1, 2 * period_ticks)
+            if succ_arrival < horizon_ticks - succ_levels[0].period_ticks:
+                tasks.append(
+                    TaskSpec(
+                        name=f"fz{i:02d}-next",
+                        behavior=_behavior(rng),
+                        levels=succ_levels,
+                        arrival_ticks=succ_arrival,
+                    )
+                )
+    return tasks, target
+
+
+def _sporadic_sources(rng: random.Random, horizon_ticks: int) -> list[TaskSpec]:
+    """0–2 jittered sporadic work sources for the Sporadic Server."""
+    sources: list[TaskSpec] = []
+    for i in range(rng.randint(1, 2)):
+        interarrival_ticks = units.ms_to_ticks(rng.choice((10, 20, 40, 60)))
+        # The satellite fix lives here: jitter is drawn as *whole ticks*
+        # (an int bound), never as fractional milliseconds.
+        jitter_ticks = units.us_to_ticks(rng.choice((0, 100, 500, 1000)))
+        burst_ticks = units.us_to_ticks(rng.choice((100, 200, 500)))
+        sources.append(
+            TaskSpec(
+                name=f"sp{i:02d}",
+                behavior="follower",
+                levels=(),
+                arrival_ticks=rng.randint(0, horizon_ticks // 4),
+                sporadic=SporadicSpec(
+                    interarrival_ticks=interarrival_ticks,
+                    jitter_ticks=jitter_ticks,
+                    burst_ticks=burst_ticks,
+                ),
+            )
+        )
+    return sources
+
+
+def _cluster(rng: random.Random) -> ClusterSpec:
+    """Lossy-bus placement parameters for a small rack."""
+    latency_us = rng.choice((50, 100, 500))
+    return ClusterSpec(
+        nodes=rng.randint(2, 4),
+        policy=rng.choice(("first-fit", "best-fit", "aimd")),
+        latency_ticks=units.us_to_ticks(latency_us),
+        jitter_ticks=units.us_to_ticks(latency_us) // 2,
+        drop_rate=rng.choice((0.0, 0.02, 0.05, 0.10)),
+        migrate=rng.random() < 0.7,
+    )
+
+
+def generate(seed: int, cluster: bool = False) -> ScenarioSpec:
+    """One random scenario, fully determined by ``seed``.
+
+    Core mode (the default) emits a single-node mix with the full
+    vocabulary (quiescence, sporadic sources, drift).  ``cluster=True``
+    emits a rack placement instead: the same periodic mixes submitted
+    through the broker over a lossy bus — per-node scripting (sleep /
+    wake / drift) stays a core-mode concern, placement faults are the
+    cluster-mode concern.
+    """
+    rng = random.Random(derive(seed, "fuzz.generate" + (".cluster" if cluster else "")))
+    if cluster:
+        spec = _generate_cluster(seed, rng)
+    else:
+        spec = _generate_core(seed, rng)
+    return spec.validate()
+
+
+def _generate_core(seed: int, rng: random.Random) -> ScenarioSpec:
+    horizon_ticks = units.ms_to_ticks(rng.choice(HORIZON_CHOICES_MS))
+    machine = _weighted_choice(
+        rng, [("quiet", 0.5), ("ideal", 0.3), ("calibrated", 0.2)]
+    )
+    tasks, target = _periodic_tasks(rng, horizon_ticks)
+    server = rng.random() < 0.5
+    if server:
+        tasks.extend(_sporadic_sources(rng, horizon_ticks))
+    return ScenarioSpec(
+        seed=seed,
+        horizon_ticks=horizon_ticks,
+        machine=machine,
+        tasks=tuple(tasks),
+        server=server,
+        notes={"mode": "core", "target_util": round(target, 4)},
+    )
+
+
+def _generate_cluster(seed: int, rng: random.Random) -> ScenarioSpec:
+    horizon_ticks = units.ms_to_ticks(rng.choice(CLUSTER_HORIZON_CHOICES_MS))
+    cluster = _cluster(rng)
+    # Aim the pressure band at the *rack* capacity so placement, denial
+    # fail-over, and (when enabled) migration all get exercised.
+    target = cluster.nodes * CAPACITY * rng.uniform(PRESSURE_LOW, PRESSURE_HIGH)
+    count = rng.randint(3, 4 * cluster.nodes)
+    scale = target / count
+    tasks: list[TaskSpec] = []
+    for i in range(count):
+        min_rate = min(
+            MAX_TASK_RATE, max(MIN_RATE, scale * rng.uniform(0.5, 1.5))
+        )
+        levels = _levels(rng, min_rate)
+        arrival = rng.randint(0, horizon_ticks // 3)
+        departure: int | None = None
+        if rng.random() < 0.25:
+            earliest = arrival + 3 * levels[0].period_ticks
+            if earliest < horizon_ticks - levels[0].period_ticks:
+                departure = rng.randint(
+                    earliest, horizon_ticks - levels[0].period_ticks
+                )
+        tasks.append(
+            TaskSpec(
+                name=f"fz{i:02d}",
+                behavior=_weighted_choice(
+                    rng, [("follower", 0.7), ("greedy", 0.3)]
+                ),
+                levels=levels,
+                arrival_ticks=arrival,
+                departure_ticks=departure,
+            )
+        )
+    return ScenarioSpec(
+        seed=seed,
+        horizon_ticks=horizon_ticks,
+        machine="quiet",
+        tasks=tuple(tasks),
+        cluster=cluster,
+        notes={"mode": "cluster", "target_util": round(target, 4)},
+    )
+
+
+def scenario_seed(campaign_seed: int, index: int, cluster: bool = False) -> int:
+    """The per-scenario sub-seed for campaign scenario ``index``."""
+    mode = "cluster" if cluster else "core"
+    return derive(campaign_seed, f"fuzz.scenario.{mode}:{index}")

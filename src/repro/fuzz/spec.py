@@ -1,0 +1,400 @@
+"""ScenarioSpec: the fuzzer's portable scenario description.
+
+A spec is a *data-only* recipe for a runnable scenario: every task (its
+QOS levels, behavior, arrival, departure, quiescent spans), the machine
+model, the horizon, and — for cluster specs — the bus and placement
+parameters.  All times are integer 27 MHz ticks.  Because a spec
+contains no code, it serializes losslessly to JSON, which is what makes
+the whole pipeline work: the generator emits specs, the shrinker edits
+them, reproducers and the regression corpus are specs on disk, and the
+runner turns any of them back into a live system.
+
+The on-disk **trace format** (``*.trace.json``) wraps one spec with the
+outcome it is expected to produce and the bug injection (if any) that
+produced it, under a ``schema_version`` — like ``events.jsonl``, a
+future version is rejected loudly rather than misread silently.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro import units
+from repro.errors import SimulationError
+
+#: Bump when the spec/trace wire format changes incompatibly.
+TRACE_SCHEMA_VERSION = 1
+
+#: The ``kind`` tag stamped on every trace file.
+TRACE_KIND = "repro.fuzz.trace"
+
+#: Task behaviors the runner knows how to instantiate.
+BEHAVIORS = ("follower", "greedy", "jittery", "drifting")
+
+#: Machine models the runner knows how to build (see scenarios._machine).
+MACHINES = ("ideal", "quiet", "calibrated")
+
+
+class SpecError(SimulationError):
+    """A ScenarioSpec (or a trace file wrapping one) is malformed."""
+
+
+@dataclass(frozen=True)
+class LevelSpec:
+    """One QOS level: a period and a CPU requirement, both in ticks."""
+
+    period_ticks: int
+    cpu_ticks: int
+
+    @property
+    def rate(self) -> float:
+        return self.cpu_ticks / self.period_ticks
+
+    def to_dict(self) -> dict:
+        return {"period_ticks": self.period_ticks, "cpu_ticks": self.cpu_ticks}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LevelSpec":
+        return cls(
+            period_ticks=int(data["period_ticks"]), cpu_ticks=int(data["cpu_ticks"])
+        )
+
+
+@dataclass(frozen=True)
+class SporadicSpec:
+    """A sporadic work source: jittered arrivals into the Sporadic Server.
+
+    ``jitter_ticks`` is an integer bound: each inter-arrival gap is
+    ``interarrival_ticks`` plus a uniform integer draw from
+    ``[-jitter_ticks, +jitter_ticks]`` (the generator rounds every
+    jitter to whole ticks — fractional ticks do not exist).
+    """
+
+    interarrival_ticks: int
+    jitter_ticks: int
+    burst_ticks: int
+
+    def to_dict(self) -> dict:
+        return {
+            "interarrival_ticks": self.interarrival_ticks,
+            "jitter_ticks": self.jitter_ticks,
+            "burst_ticks": self.burst_ticks,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SporadicSpec":
+        return cls(
+            interarrival_ticks=int(data["interarrival_ticks"]),
+            jitter_ticks=int(data["jitter_ticks"]),
+            burst_ticks=int(data["burst_ticks"]),
+        )
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One task in the scenario.
+
+    A periodic task is admitted at ``arrival_ticks`` (denial under
+    over-scheduling pressure is an expected outcome, not a failure),
+    optionally departs at ``departure_ticks``, and may cycle through
+    quiescent spans — ``(sleep_ticks, wake_ticks)`` pairs in absolute
+    time.  A task with a :class:`SporadicSpec` is instead a sporadic
+    *source*: it has no admission of its own and feeds bursts of work
+    to the scenario's Sporadic Server at jittered arrival times.
+    """
+
+    name: str
+    behavior: str
+    levels: tuple[LevelSpec, ...]
+    arrival_ticks: int
+    departure_ticks: int | None = None
+    quiescent_spans: tuple[tuple[int, int], ...] = ()
+    start_quiescent: bool = False
+    #: For ``drifting`` behavior: idle cycles inserted per period (§5.4
+    #: clock synchronization — the task phase-locks to a skewed clock).
+    drift_ticks_per_period: int = 0
+    sporadic: SporadicSpec | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "behavior": self.behavior,
+            "levels": [level.to_dict() for level in self.levels],
+            "arrival_ticks": self.arrival_ticks,
+            "departure_ticks": self.departure_ticks,
+            "quiescent_spans": [list(span) for span in self.quiescent_spans],
+            "start_quiescent": self.start_quiescent,
+            "drift_ticks_per_period": self.drift_ticks_per_period,
+            "sporadic": self.sporadic.to_dict() if self.sporadic else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TaskSpec":
+        departure = data.get("departure_ticks")
+        sporadic = data.get("sporadic")
+        return cls(
+            name=str(data["name"]),
+            behavior=str(data["behavior"]),
+            levels=tuple(LevelSpec.from_dict(lv) for lv in data["levels"]),
+            arrival_ticks=int(data["arrival_ticks"]),
+            departure_ticks=None if departure is None else int(departure),
+            quiescent_spans=tuple(
+                (int(span[0]), int(span[1]))
+                for span in data.get("quiescent_spans", ())
+            ),
+            start_quiescent=bool(data.get("start_quiescent", False)),
+            drift_ticks_per_period=int(data.get("drift_ticks_per_period", 0)),
+            sporadic=None if sporadic is None else SporadicSpec.from_dict(sporadic),
+        )
+
+    @property
+    def min_rate(self) -> float:
+        """The admission-relevant rate (the lowest level's)."""
+        return self.levels[-1].rate if self.levels else 0.0
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Cluster placement parameters: nodes behind a broker on a lossy bus."""
+
+    nodes: int
+    policy: str = "aimd"
+    latency_ticks: int = units.us_to_ticks(100)
+    jitter_ticks: int = 0
+    drop_rate: float = 0.0
+    migrate: bool = True
+
+    def to_dict(self) -> dict:
+        return {
+            "nodes": self.nodes,
+            "policy": self.policy,
+            "latency_ticks": self.latency_ticks,
+            "jitter_ticks": self.jitter_ticks,
+            "drop_rate": self.drop_rate,
+            "migrate": self.migrate,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ClusterSpec":
+        return cls(
+            nodes=int(data["nodes"]),
+            policy=str(data.get("policy", "aimd")),
+            latency_ticks=int(data.get("latency_ticks", units.us_to_ticks(100))),
+            jitter_ticks=int(data.get("jitter_ticks", 0)),
+            drop_rate=float(data.get("drop_rate", 0.0)),
+            migrate=bool(data.get("migrate", True)),
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete, runnable, JSON-serializable scenario description."""
+
+    seed: int
+    horizon_ticks: int
+    machine: str
+    tasks: tuple[TaskSpec, ...]
+    #: Admit a Sporadic Server (required when any task is a sporadic source).
+    server: bool = False
+    cluster: ClusterSpec | None = None
+    #: Free-form provenance (generator profile, campaign index); carried
+    #: through serialization but never consulted by the runner.
+    notes: dict = field(default_factory=dict)
+
+    def validate(self) -> "ScenarioSpec":
+        """Structural checks; returns self so calls chain."""
+        if self.horizon_ticks <= 0:
+            raise SpecError(f"horizon must be positive, got {self.horizon_ticks}")
+        if self.machine not in MACHINES:
+            raise SpecError(
+                f"unknown machine {self.machine!r}; pick one of {MACHINES}"
+            )
+        names = [task.name for task in self.tasks]
+        if len(set(names)) != len(names):
+            raise SpecError(f"duplicate task names in spec: {sorted(names)}")
+        for task in self.tasks:
+            if task.behavior not in BEHAVIORS:
+                raise SpecError(
+                    f"task {task.name!r}: unknown behavior {task.behavior!r}; "
+                    f"pick one of {BEHAVIORS}"
+                )
+            if task.sporadic is None and not task.levels:
+                raise SpecError(f"task {task.name!r} has no QOS levels")
+            if task.arrival_ticks < 0:
+                raise SpecError(
+                    f"task {task.name!r}: arrival {task.arrival_ticks} is negative"
+                )
+            if (
+                task.departure_ticks is not None
+                and task.departure_ticks <= task.arrival_ticks
+            ):
+                raise SpecError(
+                    f"task {task.name!r}: departure {task.departure_ticks} "
+                    f"is not after arrival {task.arrival_ticks}"
+                )
+            for sleep_ticks, wake_ticks in task.quiescent_spans:
+                if not task.arrival_ticks <= sleep_ticks < wake_ticks:
+                    raise SpecError(
+                        f"task {task.name!r}: quiescent span "
+                        f"({sleep_ticks}, {wake_ticks}) is not ordered after "
+                        f"arrival {task.arrival_ticks}"
+                    )
+            if task.sporadic is not None:
+                if not self.server:
+                    raise SpecError(
+                        f"task {task.name!r} is a sporadic source but the "
+                        f"spec admits no Sporadic Server"
+                    )
+                if task.sporadic.interarrival_ticks <= 0:
+                    raise SpecError(
+                        f"task {task.name!r}: inter-arrival must be positive"
+                    )
+                if task.sporadic.jitter_ticks < 0:
+                    raise SpecError(f"task {task.name!r}: jitter must be >= 0")
+        if self.cluster is not None:
+            if not 1 <= self.cluster.nodes <= 99:
+                raise SpecError(
+                    f"cluster nodes must be in [1, 99], got {self.cluster.nodes}"
+                )
+            if not 0.0 <= self.cluster.drop_rate < 1.0:
+                raise SpecError(
+                    f"cluster drop_rate must be in [0, 1), got "
+                    f"{self.cluster.drop_rate}"
+                )
+        return self
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": TRACE_SCHEMA_VERSION,
+            "seed": self.seed,
+            "horizon_ticks": self.horizon_ticks,
+            "machine": self.machine,
+            "tasks": [task.to_dict() for task in self.tasks],
+            "server": self.server,
+            "cluster": self.cluster.to_dict() if self.cluster else None,
+            "notes": dict(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        version = data.get("schema_version", TRACE_SCHEMA_VERSION)
+        if version != TRACE_SCHEMA_VERSION:
+            raise SpecError(
+                f"spec schema_version {version!r} is not supported (this "
+                f"reader understands {TRACE_SCHEMA_VERSION}); the spec was "
+                f"written by a newer repro"
+            )
+        cluster = data.get("cluster")
+        return cls(
+            seed=int(data["seed"]),
+            horizon_ticks=int(data["horizon_ticks"]),
+            machine=str(data["machine"]),
+            tasks=tuple(TaskSpec.from_dict(t) for t in data["tasks"]),
+            server=bool(data.get("server", False)),
+            cluster=None if cluster is None else ClusterSpec.from_dict(cluster),
+            notes=dict(data.get("notes", {})),
+        )
+
+    # -- stable JSON -----------------------------------------------------
+
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, no whitespace variance — the
+        byte-identity target of the determinism property tests."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"spec is not valid JSON: {exc}") from None
+        if not isinstance(data, dict):
+            raise SpecError("spec JSON must be an object")
+        return cls.from_dict(data)
+
+    @property
+    def min_rate_sum(self) -> float:
+        """Sum of every periodic task's minimum rate — the quantity
+        admission control tests against the schedulable capacity."""
+        return sum(t.min_rate for t in self.tasks if t.sporadic is None)
+
+
+# -- the trace file ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TraceFile:
+    """One ``*.trace.json``: a spec plus its expected outcome.
+
+    ``expect`` is ``"ok"`` for corpus regressions that must stay clean,
+    or a failure kind (``"invariant:edf-order"``, ``"crash:..."``) for
+    shrunk reproducers.  ``inject`` names the synthetic bug (if any)
+    that must be re-applied for the failure to reproduce.
+    """
+
+    spec: ScenarioSpec
+    expect: str = "ok"
+    inject: str | None = None
+    meta: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": TRACE_SCHEMA_VERSION,
+            "kind": TRACE_KIND,
+            "spec": self.spec.to_dict(),
+            "expect": self.expect,
+            "inject": self.inject,
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict, *, where: str = "trace") -> "TraceFile":
+        version = data.get("schema_version")
+        if version != TRACE_SCHEMA_VERSION:
+            raise SpecError(
+                f"{where}: trace schema_version {version!r} is not supported "
+                f"(this reader understands {TRACE_SCHEMA_VERSION}); the file "
+                f"was written by a newer repro — replay it with a matching "
+                f"version"
+            )
+        kind = data.get("kind")
+        if kind != TRACE_KIND:
+            raise SpecError(
+                f"{where}: kind {kind!r} is not a fuzz trace "
+                f"(expected {TRACE_KIND!r})"
+            )
+        spec = data.get("spec")
+        if not isinstance(spec, dict):
+            raise SpecError(f"{where}: trace has no spec object")
+        inject = data.get("inject")
+        return cls(
+            spec=ScenarioSpec.from_dict(spec),
+            expect=str(data.get("expect", "ok")),
+            inject=None if inject is None else str(inject),
+            meta=dict(data.get("meta", {})),
+        )
+
+
+def write_trace(path: str | Path, trace: TraceFile) -> Path:
+    """Write a trace file (pretty-printed: reproducers get read by humans)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    rendered = json.dumps(trace.to_dict(), sort_keys=True, indent=2) + "\n"
+    target.write_text(rendered, encoding="utf-8")
+    return target
+
+
+def load_trace(path: str | Path) -> TraceFile:
+    """Load and schema-check one ``*.trace.json``."""
+    target = Path(path)
+    if not target.is_file():
+        raise SpecError(f"no trace file at {target}")
+    try:
+        data = json.loads(target.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise SpecError(f"{target}: not valid JSON: {exc}") from None
+    if not isinstance(data, dict):
+        raise SpecError(f"{target}: expected a JSON object")
+    return TraceFile.from_dict(data, where=str(target))

@@ -128,7 +128,11 @@ class UnseededRandomRule(Rule):
         "all randomness in sim/core flows through sim.rng's seeded "
         "streams (reproducibility from the seed)"
     )
-    scope_prefixes = ("repro.core", "repro.sim")
+    #: ``repro.fuzz`` is in scope because its whole contract is
+    #: replayability: a generated scenario must be a pure function of
+    #: its seed, so every draw goes through ``random.Random(derive(...))``
+    #: — explicitly seeded constructions the rule permits.
+    scope_prefixes = ("repro.core", "repro.sim", "repro.fuzz")
 
     def check(self, module: ModuleInfo) -> Iterator[LintViolation]:
         if module.module == "repro.sim.rng":

@@ -65,6 +65,12 @@ class LayeringRule(Rule):
     row therefore lists ``repro.serve`` as forbidden, including
     ``repro.cluster`` and ``repro.metrics``, which have no other
     upward constraints.
+
+    ``repro.fuzz`` is a test harness above everything it exercises
+    (core, sim, cluster, metrics): the simulated layers must never
+    import their own fuzzer, or a generator tweak could change
+    kernel behavior.  Like ``repro.bench`` it may import anything
+    below it, but not ``repro.serve`` — fuzz campaigns are offline.
     """
 
     id = "layering"
@@ -86,6 +92,7 @@ class LayeringRule(Rule):
                 "repro.cluster",
                 "repro.bench",
                 "repro.serve",
+                "repro.fuzz",
                 "repro.obs.prof",
             ),
         ),
@@ -99,6 +106,7 @@ class LayeringRule(Rule):
                 "repro.cluster",
                 "repro.bench",
                 "repro.serve",
+                "repro.fuzz",
                 "repro.obs.prof",
             ),
         ),
@@ -116,6 +124,7 @@ class LayeringRule(Rule):
                 "repro.baselines",
                 "repro.bench",
                 "repro.serve",
+                "repro.fuzz",
             ),
         ),
         (
@@ -133,10 +142,12 @@ class LayeringRule(Rule):
                 "repro.cluster",
                 "repro.bench",
                 "repro.serve",
+                "repro.fuzz",
             ),
         ),
-        ("repro.cluster", ("repro.serve",)),
-        ("repro.metrics", ("repro.serve",)),
+        ("repro.cluster", ("repro.serve", "repro.fuzz")),
+        ("repro.metrics", ("repro.serve", "repro.fuzz")),
+        ("repro.fuzz", ("repro.serve",)),
     )
 
     def check(self, module: ModuleInfo) -> Iterator[LintViolation]:

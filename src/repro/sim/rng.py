@@ -12,6 +12,19 @@ import hashlib
 import random
 
 
+def derive(seed: int, name: str) -> int:
+    """A stable 64-bit sub-seed for ``name`` under the run seed.
+
+    This is the one seed-derivation function in the library: the stream
+    registry below and higher layers that need whole child *runs* (the
+    scenario fuzzer derives one independent seed per generated scenario)
+    all hash through here, so a sub-seed can never collide with — or
+    drift from — a stream seed by construction.
+    """
+    digest = hashlib.sha256(f"{seed}:{name}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
 class RngRegistry:
     """Factory of independent, deterministic ``random.Random`` streams."""
 
@@ -26,6 +39,5 @@ class RngRegistry:
     def stream(self, name: str) -> random.Random:
         """Return the stream for ``name``, creating it on first use."""
         if name not in self._streams:
-            digest = hashlib.sha256(f"{self._seed}:{name}".encode()).digest()
-            self._streams[name] = random.Random(int.from_bytes(digest[:8], "big"))
+            self._streams[name] = random.Random(derive(self._seed, name))
         return self._streams[name]

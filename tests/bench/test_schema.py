@@ -95,7 +95,13 @@ class TestCommittedBaseline:
         from repro.bench import REGISTRY
 
         payload = load_baseline(str(REPO_ROOT / "BENCH.json"))
-        assert sorted(payload["suites"]) == ["cluster", "core", "obs", "serve"]
+        assert sorted(payload["suites"]) == [
+            "cluster",
+            "core",
+            "fuzz",
+            "obs",
+            "serve",
+        ]
         assert set(payload["benches"]) == set(REGISTRY)
 
 

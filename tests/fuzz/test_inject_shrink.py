@@ -1,0 +1,72 @@
+"""Injection + shrinking: the pipeline's self-test machinery.
+
+Armed synthetic scheduler bugs must be caught by the sanitizer oracle,
+and the shrinker must reduce a failing spec while preserving the exact
+failure outcome."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.fuzz import generate, run_spec, shrink
+from repro.fuzz.inject import INJECTIONS, injector
+
+
+class TestInjection:
+    def test_unknown_injection_is_loud(self):
+        with pytest.raises(SimulationError, match="unknown injection"):
+            injector("schrodinger")
+
+    def test_none_is_a_no_op(self):
+        assert injector(None) is None
+
+    def test_edf_invert_is_caught(self):
+        caught = 0
+        for seed in range(6):
+            result = run_spec(generate(seed), inject="edf-invert")
+            if result.outcome == "invariant:edf-order":
+                caught += 1
+        assert caught >= 4
+
+    def test_terminate_admitted_is_caught(self):
+        caught = 0
+        for seed in range(6):
+            result = run_spec(generate(seed), inject="terminate-admitted")
+            if result.outcome.startswith("invariant:"):
+                caught += 1
+        assert caught >= 4
+
+    def test_registry_names_are_stable(self):
+        # CI and the CLI --inject choices key off these names.
+        assert set(INJECTIONS) == {"edf-invert", "terminate-admitted"}
+
+
+class TestShrink:
+    def failing_case(self):
+        for seed in range(10):
+            spec = generate(seed)
+            result = run_spec(spec, inject="edf-invert")
+            if result.outcome == "invariant:edf-order" and len(spec.tasks) >= 3:
+                return spec, result.outcome
+        pytest.fail("no seed in range produced a multi-task EDF failure")
+
+    def test_shrunk_spec_preserves_the_outcome(self):
+        spec, outcome = self.failing_case()
+        shrunk = shrink(spec, outcome, inject="edf-invert")
+        assert run_spec(shrunk.spec, inject="edf-invert").outcome == outcome
+
+    def test_shrink_reduces_and_records_provenance(self):
+        spec, outcome = self.failing_case()
+        shrunk = shrink(spec, outcome, inject="edf-invert")
+        assert len(shrunk.spec.tasks) <= len(spec.tasks)
+        assert shrunk.spec.notes["shrunk_from_tasks"] == len(spec.tasks)
+        assert shrunk.runs > 0
+
+    def test_shrunk_spec_still_validates(self):
+        spec, outcome = self.failing_case()
+        shrunk = shrink(spec, outcome, inject="edf-invert")
+        assert shrunk.spec.validate() is shrunk.spec
+
+    def test_run_cap_is_respected(self):
+        spec, outcome = self.failing_case()
+        shrunk = shrink(spec, outcome, inject="edf-invert", max_runs=5)
+        assert shrunk.runs <= 5

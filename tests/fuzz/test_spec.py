@@ -1,0 +1,167 @@
+"""ScenarioSpec / trace-format unit tests: validation, canonical JSON,
+round-tripping, and loud schema-version rejection."""
+
+import json
+
+import pytest
+
+from repro import units
+from repro.fuzz import (
+    TRACE_SCHEMA_VERSION,
+    ClusterSpec,
+    LevelSpec,
+    ScenarioSpec,
+    SpecError,
+    SporadicSpec,
+    TaskSpec,
+    TraceFile,
+    load_trace,
+    write_trace,
+)
+
+
+def make_spec(**overrides) -> ScenarioSpec:
+    task = TaskSpec(
+        name="a",
+        behavior="follower",
+        levels=(
+            LevelSpec(units.ms_to_ticks(10), units.ms_to_ticks(3)),
+            LevelSpec(units.ms_to_ticks(10), units.ms_to_ticks(1)),
+        ),
+        arrival_ticks=0,
+    )
+    base = dict(
+        seed=7,
+        horizon_ticks=units.ms_to_ticks(100),
+        machine="ideal",
+        tasks=(task,),
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestValidation:
+    def test_valid_spec_chains(self):
+        spec = make_spec()
+        assert spec.validate() is spec
+
+    def test_bad_horizon(self):
+        with pytest.raises(SpecError, match="horizon"):
+            make_spec(horizon_ticks=0).validate()
+
+    def test_unknown_machine(self):
+        with pytest.raises(SpecError, match="machine"):
+            make_spec(machine="vapor").validate()
+
+    def test_duplicate_names(self):
+        task = make_spec().tasks[0]
+        with pytest.raises(SpecError, match="duplicate"):
+            make_spec(tasks=(task, task)).validate()
+
+    def test_unknown_behavior(self):
+        task = make_spec().tasks[0]
+        bad = TaskSpec(
+            name="b",
+            behavior="chaotic",
+            levels=task.levels,
+            arrival_ticks=0,
+        )
+        with pytest.raises(SpecError, match="behavior"):
+            make_spec(tasks=(bad,)).validate()
+
+    def test_departure_before_arrival(self):
+        task = make_spec().tasks[0]
+        bad = TaskSpec(
+            name="b",
+            behavior="follower",
+            levels=task.levels,
+            arrival_ticks=100,
+            departure_ticks=50,
+        )
+        with pytest.raises(SpecError, match="departure"):
+            make_spec(tasks=(bad,)).validate()
+
+    def test_sporadic_needs_server(self):
+        source = TaskSpec(
+            name="sp",
+            behavior="follower",
+            levels=(),
+            arrival_ticks=0,
+            sporadic=SporadicSpec(
+                interarrival_ticks=units.ms_to_ticks(10),
+                jitter_ticks=units.us_to_ticks(100),
+                burst_ticks=units.us_to_ticks(200),
+            ),
+        )
+        with pytest.raises(SpecError, match="Sporadic Server"):
+            make_spec(tasks=(source,), server=False).validate()
+        make_spec(tasks=(source,), server=True).validate()
+
+    def test_cluster_bounds(self):
+        with pytest.raises(SpecError, match="nodes"):
+            make_spec(cluster=ClusterSpec(nodes=0)).validate()
+        with pytest.raises(SpecError, match="drop_rate"):
+            make_spec(cluster=ClusterSpec(nodes=2, drop_rate=1.0)).validate()
+
+    def test_min_rate_sum_counts_periodic_only(self):
+        spec = make_spec()
+        assert spec.min_rate_sum == pytest.approx(0.1)
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_identity(self):
+        spec = make_spec(
+            server=True,
+            cluster=ClusterSpec(nodes=3, drop_rate=0.05),
+            notes={"mode": "test"},
+        )
+        again = ScenarioSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.to_json() == spec.to_json()
+
+    def test_canonical_json_is_key_sorted_and_compact(self):
+        text = make_spec().to_json()
+        assert " " not in text
+        data = json.loads(text)
+        assert list(data) == sorted(data)
+
+    def test_bad_json_is_a_spec_error(self):
+        with pytest.raises(SpecError, match="not valid JSON"):
+            ScenarioSpec.from_json("{nope")
+        with pytest.raises(SpecError, match="object"):
+            ScenarioSpec.from_json("[1, 2]")
+
+
+class TestTraceFile:
+    def test_write_load_round_trip(self, tmp_path):
+        trace = TraceFile(
+            spec=make_spec(),
+            expect="invariant:edf-order",
+            inject="edf-invert",
+            meta={"note": "unit test"},
+        )
+        path = write_trace(tmp_path / "t.trace.json", trace)
+        loaded = load_trace(path)
+        assert loaded == trace
+
+    def test_future_schema_version_is_rejected(self, tmp_path):
+        trace = TraceFile(spec=make_spec())
+        path = write_trace(tmp_path / "t.trace.json", trace)
+        data = json.loads(path.read_text())
+        data["schema_version"] = TRACE_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(data))
+        with pytest.raises(SpecError, match="newer repro"):
+            load_trace(path)
+
+    def test_wrong_kind_is_rejected(self, tmp_path):
+        trace = TraceFile(spec=make_spec())
+        path = write_trace(tmp_path / "t.trace.json", trace)
+        data = json.loads(path.read_text())
+        data["kind"] = "repro.obs.events"
+        path.write_text(json.dumps(data))
+        with pytest.raises(SpecError, match="not a fuzz trace"):
+            load_trace(path)
+
+    def test_missing_file_is_loud(self, tmp_path):
+        with pytest.raises(SpecError, match="no trace file"):
+            load_trace(tmp_path / "absent.trace.json")

@@ -1,0 +1,57 @@
+"""Threshold sweep: the empirical admission boundary sits near the
+analytic 0.96 capacity line, and the curve rides along in BENCH.json."""
+
+import json
+
+import pytest
+
+from repro.fuzz.generator import CAPACITY
+from repro.fuzz.sweep import (
+    SWEEP_KIND,
+    SWEEP_SCHEMA_VERSION,
+    admission_threshold,
+    append_to_bench,
+    render_sweep,
+    run_sweep,
+)
+
+
+class TestThreshold:
+    def test_threshold_brackets_the_capacity_line(self):
+        point = admission_threshold(3, iterations=8)
+        # The empirical boundary sits at or below the mix's machine's
+        # analytic line (integer-tick rounding only ever costs
+        # capacity), and a sane mix lands within striking distance.
+        cap = point["machine_capacity"]
+        assert 0.5 * cap <= point["threshold_util"] <= cap + 1e-9
+        assert point["capacity"] == CAPACITY
+        assert point["tasks"] >= 1
+
+    def test_point_is_deterministic(self):
+        assert admission_threshold(5, iterations=6) == admission_threshold(
+            5, iterations=6
+        )
+
+
+class TestSweepPayload:
+    @pytest.fixture(scope="class")
+    def payload(self):
+        return run_sweep(1, mixes=2, iterations=6)
+
+    def test_schema(self, payload):
+        assert payload["schema_version"] == SWEEP_SCHEMA_VERSION
+        assert payload["kind"] == SWEEP_KIND
+        assert len(payload["mixes"]) == 2
+
+    def test_render_has_one_row_per_mix(self, payload):
+        text = render_sweep(payload)
+        assert text.count("\n") == 1 + len(payload["mixes"])
+
+    def test_append_to_bench_preserves_payload(self, payload, tmp_path):
+        bench = tmp_path / "BENCH.json"
+        original = {"schema_version": 1, "results": [{"name": "x"}]}
+        bench.write_text(json.dumps(original))
+        append_to_bench(bench, payload)
+        merged = json.loads(bench.read_text())
+        assert merged["results"] == original["results"]
+        assert merged["fuzz_thresholds"] == payload

@@ -1,0 +1,17 @@
+"""Fixture: the pre-fix sporadic-jitter bug shape (tick-units).
+
+The fuzz generator once drew inter-arrival jitter in milliseconds and
+added it straight onto a tick-valued clock; these functions reproduce
+that dimensional mistake so the flow tier proves it would be caught.
+"""
+
+
+def next_arrival(now, interarrival_ticks, jitter_ms):
+    # Cross-unit arithmetic: ms jitter onto a ticks gap.
+    gap = interarrival_ticks + jitter_ms
+    return now + gap
+
+
+def jitter_window(deadline, jitter_ms):
+    # Cross-unit comparison: ms vs ticks.
+    return jitter_ms > deadline

@@ -1,0 +1,24 @@
+"""Fixture: the fixed sporadic-jitter arithmetic (clean).
+
+Mirrors :func:`repro.fuzz.generator._sporadic_sources` and
+:func:`repro.fuzz.runner.sporadic_arrivals`: jitter is converted to
+whole ticks before it ever touches the tick-valued clock, so every
+gap is an integer tick count.
+"""
+
+from repro.units import ms_to_ticks, us_to_ticks
+
+
+def source_schedule(start_ticks, horizon, interarrival_ms, jitter_us):
+    interarrival_ticks = ms_to_ticks(interarrival_ms)
+    jitter_ticks = us_to_ticks(jitter_us)
+    time = start_ticks
+    arrivals = []
+    while time < horizon:
+        arrivals.append(time)
+        time += max(1, interarrival_ticks + jitter_ticks)
+    return arrivals
+
+
+def next_arrival(now, interarrival_ticks, jitter_ticks):
+    return now + interarrival_ticks + jitter_ticks

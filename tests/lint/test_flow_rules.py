@@ -58,6 +58,29 @@ class TestTickUnitsRule:
         assert by_file(flow_violations, "good_units.py") == []
 
 
+class TestFuzzSporadicTickUnits:
+    """The fuzz generator's sporadic-jitter fix, as dimensional analysis:
+    jitter drawn in ms and added to a tick clock is flagged; the shipped
+    whole-ticks arithmetic passes clean."""
+
+    def test_pre_fix_bug_shape_is_flagged(self, flow_violations):
+        found = by_file(flow_violations, "bad_sporadic.py")
+        assert [(v.line, v.rule_id) for v in found] == [
+            (11, "tick-units"),
+            (17, "tick-units"),
+        ]
+        assert found[0].message == "cross-unit arithmetic: ticks vs ms"
+        assert found[1].message == "cross-unit comparison: ms vs ticks"
+
+    def test_fixed_shape_is_silent(self, flow_violations):
+        assert by_file(flow_violations, "good_sporadic.py") == []
+
+    def test_shipped_fuzz_module_passes_dimensional_analysis(self):
+        src = Path(__file__).parent.parent.parent / "src" / "repro" / "fuzz"
+        violations = run_lint([src], flow=True)
+        assert [v for v in violations if v.rule_id == "tick-units"] == []
+
+
 class TestDeterminismReachRule:
     def test_flags_all_seeded_sites(self, flow_violations):
         found = by_file(flow_violations, "bad_reach.py")

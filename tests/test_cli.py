@@ -149,3 +149,65 @@ class TestObsAnalysisCli:
         out = capsys.readouterr().out
         assert "Event taxonomy" in out
         assert "slo-alert" in out
+
+
+class TestFuzzCli:
+    def test_campaign_is_clean_and_summarized(self, tmp_path, capsys):
+        assert main(
+            ["fuzz", "--budget", "3", "--seed", "1", "--out", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fuzz[core] seed=1: 3 scenarios" in out
+        assert "clean" in out
+
+    def test_injected_campaign_fails_and_writes_reproducers(
+        self, tmp_path, capsys
+    ):
+        code = main(
+            [
+                "fuzz", "--budget", "3", "--seed", "2",
+                "--inject", "edf-invert", "--out", str(tmp_path),
+            ]
+        )
+        assert code == 1
+        assert "failing scenario" in capsys.readouterr().out
+        assert list(tmp_path.glob("*.trace.json"))
+
+    def test_replay_corpus_directory(self, capsys):
+        from pathlib import Path
+
+        corpus = Path(__file__).parent / "fuzz" / "corpus"
+        assert main(["fuzz", "replay", str(corpus)]) == 0
+        out = capsys.readouterr().out
+        assert "0 diverged" in out
+
+    def test_replay_divergence_exits_nonzero(self, tmp_path, capsys):
+        from repro.fuzz import TraceFile, generate, write_trace
+
+        spec = generate(1)
+        path = write_trace(
+            tmp_path / "lie.trace.json",
+            TraceFile(spec=spec, expect="invariant:edf-order"),
+        )
+        assert main(["fuzz", "replay", str(path)]) == 1
+        assert "DIVERGED" in capsys.readouterr().out
+
+    def test_replay_empty_directory_is_an_error(self, tmp_path, capsys):
+        assert main(["fuzz", "replay", str(tmp_path)]) == 2
+        assert "no *.trace.json" in capsys.readouterr().out
+
+    def test_sweep_renders_and_appends_to_bench(self, tmp_path, capsys):
+        import json
+
+        bench = tmp_path / "BENCH.json"
+        bench.write_text(json.dumps({"schema_version": 1, "results": []}))
+        assert main(
+            [
+                "fuzz", "sweep", "--mixes", "1", "--iterations", "4",
+                "--append-bench", str(bench),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "admission-threshold sweep" in out
+        payload = json.loads(bench.read_text())
+        assert payload["fuzz_thresholds"]["mixes"]

@@ -113,3 +113,30 @@ class TestRunReport:
         )
         ideal_rd.run_for(ms(30))
         assert "task crashes: 1" in run_report(ideal_rd)
+
+
+class TestFuzzed:
+    def test_core_builder_runs_clean(self):
+        from repro.scenarios import fuzzed
+
+        scenario = fuzzed(3)
+        scenario.run_for(ms(100))
+        assert scenario.rd.sanitizer.ok
+        assert scenario.extras["spec"].seed == 3
+        # Threads admitted at t=0 are named; later arrivals are scripted.
+        for name in scenario.threads:
+            assert name in {t.name for t in scenario.extras["spec"].tasks}
+
+    def test_cluster_builder_returns_a_simulation(self):
+        from repro.scenarios import fuzzed
+
+        sim = fuzzed(2, cluster=True)
+        sim.run_until(sim.horizon)
+        sim.settle()
+        assert sim.all_sanitizers_ok
+
+    def test_same_seed_same_mix(self):
+        from repro.scenarios import fuzzed
+
+        a, b = fuzzed(7), fuzzed(7)
+        assert a.extras["spec"] == b.extras["spec"]
