@@ -1,0 +1,80 @@
+"""Columnar-arena overhead: per-event obs cost at ≤ 0.5x the eager path.
+
+The pipeline's tentpole claim is that recording through
+``PipelineObsSession`` — one scalar append per field into a
+struct-of-arrays arena, no event object, no subscriber fan-out —
+costs at most **half** of what the eager ``ObsSession`` pays per
+event.  This bench measures exactly that, on the kernel's hot-site
+mix (switch-heavy, with period closes and activations sprinkled in)
+via the shared ``repro.bench.workloads.run_obs_emit`` builder — the
+same workload ``repro bench --suite obs`` times as
+``obs.pipeline_overhead`` / ``obs.emit_eager``.
+
+The emit loop is identical for both variants, so loop and dispatch
+cost cancel; only the per-event storage path differs.  Runs are
+interleaved so clock drift and thermal effects hit both alike, and
+the gate compares medians.
+"""
+
+import statistics
+import time
+
+from repro.bench.workloads import run_obs_emit
+from repro.viz import format_table
+
+EVENTS = 30000
+REPEATS = 7
+BUDGET = 0.5  # columnar per-event cost may be at most 0.5x eager
+
+VARIANTS = {
+    "eager (ObsSession: object + fan-out)": "session",
+    "pipeline (ArenaBus: columnar append)": "pipeline",
+}
+
+
+def run_once(variant: str) -> float:
+    start = time.perf_counter()
+    run_obs_emit(obs=variant, events=EVENTS)
+    return time.perf_counter() - start
+
+
+def interleaved_medians() -> dict[str, float]:
+    for variant in VARIANTS.values():
+        run_once(variant)  # warm-up: imports, allocator, caches
+    samples: dict[str, list[float]] = {name: [] for name in VARIANTS}
+    for _ in range(REPEATS):
+        for name, variant in VARIANTS.items():
+            samples[name].append(run_once(variant))
+    return {name: statistics.median(times) for name, times in samples.items()}
+
+
+def test_pipeline_per_event_cost_within_half_of_eager(report):
+    medians = interleaved_medians()
+    eager = medians["eager (ObsSession: object + fan-out)"]
+    pipeline = medians["pipeline (ArenaBus: columnar append)"]
+    rows = [
+        [
+            name,
+            f"{median * 1e3:.1f}",
+            f"{median / EVENTS * 1e9:.0f}",
+            f"{median / eager:.2f}x",
+        ]
+        for name, median in medians.items()
+    ]
+    table = format_table(
+        [
+            "configuration",
+            f"median of {REPEATS} runs (ms)",
+            "per event (ns)",
+            "vs eager",
+        ],
+        rows,
+        title=f"repro.obs.pipeline overhead — {EVENTS} hot-site events",
+    )
+    report("pipeline_overhead", table)
+
+    ratio = pipeline / eager
+    assert ratio <= BUDGET, (
+        f"columnar per-event cost is {ratio:.2f}x the eager path "
+        f"(budget {BUDGET:.1f}x): the arena fast paths are no longer cheap"
+    )

@@ -180,6 +180,30 @@ def _obs_session() -> object:
 
 
 @register(
+    "obs.pipeline_overhead",
+    "obs",
+    ops=30,
+    description="30k hot-site events emitted into the columnar arena bus "
+    "(PipelineObsSession) — the per-event cost the ≤ 0.5x-of-eager gate "
+    "in benchmarks/bench_pipeline_overhead.py compares against obs.session",
+)
+def _obs_pipeline_overhead() -> object:
+    return workloads.run_obs_emit(obs="pipeline", events=30000)
+
+
+@register(
+    "obs.emit_eager",
+    "obs",
+    ops=30,
+    description="the same 30k hot-site events through the eager ObsSession "
+    "bus (object per event + collector/metrics fan-out) — the baseline "
+    "for obs.pipeline_overhead",
+)
+def _obs_emit_eager() -> object:
+    return workloads.run_obs_emit(obs="session", events=30000)
+
+
+@register(
     "obs.prof_overhead",
     "obs",
     ops=200,

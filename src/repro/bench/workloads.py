@@ -124,23 +124,58 @@ def run_settop(ms: float = 400, seed: int = 53):
 def run_figure5(
     obs: str = "disabled", ms: float = 400, seed: int = 11, prof: bool = False
 ):
-    """The Figure 5 load-shedding staircase under one of three
+    """The Figure 5 load-shedding staircase under one of four
     instrumentation configurations: ``disabled`` (obs=None), ``no-sink``
-    (an ObsBus with zero subscribers), or ``session`` (a full
-    ObsSession: collector + metrics).  ``prof=True`` additionally wires
-    a :class:`~repro.obs.prof.phases.PhaseProfiler` into every hook
+    (an ObsBus with zero subscribers), ``session`` (a full ObsSession:
+    collector + metrics), or ``pipeline`` (a PipelineObsSession: the
+    columnar arenas).  ``prof=True`` additionally wires a
+    :class:`~repro.obs.prof.phases.PhaseProfiler` into every hook
     slot, for the profiler-overhead bench."""
     from repro.obs.events import ObsBus
+    from repro.obs.pipeline import PipelineObsSession
     from repro.obs.session import ObsSession
     from repro.scenarios import figure5
 
-    bus = {"disabled": lambda: None, "no-sink": ObsBus, "session": ObsSession}[obs]()
+    bus = {
+        "disabled": lambda: None,
+        "no-sink": ObsBus,
+        "session": ObsSession,
+        "pipeline": PipelineObsSession,
+    }[obs]()
     scenario = figure5(seed=seed, obs=bus)
     if prof:
         from repro.obs.prof import PhaseProfiler
 
         scenario.rd.attach_prof(PhaseProfiler())
     return scenario.run_for(units.ms_to_ticks(ms))
+
+
+def run_obs_emit(obs: str = "session", events: int = 30000):
+    """Per-event emission cost, isolated from scenario control flow.
+
+    Drives the kernel's exact hot-site mix (switch-heavy, with
+    period closes and activations sprinkled in) straight into a full
+    eager :class:`~repro.obs.session.ObsSession` bus or a columnar
+    :class:`~repro.obs.pipeline.PipelineObsSession` arena bus — the
+    denominator and numerator of the pipeline's ≤ 0.5x per-event
+    claim (gated by ``benchmarks/bench_pipeline_overhead.py``)."""
+    from repro.obs.pipeline import PipelineObsSession
+    from repro.obs.session import ObsSession
+
+    session = {"session": ObsSession, "pipeline": PipelineObsSession}[obs]()
+    bus = session.bus
+    for i in range(events):
+        slot = i % 16
+        if slot == 14:
+            bus.emit_period_close(
+                i * 27, slot, i >> 4, i * 27 - 270, i * 27 - 27, 270, 270,
+                False, False,
+            )
+        elif slot == 15:
+            bus.emit_activation(i * 27, 2)
+        else:
+            bus.emit_switch(i * 27, slot, (slot + 1) & 7, "voluntary", 54)
+    return session
 
 
 def run_cluster_rack(seed: int = 7, nodes: int = 4, horizon_sec: float = 0.4):

@@ -284,9 +284,17 @@ def cmd_cluster(args) -> int:
 
     session = None
     if args.obs_out:
-        from repro.obs import ObsSession
+        if args.obs_pipeline:
+            from repro.obs.pipeline import PipelineObsSession
 
-        session = ObsSession()
+            session = PipelineObsSession()
+        else:
+            from repro.obs import ObsSession
+
+            session = ObsSession()
+    elif args.obs_pipeline:
+        print("--obs-pipeline needs --obs-out (the arenas feed its artifacts)")
+        return 2
     if args.telemetry and session is None:
         print("--telemetry needs --obs-out (snapshots come from its registry)")
         return 2
@@ -301,6 +309,8 @@ def cmd_cluster(args) -> int:
         sanitize=True,
         obs=session,
         telemetry=args.telemetry,
+        obs_pipeline=args.obs_pipeline,
+        max_chunk_events=args.max_chunk_events,
     )
     prof = _attach_prof(args, sim)
     sim.run_until(sim.horizon)
@@ -311,6 +321,8 @@ def cmd_cluster(args) -> int:
         print(cluster_report(sim), end="")
     if session is not None:
         _write_obs(session, args.obs_out, sim.now)
+        if sim.pipeline is not None:
+            print(sim.pipeline.summary())
     return 0 if sim.all_sanitizers_ok else 1
 
 
@@ -319,7 +331,12 @@ def cmd_run(args) -> int:
     from repro import scenarios
     from repro.obs import ObsSession
 
-    session = ObsSession()
+    if args.obs_pipeline:
+        from repro.obs.pipeline import PipelineObsSession
+
+        session = PipelineObsSession()
+    else:
+        session = ObsSession()
     if args.scenario == "cluster_rack":
         # The cluster scenario has its own driver loop (and ships
         # per-node telemetry to the broker when observed).
@@ -329,6 +346,7 @@ def cmd_run(args) -> int:
             sanitize=True,
             obs=session,
             telemetry=True,
+            obs_pipeline=args.obs_pipeline,
         )
         prof = _attach_prof(args, sim)
         sim.run_until(sim.horizon)
@@ -336,6 +354,8 @@ def cmd_run(args) -> int:
         print(session.summary())
         if args.obs_out:
             _write_obs(session, args.obs_out, sim.now)
+            if sim.pipeline is not None:
+                print(sim.pipeline.summary())
         return 0
     builders = {
         "table4": lambda: scenarios.table4_trio(seed=args.seed, obs=session),
@@ -451,6 +471,76 @@ def cmd_obs_check(args) -> int:
         f"evaluation(s), {len(violations)} violation(s)"
     )
     return 1 if violations else 0
+
+
+def _parse_window(text: str) -> tuple[int, int]:
+    """``LO:HI`` in sim ticks; either side may be omitted."""
+    lo, sep, hi = text.partition(":")
+    if not sep:
+        raise ValueError(
+            f"--window wants LO:HI in sim ticks (got {text!r}); "
+            f"either side may be empty"
+        )
+    return (int(lo) if lo else 0, int(hi) if hi else (1 << 62))
+
+
+def cmd_obs_query(args) -> int:
+    """Filter a recorded event stream; print one line per match."""
+    from repro.errors import SimulationError
+    from repro.obs.analysis import load_events
+    from repro.obs.pipeline import Query, format_line, select
+
+    try:
+        window = _parse_window(args.window) if args.window else None
+    except ValueError as exc:
+        print(exc)
+        return 2
+    try:
+        events = load_events(args.dir)
+        matched = select(
+            events,
+            Query(
+                kinds=frozenset(args.kind) if args.kind else None,
+                task=args.task,
+                nodes=frozenset(args.node) if args.node else None,
+                window=window,
+            ),
+        )
+    except SimulationError as exc:
+        print(exc)
+        return 2
+    if not args.count:
+        for event in matched:
+            print(format_line(event))
+    print(f"{len(matched)} of {len(events)} event(s) matched")
+    return 0
+
+
+def cmd_obs_explain(args) -> int:
+    """Print the causal chain behind one deadline miss."""
+    import json as _json
+    from pathlib import Path
+
+    from repro.errors import SimulationError
+    from repro.obs.analysis import load_events
+    from repro.obs.pipeline import explain_miss
+
+    loss = None
+    target = Path(args.dir)
+    if target.is_dir():
+        pipeline_json = target / "pipeline.json"
+        if pipeline_json.is_file():
+            loss = _json.loads(pipeline_json.read_text(encoding="utf-8"))
+    try:
+        events = load_events(args.dir)
+        rendered = explain_miss(
+            events, args.task, miss_index=args.miss, loss=loss
+        )
+    except SimulationError as exc:
+        print(exc)
+        return 2
+    print(rendered, end="")
+    return 0
 
 
 def _emit_rendered(rendered: str, out: str | None) -> None:
@@ -637,8 +727,15 @@ def cmd_fuzz_replay(args) -> int:
     from repro.fuzz import replay_corpus, replay_trace
 
     target = Path(args.path)
+    kwargs = {
+        "sanitize": args.sanitize,
+        "obs_out": args.obs_out,
+        "pipeline": args.obs_pipeline,
+    }
     results = (
-        replay_corpus(target) if target.is_dir() else [replay_trace(target)]
+        replay_corpus(target, **kwargs)
+        if target.is_dir()
+        else [replay_trace(target, **kwargs)]
     )
     if not results:
         print(f"no *.trace.json under {target}")
@@ -759,6 +856,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="profile the run: deterministic phase counts, wall timings, "
         "and a sampled flamegraph land in DIR",
     )
+    p.add_argument(
+        "--obs-pipeline",
+        action="store_true",
+        help="record through columnar event arenas instead of eager "
+        "event objects (same artifacts plus events.col.json and "
+        "pipeline.{json,prom})",
+    )
     p = command("obs", cmd_obs, "telemetry surface: describe / report / check")
     obs_sub = p.add_subparsers(dest="obs_command", metavar="subcommand")
     p_report = obs_sub.add_parser(
@@ -782,6 +886,70 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="also evaluate the SLO spec at PATH (TOML)",
+    )
+    p_query = obs_sub.add_parser(
+        "query", help="filter a recorded event stream (jsonl or columnar)"
+    )
+    p_query.set_defaults(func=cmd_obs_query)
+    p_query.add_argument(
+        "dir",
+        metavar="DIR",
+        help="directory written by --obs-out (or an event-log file)",
+    )
+    p_query.add_argument(
+        "--kind",
+        action="append",
+        metavar="TAG",
+        default=None,
+        help="keep only this event kind (repeatable)",
+    )
+    p_query.add_argument(
+        "--task",
+        default=None,
+        metavar="NAME",
+        help="keep only events of this task (resolved via the admission "
+        "record: named events plus its threads' events)",
+    )
+    p_query.add_argument(
+        "--node",
+        action="append",
+        metavar="NODE",
+        default=None,
+        help="keep only events stamped with this node (repeatable)",
+    )
+    p_query.add_argument(
+        "--window",
+        default=None,
+        metavar="LO:HI",
+        help="keep only events in [LO, HI] sim ticks (either side "
+        "may be empty)",
+    )
+    p_query.add_argument(
+        "--count",
+        action="store_true",
+        help="print only the match count",
+    )
+    p_explain = obs_sub.add_parser(
+        "explain", help="causal chain behind one deadline miss"
+    )
+    p_explain.set_defaults(func=cmd_obs_explain)
+    p_explain.add_argument(
+        "dir",
+        metavar="DIR",
+        help="directory written by --obs-out (or an event-log file)",
+    )
+    p_explain.add_argument(
+        "--task",
+        required=True,
+        metavar="NAME",
+        help="task name (or node/name label) whose miss to explain",
+    )
+    p_explain.add_argument(
+        "--miss",
+        type=int,
+        default=0,
+        metavar="N",
+        help="which miss, 0-based in deadline order (default: 0)",
     )
     p_check = obs_sub.add_parser(
         "check", help="evaluate SLOs; exit 1 on any violation"
@@ -873,14 +1041,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="write failing specs as-is instead of shrinking them",
     )
     fuzz_sub = p.add_subparsers(dest="fuzz_command", metavar="subcommand")
+    # No [common] parent: a trace is self-contained (its spec carries
+    # seed and horizon), and replay's --sanitize is a mode, not a flag.
     p_replay = fuzz_sub.add_parser(
-        "replay", parents=[common], help="replay .trace.json files"
+        "replay", help="replay .trace.json files"
     )
     p_replay.set_defaults(func=cmd_fuzz_replay)
     p_replay.add_argument(
         "path",
         metavar="PATH",
         help="one .trace.json, or a directory of them (a corpus)",
+    )
+    p_replay.add_argument(
+        "--obs-out",
+        metavar="DIR",
+        default=None,
+        help="write the replay's obs artifacts to DIR (a corpus writes "
+        "one subdirectory per trace) for obs report / query / explain",
+    )
+    p_replay.add_argument(
+        "--obs-pipeline",
+        action="store_true",
+        help="record the replay through columnar arenas (adds "
+        "events.col.json and pipeline.{json,prom})",
+    )
+    p_replay.add_argument(
+        "--sanitize",
+        choices=["strict", "record", "off"],
+        default="strict",
+        help="invariant checking: strict aborts at the first violation "
+        "(default), record logs violations and runs to the horizon, "
+        "off disables the sanitizer",
     )
     p_sweep = fuzz_sub.add_parser(
         "sweep",
@@ -1027,6 +1218,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="ship per-node metric snapshots to the broker every epoch "
         "and drive AIMD weights from observed load (needs --obs-out)",
+    )
+    p.add_argument(
+        "--obs-pipeline",
+        action="store_true",
+        help="record through columnar arenas and ship chunks up the "
+        "node -> rack -> root telemetry tree with exact loss "
+        "accounting (needs --obs-out)",
+    )
+    p.add_argument(
+        "--max-chunk-events",
+        type=int,
+        default=None,
+        metavar="N",
+        help="head/tail-sample telemetry chunks down to N events "
+        "(sampled-out rows are counted, never silent)",
     )
     p.add_argument("--nodes", type=int, default=4, help="distributor node count")
     p.add_argument(

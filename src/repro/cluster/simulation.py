@@ -58,6 +58,9 @@ class ClusterSimulation:
         sanitize_strict: bool = True,
         obs=None,
         telemetry: bool = False,
+        obs_pipeline: bool = False,
+        rack_size: int = 4,
+        max_chunk_events: int | None = None,
     ) -> None:
         """``obs`` is an optional :class:`repro.obs.session.ObsSession`:
         the bus, every node (scoped to its name), and the broker all
@@ -67,7 +70,18 @@ class ClusterSimulation:
         ``telemetry`` (requires ``obs``) ships each node's slice of the
         metrics registry to the broker as a ``telemetry`` message every
         epoch — over the same lossy bus as everything else — and
-        switches the broker's AIMD weights to that observed load."""
+        switches the broker's AIMD weights to that observed load.
+
+        ``obs_pipeline`` (requires ``obs`` to be a
+        :class:`repro.obs.pipeline.session.PipelineObsSession`) ships
+        each node's event arena every epoch as seq-numbered columnar
+        chunks through a node -> rack -> root aggregation tree
+        (``rack_size`` nodes per rack collector) over a *dedicated*
+        telemetry-plane bus with the same latency/jitter/drop model —
+        the main run's artifacts are untouched, and the root accounts
+        for every dropped or sampled-out row exactly.
+        ``max_chunk_events`` bounds a chunk: larger cuts keep their
+        head and tail halves and count the sampled-out middle."""
         if node_count < 1:
             raise SimulationError(f"node_count must be >= 1, got {node_count}")
         if node_count > 99:
@@ -136,6 +150,26 @@ class ClusterSimulation:
             obs=obs,
             retry_rng=self.rngs.stream("cluster.broker.retry"),
         )
+        self.pipeline = None
+        if obs_pipeline:
+            if obs is None or not hasattr(obs.bus, "arena"):
+                raise SimulationError(
+                    "obs_pipeline=True needs a PipelineObsSession (its "
+                    "ArenaBus holds the per-node arenas the shippers cut "
+                    "chunks from); pass obs=PipelineObsSession()"
+                )
+            from repro.cluster.obs_pipeline import PipelineShipping
+
+            self.pipeline = PipelineShipping(
+                obs,
+                self.rngs,
+                list(self.nodes),
+                latency_ticks=latency_ticks,
+                jitter_ticks=jitter_ticks,
+                drop_rate=drop_rate,
+                rack_size=rack_size,
+                max_chunk_events=max_chunk_events,
+            )
         self.events = EventQueue()
         self._now = 0
         self._next_epoch = self.epoch_ticks
@@ -206,6 +240,8 @@ class ClusterSimulation:
             self._now = target
             self._fire_events()
             self._route_messages()
+            if self.pipeline is not None:
+                self.pipeline.route(self._now)
             self.broker.check_timeouts(self._now)
             while self._next_epoch <= self._now:
                 self._epoch()
@@ -265,6 +301,10 @@ class ClusterSimulation:
         bus_next = self.bus.next_time()
         if bus_next is not None:
             candidates.append(bus_next)
+        if self.pipeline is not None:
+            pipeline_next = self.pipeline.next_time()
+            if pipeline_next is not None:
+                candidates.append(pipeline_next)
         event_next = self.events.next_time()
         if event_next is not None:
             candidates.append(event_next)
@@ -305,7 +345,15 @@ class ClusterSimulation:
         for name in sorted(self.nodes):
             report = self.nodes[name].load_report(self._now)
             self.bus.send(name, BROKER, "load-report", report, self._now)
+        if self.telemetry:
+            # The telemetry cutters hold the registry *object*; reading
+            # it through the session property refreshes a pipeline
+            # session's batch-derived metrics in place, so snapshots
+            # match what an eager session's live registry would show.
+            self.obs.registry
         for name in sorted(self.telemetry):
             snapshot = self.telemetry[name].snapshot(self._now)
             self.bus.send(name, BROKER, "telemetry", snapshot, self._now)
+        if self.pipeline is not None:
+            self.pipeline.on_epoch(self._now)
         self.broker.on_epoch(self._now)

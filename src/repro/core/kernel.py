@@ -31,8 +31,6 @@ from repro.machine.interrupts import InterruptReserve
 from repro.obs.events import (
     GraceEvent,
     GrantChangeEvent,
-    PeriodCloseEvent,
-    SwitchEvent,
 )
 from repro.sim.clock import SimClock
 from repro.sim.events import EventQueue
@@ -430,14 +428,8 @@ class Kernel:
                 )
             )
             if self.obs:
-                self.obs.emit(
-                    SwitchEvent(
-                        time=self.now,
-                        from_thread=prev.tid,
-                        to_thread=thread.tid,
-                        kind=kind.value,
-                        cost_ticks=cost,
-                    )
+                self.obs.emit_switch(
+                    self.now, prev.tid, thread.tid, kind.value, cost
                 )
         self._current = thread
         self._pending_switch_kind = SwitchKind.VOLUNTARY
@@ -827,19 +819,18 @@ class Kernel:
             # period's start/completion to compute delivery ratios and
             # latency percentiles, not just the exceptional closes.  An
             # unsinked bus is falsy, so the uninstrumented hot path
-            # still constructs nothing.
-            self.obs.emit(
-                PeriodCloseEvent(
-                    time=thread.deadline,
-                    thread_id=thread.tid,
-                    period_index=thread.period_index,
-                    start=thread.period_start,
-                    completion=thread.completed_at,
-                    granted=grant.cpu_ticks,
-                    delivered=delivered,
-                    missed=missed,
-                    voided=voided,
-                )
+            # still constructs nothing; on a columnar bus the fast path
+            # appends scalars without ever building the event object.
+            self.obs.emit_period_close(
+                thread.deadline,
+                thread.tid,
+                thread.period_index,
+                thread.period_start,
+                thread.completed_at,
+                grant.cpu_ticks,
+                delivered,
+                missed,
+                voided,
             )
         if self.sanitizer is not None:
             self.sanitizer.on_period_close(thread, record)

@@ -36,7 +36,6 @@ from repro.core.grant_control import GrantSetResult
 from repro.core.grants import Grant, GrantSet
 from repro.core.kernel import Kernel
 from repro.core.threads import SimThread, ThreadKind, ThreadState
-from repro.obs.events import ActivationEvent
 
 
 def _edf_key(thread: SimThread) -> tuple[int, int]:
@@ -198,7 +197,7 @@ class RDScheduler:
         pending, self._pending_activation = self._pending_activation, {}
         obs = self.kernel.obs
         if obs:
-            obs.emit(ActivationEvent(time=now, pending=len(pending)))
+            obs.emit_activation(now, len(pending))
         # tid order, matching the legacy rebuild (which walked threads in
         # creation order); the persistent pending dict accretes entries
         # across notifications in arbitrary order.

@@ -177,6 +177,8 @@ class ReplayResult:
     path: Path
     expect: str
     result: RunResult
+    #: Artifact name -> path, when the replay wrote obs artifacts.
+    obs_paths: dict | None = None
 
     @property
     def matches(self) -> bool:
@@ -184,25 +186,77 @@ class ReplayResult:
 
     def summary(self) -> str:
         status = "reproduced" if self.matches else "DIVERGED"
-        return (
+        line = (
             f"replay {self.path.name}: expected {self.expect!r}, "
             f"got {self.result.outcome!r} — {status}"
         )
+        if self.obs_paths:
+            line += f"\n  obs artifacts: {sorted(self.obs_paths.values())[0].parent}"
+        return line
 
 
-def replay_trace(path: str | Path) -> ReplayResult:
+def _obs_session(pipeline: bool):
+    if pipeline:
+        from repro.obs.pipeline import PipelineObsSession
+
+        return PipelineObsSession()
+    from repro.obs import ObsSession
+
+    return ObsSession()
+
+
+def replay_trace(
+    path: str | Path,
+    sanitize: str = "strict",
+    obs_out: str | Path | None = None,
+    pipeline: bool = False,
+) -> ReplayResult:
     """Re-run one ``.trace.json`` and compare against its expectation.
 
     For an ``expect: ok`` corpus entry, a match means the invariants
     still hold on that scenario; for a reproducer, a match means the
-    recorded failure still reproduces (with its injection re-armed)."""
+    recorded failure still reproduces (with its injection re-armed).
+
+    ``obs_out`` writes the replay's full obs artifacts there — the
+    bridge from a committed reproducer to ``obs report`` / ``obs
+    explain`` (``pipeline=True`` records through columnar arenas and
+    adds the columnar + loss-accounting artifacts).  ``sanitize`` is a
+    :data:`~repro.fuzz.runner.SANITIZE_MODES` mode; ``record`` lets a
+    reproducer run to its horizon so the stream covers the aftermath,
+    at the cost of possibly classifying later violations.
+    """
     target = Path(path)
     trace = load_trace(target)
-    result = run_spec(trace.spec, inject=trace.inject)
-    return ReplayResult(path=target, expect=trace.expect, result=result)
+    session = _obs_session(pipeline) if obs_out is not None else None
+    result = run_spec(
+        trace.spec, inject=trace.inject, obs=session, sanitize=sanitize
+    )
+    replay = ReplayResult(path=target, expect=trace.expect, result=result)
+    if session is not None:
+        replay.obs_paths = session.write(obs_out, result.ticks)
+    return replay
 
 
-def replay_corpus(corpus_dir: str | Path) -> list[ReplayResult]:
-    """Replay every ``*.trace.json`` under ``corpus_dir``, sorted by name."""
+def replay_corpus(
+    corpus_dir: str | Path,
+    sanitize: str = "strict",
+    obs_out: str | Path | None = None,
+    pipeline: bool = False,
+) -> list[ReplayResult]:
+    """Replay every ``*.trace.json`` under ``corpus_dir``, sorted by name.
+
+    With ``obs_out``, each trace's artifacts land in their own
+    subdirectory (``obs_out/<trace-name>/``).
+    """
     root = Path(corpus_dir)
-    return [replay_trace(p) for p in sorted(root.glob("*.trace.json"))]
+    results = []
+    for path in sorted(root.glob("*.trace.json")):
+        per_trace = None
+        if obs_out is not None:
+            per_trace = Path(obs_out) / path.name[: -len(".trace.json")]
+        results.append(
+            replay_trace(
+                path, sanitize=sanitize, obs_out=per_trace, pipeline=pipeline
+            )
+        )
+    return results

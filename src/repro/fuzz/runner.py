@@ -33,6 +33,13 @@ from repro.sim.rng import derive
 MAX_SPORADIC_ARRIVALS = 500
 
 
+#: ``sanitize`` modes a run accepts: ``strict`` aborts at the first
+#: violation (the fuzz default), ``record`` logs violations as events
+#: and runs to the horizon (what ``--obs-out`` exploration wants), and
+#: ``off`` disables the sanitizer entirely.
+SANITIZE_MODES = ("strict", "record", "off")
+
+
 @dataclass
 class RunResult:
     """What one scenario run produced."""
@@ -43,6 +50,8 @@ class RunResult:
     denied: tuple[str, ...] = ()
     decisions_checked: int = 0
     violations: tuple[str, ...] = field(default_factory=tuple)
+    #: Final sim time — the tick obs artifacts are stamped with.
+    ticks: int = 0
 
     @property
     def ok(self) -> bool:
@@ -56,6 +65,7 @@ class RunResult:
             "denied": list(self.denied),
             "decisions_checked": self.decisions_checked,
             "violations": list(self.violations),
+            "ticks": self.ticks,
         }
 
 
@@ -167,7 +177,9 @@ def sporadic_arrivals(spec: ScenarioSpec, task: TaskSpec) -> list[int]:
 class _CoreRun:
     """One wired single-node run: distributor + scripted events."""
 
-    def __init__(self, spec: ScenarioSpec) -> None:
+    def __init__(
+        self, spec: ScenarioSpec, obs=None, sanitize: str = "strict"
+    ) -> None:
         from repro.config import SimConfig
         from repro.core.distributor import ResourceDistributor
         from repro.core.sporadic import SporadicServer
@@ -177,9 +189,17 @@ class _CoreRun:
         self.rd = ResourceDistributor(
             machine=_machine(spec.machine),
             sim=SimConfig(seed=spec.seed),
-            sanitize=True,
-            sanitize_strict=True,
+            sanitize=sanitize != "off",
+            sanitize_strict=sanitize == "strict",
+            obs=obs,
         )
+        if obs is not None and hasattr(obs, "add_schedule"):
+            kernel = self.rd.kernel
+            obs.add_schedule(
+                "",
+                kernel.trace.segments,
+                lambda: {t.tid: t.name for t in kernel.threads.values()},
+            )
         self.admitted: list[str] = []
         self.denied: list[str] = []
         self._tids: dict[str, int] = {}
@@ -253,7 +273,11 @@ class _CoreRun:
             outcome, detail = f"invariant:{rule}", str(exc)
         except ReproError as exc:
             outcome, detail = f"crash:{type(exc).__name__}", str(exc)
-        violations = tuple(str(v) for v in sanitizer.report.violations)
+        violations = (
+            tuple(str(v) for v in sanitizer.report.violations)
+            if sanitizer is not None
+            else ()
+        )
         if outcome == "ok" and violations:
             outcome, detail = f"invariant:{_last_rule(sanitizer)}", violations[-1]
         return RunResult(
@@ -261,8 +285,11 @@ class _CoreRun:
             detail=detail,
             admitted=tuple(self.admitted),
             denied=tuple(self.denied),
-            decisions_checked=sanitizer.decisions_checked,
+            decisions_checked=(
+                sanitizer.decisions_checked if sanitizer is not None else 0
+            ),
             violations=violations,
+            ticks=self.rd.now,
         )
 
 
@@ -275,7 +302,7 @@ def _last_rule(sanitizer) -> str:
 # -- cluster runs -----------------------------------------------------------
 
 
-def build_cluster(spec: ScenarioSpec, inject_fn=None):
+def build_cluster(spec: ScenarioSpec, inject_fn=None, obs=None, sanitize: str = "strict"):
     """Wire a cluster spec into a ready-to-run
     :class:`~repro.cluster.simulation.ClusterSimulation` (arrivals and
     departures scripted, nothing run yet)."""
@@ -294,8 +321,10 @@ def build_cluster(spec: ScenarioSpec, inject_fn=None):
         drop_rate=cluster.drop_rate,
         machine=_machine(spec.machine),
         broker_config=BrokerConfig(migrate=cluster.migrate),
-        sanitize=True,
-        sanitize_strict=True,
+        sanitize=sanitize != "off",
+        sanitize_strict=sanitize == "strict",
+        obs=obs,
+        obs_pipeline=obs is not None and hasattr(getattr(obs, "bus", None), "arena"),
     )
     if inject_fn is not None:
         for node in sim.nodes.values():
@@ -307,8 +336,10 @@ def build_cluster(spec: ScenarioSpec, inject_fn=None):
     return sim
 
 
-def _run_cluster(spec: ScenarioSpec, inject_fn=None) -> RunResult:
-    sim = build_cluster(spec, inject_fn)
+def _run_cluster(
+    spec: ScenarioSpec, inject_fn=None, obs=None, sanitize: str = "strict"
+) -> RunResult:
+    sim = build_cluster(spec, inject_fn, obs=obs, sanitize=sanitize)
     outcome, detail = "ok", ""
     try:
         sim.run_until(spec.horizon_ticks)
@@ -338,27 +369,42 @@ def _run_cluster(spec: ScenarioSpec, inject_fn=None) -> RunResult:
         admitted=placed,
         decisions_checked=decisions,
         violations=tuple(violations),
+        ticks=sim.now,
     )
 
 
 # -- entry point ------------------------------------------------------------
 
 
-def run_spec(spec: ScenarioSpec, inject: str | None = None) -> RunResult:
+def run_spec(
+    spec: ScenarioSpec,
+    inject: str | None = None,
+    obs=None,
+    sanitize: str = "strict",
+) -> RunResult:
     """Run one spec to its horizon under strict invariant checking.
 
     ``inject`` names a synthetic bug from :mod:`repro.fuzz.inject` to
     arm first — the self-test hook proving the pipeline catches,
-    shrinks, and replays real scheduler defects.
+    shrinks, and replays real scheduler defects.  ``obs`` attaches an
+    :class:`~repro.obs.session.ObsSession` (or a pipeline session —
+    cluster specs then also ship their arenas), and ``sanitize`` picks
+    one of :data:`SANITIZE_MODES`: ``record`` keeps the run going past
+    a violation so the full event stream lands in the artifacts.
     """
     from repro.fuzz.inject import injector
 
+    if sanitize not in SANITIZE_MODES:
+        raise ValueError(
+            f"sanitize must be one of {', '.join(SANITIZE_MODES)}, "
+            f"got {sanitize!r}"
+        )
     spec.validate()
     inject_fn = injector(inject)
     try:
         if spec.cluster is not None:
-            return _run_cluster(spec, inject_fn)
-        run = _CoreRun(spec)
+            return _run_cluster(spec, inject_fn, obs=obs, sanitize=sanitize)
+        run = _CoreRun(spec, obs=obs, sanitize=sanitize)
         if inject_fn is not None:
             inject_fn(run.rd)
         return run.run()

@@ -34,7 +34,11 @@ class LayeringRule(Rule):
       layer: a distributor never learns it is being clustered), plus
       ``repro.obs.prof`` (hook sites hold a duck-typed ``prof`` slot;
       the profiler is injected from above, never imported from below
-      — same for ``repro.sim``);
+      — same for ``repro.sim``) and ``repro.obs.pipeline`` (the
+      columnar arena bus is injected as an ordinary ObsBus; core and
+      sim must never know whether their events land in objects or
+      columns — only ``repro.cluster`` and ``repro.serve`` may build
+      the shipping tree);
     * ``repro.core.scheduler`` -> ``repro.core.policy_box`` (the
       mechanism/policy separation: the Scheduler talks only to the
       Resource Manager);
@@ -94,6 +98,7 @@ class LayeringRule(Rule):
                 "repro.serve",
                 "repro.fuzz",
                 "repro.obs.prof",
+                "repro.obs.pipeline",
             ),
         ),
         (
@@ -108,6 +113,7 @@ class LayeringRule(Rule):
                 "repro.serve",
                 "repro.fuzz",
                 "repro.obs.prof",
+                "repro.obs.pipeline",
             ),
         ),
         (

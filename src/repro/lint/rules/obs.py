@@ -37,6 +37,20 @@ def _is_prof_name(prefix: str) -> bool:
     return "prof" in last
 
 
+def _is_arena_name(prefix: str) -> bool:
+    """Does the dotted receiver look like a columnar arena or its bus
+    (``self.arena``, ``arena``, ``self.obs``)?"""
+    last = prefix.rsplit(".", 1)[-1].lower()
+    return "arena" in last or "obs" in last
+
+
+#: Columnar fast-path hooks: scalar appends and chunk cuts must sit
+#: behind the same truthy guard as ``emit`` — an unobserved run holds
+#: ``None`` in the slot, and a guardless site would crash it (or worse,
+#: force every run to wire a bus just to stay alive).
+_ARENA_HOOKS = ("append_row", "append_event", "flush")
+
+
 def _constructs_event(call: ast.Call) -> bool:
     """Is the first argument a ``SomethingEvent(...)`` construction?"""
     if not call.args:
@@ -109,6 +123,13 @@ class ObsUnguardedEmitRule(Rule):
     ``prof.end(...)`` on a prof-named receiver must be reachable only
     when the profiler is truthy, so the unprofiled hot path never pays
     a method call.
+
+    The columnar fast paths are hooks of the same contract: ``emit_*``
+    scalar emitters (``emit_switch``, ``emit_period_close``, ...) and
+    arena append/flush calls (``append_row``, ``append_event``,
+    ``flush`` on an obs/arena-named receiver) bypass event construction
+    but still dereference the slot — unguarded, an uninstrumented run
+    crashes on ``None`` or is forced to wire a bus it doesn't want.
     """
 
     id = "obs-unguarded-emit"
@@ -116,7 +137,8 @@ class ObsUnguardedEmitRule(Rule):
         "an emit without a truthy `if self.obs:` guard allocates an "
         "event even when nobody is listening (`is not None` does not "
         "count because an unsinked bus is falsy); profiler "
-        "begin/end hooks need the same `if self.prof:` guard"
+        "begin/end hooks and columnar arena fast paths (emit_*, "
+        "append_row/append_event/flush) need the same guard"
     )
     scope_prefixes = (
         "repro.core",
@@ -144,14 +166,21 @@ class ObsUnguardedEmitRule(Rule):
                 if not (_is_emitter_name(prefix) or _constructs_event(node)):
                     continue
                 kind = "emit"
+                noun = "bus"
+            elif func.attr.startswith("emit_") and _is_emitter_name(prefix):
+                kind = func.attr
+                noun = "bus"
+            elif func.attr in _ARENA_HOOKS and _is_arena_name(prefix):
+                kind = func.attr
+                noun = "arena"
             elif func.attr in ("begin", "end") and _is_prof_name(prefix):
                 kind = func.attr
+                noun = "profiler"
             else:
                 continue
             verdict = self._guard_verdict(node, prefix, parents)
             if verdict == "truthy":
                 continue
-            noun = "bus" if kind == "emit" else "profiler"
             if verdict == "identity":
                 yield self.violation(
                     module,

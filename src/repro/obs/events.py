@@ -242,7 +242,16 @@ EVENT_TYPES: dict[str, type[ObsEvent]] = {
 
 
 class ObsBus:
-    """Fan-out of events to subscribers, in subscription order."""
+    """Fan-out of events to subscribers, in subscription order.
+
+    The ``emit_*`` fast paths carry the hottest event kinds as plain
+    scalars.  Here they just construct the typed event and ``emit`` it
+    (behavior-identical to the eager call sites they replaced), but a
+    columnar bus (:class:`repro.obs.pipeline.arena.ArenaBus`) overrides
+    them to append straight into struct-of-arrays storage — the hook
+    site stays one guarded call either way, and only the bus decides
+    whether an object is ever allocated.
+    """
 
     def __init__(self) -> None:
         self._subscribers: list[Callable[[ObsEvent], None]] = []
@@ -278,6 +287,65 @@ class ObsBus:
         for sink in self._subscribers:
             sink(event)
 
+    # -- typed fast paths (hot emission sites) -----------------------------
+
+    def emit_switch(
+        self,
+        time: int,
+        from_thread: int,
+        to_thread: int,
+        kind: str,
+        cost_ticks: int,
+        node: str = "",
+    ) -> None:
+        """Fast path for :class:`SwitchEvent` (the hottest kind)."""
+        if self._subscribers:
+            self.emit(
+                SwitchEvent(
+                    time=time,
+                    from_thread=from_thread,
+                    to_thread=to_thread,
+                    kind=kind,
+                    cost_ticks=cost_ticks,
+                    node=node,
+                )
+            )
+
+    def emit_period_close(
+        self,
+        time: int,
+        thread_id: int,
+        period_index: int,
+        start: int,
+        completion: int,
+        granted: int,
+        delivered: int,
+        missed: bool,
+        voided: bool,
+        node: str = "",
+    ) -> None:
+        """Fast path for :class:`PeriodCloseEvent`."""
+        if self._subscribers:
+            self.emit(
+                PeriodCloseEvent(
+                    time=time,
+                    thread_id=thread_id,
+                    period_index=period_index,
+                    start=start,
+                    completion=completion,
+                    granted=granted,
+                    delivered=delivered,
+                    missed=missed,
+                    voided=voided,
+                    node=node,
+                )
+            )
+
+    def emit_activation(self, time: int, pending: int, node: str = "") -> None:
+        """Fast path for :class:`ActivationEvent`."""
+        if self._subscribers:
+            self.emit(ActivationEvent(time=time, pending=pending, node=node))
+
 
 class ScopedBus:
     """A bus view that stamps every event with a node name.
@@ -304,3 +372,45 @@ class ScopedBus:
         if not event.node:
             event = dataclasses.replace(event, node=self.node)
         self._bus.emit(event)
+
+    def emit_switch(
+        self,
+        time: int,
+        from_thread: int,
+        to_thread: int,
+        kind: str,
+        cost_ticks: int,
+        node: str = "",
+    ) -> None:
+        self._bus.emit_switch(
+            time, from_thread, to_thread, kind, cost_ticks, node=node or self.node
+        )
+
+    def emit_period_close(
+        self,
+        time: int,
+        thread_id: int,
+        period_index: int,
+        start: int,
+        completion: int,
+        granted: int,
+        delivered: int,
+        missed: bool,
+        voided: bool,
+        node: str = "",
+    ) -> None:
+        self._bus.emit_period_close(
+            time,
+            thread_id,
+            period_index,
+            start,
+            completion,
+            granted,
+            delivered,
+            missed,
+            voided,
+            node=node or self.node,
+        )
+
+    def emit_activation(self, time: int, pending: int, node: str = "") -> None:
+        self._bus.emit_activation(time, pending, node=node or self.node)

@@ -1,0 +1,67 @@
+"""repro.obs.pipeline: columnar arenas, chunk shipping, causal queries.
+
+The scale tier of the obs stack (ROADMAP open items 2 and 4).  Four
+pieces, each importable on its own:
+
+* :mod:`~repro.obs.pipeline.arena` — ring-buffered struct-of-arrays
+  event storage (:class:`EventArena`) behind a drop-in bus
+  (:class:`ArenaBus`): no per-event object allocation on the hot path.
+* :mod:`~repro.obs.pipeline.ship` — arenas flush as seq-numbered
+  columnar chunks through a node -> rack -> root aggregation tree over
+  a lossy transport, with deterministic head/tail sampling.
+* :mod:`~repro.obs.pipeline.aggregate` — the root collector and its
+  exact loss accounting (``emitted == delivered + dropped +
+  sampled_out``, per kind, never silent).
+* :mod:`~repro.obs.pipeline.query` / :mod:`~repro.obs.pipeline.explain`
+  — offline queries over recorded artifacts, including the causal
+  chain behind a specific deadline miss.
+
+:class:`~repro.obs.pipeline.session.PipelineObsSession` ties the local
+pieces into an ObsSession-compatible recorder whose legacy artifacts
+stay byte-identical to the eager path.
+
+Layering: this package sits *above* base ``repro.obs`` and is imported
+by cluster/serve/cli; it must never be imported from ``repro.core`` or
+``repro.sim`` (lint-enforced), and itself only sees abstract
+transports (the cluster layer owns the actual MessageBus plane).
+"""
+
+from repro.obs.pipeline.aggregate import (
+    LOSS_COUNTERS,
+    RootCollector,
+    check_loss_invariant,
+)
+from repro.obs.pipeline.arena import ArenaBus, EventArena
+from repro.obs.pipeline.explain import causal_chain, explain_miss, find_misses
+from repro.obs.pipeline.query import Query, describe, format_line, select
+from repro.obs.pipeline.session import PipelineObsSession
+from repro.obs.pipeline.ship import (
+    OBS_CHUNK,
+    OBS_RACK_CHUNK,
+    OBS_ROOT,
+    ChunkShipper,
+    RackCollector,
+    SeqTracker,
+)
+
+__all__ = [
+    "ArenaBus",
+    "ChunkShipper",
+    "EventArena",
+    "LOSS_COUNTERS",
+    "OBS_CHUNK",
+    "OBS_RACK_CHUNK",
+    "OBS_ROOT",
+    "PipelineObsSession",
+    "Query",
+    "RackCollector",
+    "RootCollector",
+    "SeqTracker",
+    "causal_chain",
+    "check_loss_invariant",
+    "describe",
+    "explain_miss",
+    "find_misses",
+    "format_line",
+    "select",
+]

@@ -1,0 +1,232 @@
+"""The aggregation root: exact loss accounting over delivered chunks.
+
+The :class:`RootCollector` sits at the top of the node -> rack -> root
+tree.  It ingests rack batches, tracks every tier's sequence numbers,
+and keeps the delivered rows, so at the end of a run it can answer two
+questions exactly:
+
+* **what arrived** — the delivered event stream, materializable in a
+  deterministic global order (time, then node, then per-node emission
+  position) for the root-side artifact and ad-hoc queries;
+* **what did not** — per kind and per node:
+  ``dropped = emitted - sampled_out - delivered``, where ``emitted``
+  and ``sampled_out`` come from the freshest cumulative counters (the
+  arena's ground truth at finalization, or the latest chunk's ``cum``
+  for a live view), so rows inside dropped chunks are counted without
+  ever being seen.  Ring overwrites at the arena are reported inside
+  ``dropped`` as the ``overwritten`` sub-count.
+
+The invariant the property suite holds, per kind and in total::
+
+    emitted == delivered + dropped + sampled_out
+"""
+
+from __future__ import annotations
+
+from repro.obs.events import EVENT_TYPES, ObsEvent
+from repro.obs.pipeline.ship import SeqTracker
+
+#: Accounting counter names, in the order reports list them.
+LOSS_COUNTERS = ("emitted", "delivered", "dropped", "sampled_out", "overwritten")
+
+
+class RootCollector:
+    """Top of the telemetry tree: ingests rack batches, accounts loss."""
+
+    def __init__(self) -> None:
+        self.rack_trackers: dict[str, SeqTracker] = {}
+        self.rack_batches = 0
+        self.node_trackers: dict[str, SeqTracker] = {}
+        #: node -> accepted chunks, in arrival order (sorted by seq on
+        #: materialization; jitter can reorder neighbours in flight).
+        self.node_chunks: dict[str, list[dict]] = {}
+        #: node -> (seq, cumulative counters) from the freshest chunk.
+        self.latest_cum: dict[str, tuple[int, dict]] = {}
+        #: node -> kind -> rows that actually arrived here.
+        self.delivered: dict[str, dict[str, int]] = {}
+
+    @property
+    def lost_node_chunks(self) -> dict[str, int]:
+        """node -> chunks that never reached the root (end-to-end)."""
+        return {
+            node: tracker.lost()
+            for node, tracker in sorted(self.node_trackers.items())
+            if tracker.lost()
+        }
+
+    @property
+    def lost_rack_batches(self) -> dict[str, int]:
+        return {
+            rack: tracker.lost()
+            for rack, tracker in sorted(self.rack_trackers.items())
+            if tracker.lost()
+        }
+
+    # -- ingest ------------------------------------------------------------
+
+    def on_rack_batch(self, batch: dict) -> None:
+        rack = batch["rack"]
+        tracker = self.rack_trackers.get(rack)
+        if tracker is None:
+            tracker = self.rack_trackers[rack] = SeqTracker()
+        if not tracker.accept(batch["seq"]):
+            return  # duplicate replay
+        self.rack_batches += 1
+        for chunk in batch["chunks"]:
+            self.on_node_chunk(chunk)
+
+    def on_node_chunk(self, chunk: dict) -> bool:
+        """Ingest one node chunk; False when it is a duplicate."""
+        node = chunk["node"]
+        seq = chunk["seq"]
+        tracker = self.node_trackers.get(node)
+        if tracker is None:
+            tracker = self.node_trackers[node] = SeqTracker()
+        if not tracker.accept(seq):
+            return False
+        self.node_chunks.setdefault(node, []).append(chunk)
+        latest = self.latest_cum.get(node)
+        if latest is None or seq > latest[0]:
+            self.latest_cum[node] = (seq, chunk["cum"])
+        counts = self.delivered.setdefault(node, {})
+        for tag in chunk["order"]:
+            counts[tag] = counts.get(tag, 0) + 1
+        return True
+
+    # -- the delivered stream ----------------------------------------------
+
+    def events(self) -> list[ObsEvent]:
+        """Every delivered row as a typed event, deterministic order.
+
+        Per node, chunks sorted by seq and rows in chunk order give the
+        node's emission order (minus losses); across nodes the streams
+        interleave by ``(time, node, position)`` — stable under reruns
+        and independent of arrival order.
+        """
+        keyed: list[tuple[int, str, int, ObsEvent]] = []
+        for node in sorted(self.node_chunks):
+            position = 0
+            for chunk in sorted(self.node_chunks[node], key=lambda c: c["seq"]):
+                cursors: dict[str, int] = {}
+                for tag in chunk["order"]:
+                    row = cursors.get(tag, 0)
+                    cursors[tag] = row + 1
+                    columns = chunk["columns"][tag]
+                    values = {name: column[row] for name, column in columns.items()}
+                    event = EVENT_TYPES[tag](**values)
+                    keyed.append((event.time, node, position, event))
+                    position += 1
+        keyed.sort(key=lambda item: item[:3])
+        return [item[3] for item in keyed]
+
+    # -- loss accounting ----------------------------------------------------
+
+    def accounting(
+        self,
+        truth: dict[str, dict] | None = None,
+        chunks_sent: dict[str, int] | None = None,
+    ) -> dict:
+        """Exact per-kind / per-node loss accounting (JSON-able).
+
+        ``truth`` maps node -> cumulative arena counters (from
+        :meth:`repro.obs.pipeline.arena.ArenaBus.cum`); without it the
+        freshest shipped counters stand in, making the result a live
+        lower bound instead of ground truth.  ``chunks_sent`` maps node
+        -> chunks actually cut (the shipper's seq), for chunk-level
+        totals.
+        """
+        nodes_out: dict[str, dict] = {}
+        kinds_out: dict[str, dict[str, int]] = {}
+        all_nodes = set(self.delivered) | set(self.latest_cum)
+        if truth:
+            all_nodes |= set(truth)
+        for node in sorted(all_nodes):
+            if truth and node in truth:
+                cum = truth[node]
+            else:
+                cum = self.latest_cum.get(node, (None, {}))[1]
+            emitted = cum.get("emitted", {})
+            sampled = cum.get("sampled_out", {})
+            overwritten = cum.get("overwritten", {})
+            delivered = self.delivered.get(node, {})
+            node_kinds: dict[str, dict[str, int]] = {}
+            for tag in sorted(set(emitted) | set(delivered)):
+                e = emitted.get(tag, 0)
+                s = sampled.get(tag, 0)
+                o = overwritten.get(tag, 0)
+                d = delivered.get(tag, 0)
+                row = {
+                    "emitted": e,
+                    "delivered": d,
+                    "dropped": e - s - d,
+                    "sampled_out": s,
+                    "overwritten": o,
+                }
+                node_kinds[tag] = row
+                total = kinds_out.setdefault(
+                    tag, {name: 0 for name in LOSS_COUNTERS}
+                )
+                for name in LOSS_COUNTERS:
+                    total[name] += row[name]
+            sent = None
+            if chunks_sent is not None:
+                sent = chunks_sent.get(node)
+            if sent is None:
+                tracker = self.node_trackers.get(node)
+                sent = (
+                    0
+                    if tracker is None or tracker.max_seq is None
+                    else tracker.max_seq + 1
+                )
+            got = len(self.node_chunks.get(node, ()))
+            nodes_out[node] = {
+                "kinds": node_kinds,
+                "chunks": {"sent": sent, "delivered": got, "lost": sent - got},
+            }
+        totals = {name: 0 for name in LOSS_COUNTERS}
+        for row in kinds_out.values():
+            for name in LOSS_COUNTERS:
+                totals[name] += row[name]
+        chunk_totals = {
+            "node_sent": sum(n["chunks"]["sent"] for n in nodes_out.values()),
+            "node_delivered": sum(
+                n["chunks"]["delivered"] for n in nodes_out.values()
+            ),
+            "node_lost": sum(n["chunks"]["lost"] for n in nodes_out.values()),
+            "rack_batches_delivered": self.rack_batches,
+            "rack_batches_lost": sum(self.lost_rack_batches.values()),
+        }
+        return {
+            "nodes": nodes_out,
+            "kinds": {tag: kinds_out[tag] for tag in sorted(kinds_out)},
+            "totals": totals,
+            "chunks": chunk_totals,
+        }
+
+
+def check_loss_invariant(accounting: dict) -> list[str]:
+    """Violations of ``emitted == delivered + dropped + sampled_out``.
+
+    Returns one message per broken kind (empty list == invariant
+    holds); the property suite and the pipeline artifact writer both
+    run this so a bookkeeping bug can never ship silent loss.
+    """
+    problems: list[str] = []
+    scopes = [("total", accounting.get("kinds", {}))]
+    for node, payload in accounting.get("nodes", {}).items():
+        scopes.append((node, payload.get("kinds", {})))
+    for scope, kinds in scopes:
+        for tag, row in kinds.items():
+            lhs = row["emitted"]
+            rhs = row["delivered"] + row["dropped"] + row["sampled_out"]
+            if lhs != rhs:
+                problems.append(
+                    f"{scope}/{tag}: emitted={lhs} != delivered+dropped+"
+                    f"sampled_out={rhs}"
+                )
+            if row["overwritten"] > row["dropped"]:
+                problems.append(
+                    f"{scope}/{tag}: overwritten={row['overwritten']} exceeds "
+                    f"dropped={row['dropped']}"
+                )
+    return problems

@@ -1,0 +1,449 @@
+"""Columnar event arenas: struct-of-arrays storage behind the ObsBus.
+
+The eager obs path allocates one frozen dataclass per event and hands
+it to every subscriber.  An :class:`EventArena` stores the same record
+as one scalar append per field into parallel per-kind column lists —
+no per-event object, no per-event dict — and the typed events become
+*views* materialized on demand (for export, analysis, or a live
+subscriber).  :class:`ArenaBus` is the drop-in bus: hot sites keep
+their ``if self.obs:`` guard and their one ``emit_*`` call; only the
+bus decides that the record lands in columns instead of an object.
+
+Arenas are optionally *ring-buffered*: with a ``capacity``, appending
+past it evicts the globally oldest retained row.  Evicting a row that
+was never cut into a chunk is real data loss and is counted per kind
+in :attr:`EventArena.overwritten` — loss is accounted, never silent.
+Rows removed *after* they were shipped (``trim_shipped``) are just
+memory reclamation and count nowhere.
+
+:meth:`EventArena.cut` slices everything appended since the previous
+cut into chunk columns for the shipping tier, applying deterministic
+head/tail sampling when the slice exceeds ``max_events`` (keep the
+first and last halves, count the sampled-out middle per kind).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.obs.colfile import FIELD_PLANS
+from repro.obs.events import (
+    ActivationEvent,
+    EVENT_TYPES,
+    ObsBus,
+    ObsEvent,
+    PeriodCloseEvent,
+    SwitchEvent,
+)
+
+#: Compact a column (or the order list) once this many dead rows sit in
+#: front of it *and* they outnumber the live rows — amortized O(1).
+_COMPACT_THRESHOLD = 512
+
+
+class _Kind:
+    """One event kind's parallel columns inside an arena."""
+
+    __slots__ = ("tag", "fields", "columns", "lists", "base", "head")
+
+    def __init__(self, tag: str) -> None:
+        self.tag = tag
+        self.fields = FIELD_PLANS[tag]
+        self.columns: dict[str, list] = {name: [] for name in self.fields}
+        self.lists = tuple(self.columns[name] for name in self.fields)
+        #: Absolute kind-row index of list position 0 (grows on compact).
+        self.base = 0
+        #: List positions [0, head) are evicted/trimmed, not yet compacted.
+        self.head = 0
+
+    def live(self) -> int:
+        return len(self.lists[0]) - self.head
+
+    def emitted(self) -> int:
+        """Total rows of this kind ever appended (absolute)."""
+        return self.base + len(self.lists[0])
+
+    def compact(self) -> None:
+        if self.head:
+            for column in self.lists:
+                del column[: self.head]
+            self.base += self.head
+            self.head = 0
+
+
+class EventArena:
+    """Ring-buffered struct-of-arrays storage for one node's events."""
+
+    def __init__(
+        self,
+        node: str = "",
+        capacity: int | None = None,
+        trim_shipped: bool = False,
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"arena capacity must be >= 1, got {capacity}")
+        self.node = node
+        self.capacity = capacity
+        self.trim_shipped = trim_shipped
+        self.kinds: dict[str, _Kind] = {}
+        #: Node-local emission order (one tag per appended row).
+        self.order: list[str] = []
+        self._order_base = 0  # absolute index of order[0]
+        self._order_head = 0  # live entries start at this list index
+        self._cut_abs = 0  # next cut starts at this absolute order index
+        #: Per-kind rows lost to ring overwrite before they were shipped.
+        self.overwritten: dict[str, int] = {}
+        #: Per-kind rows deterministically sampled out at cut time.
+        self.sampled_out: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        """Live (retained) rows."""
+        return len(self.order) - self._order_head
+
+    @property
+    def total_emitted(self) -> int:
+        """Rows ever appended, evicted or not."""
+        return self._order_base + len(self.order)
+
+    def kind_emitted(self, tag: str) -> int:
+        kind = self.kinds.get(tag)
+        return 0 if kind is None else kind.emitted()
+
+    # -- the hot path ------------------------------------------------------
+
+    def append_row(self, tag: str, values: tuple) -> None:
+        """Append one record as scalars, in ``FIELD_PLANS[tag]`` order."""
+        kind = self.kinds.get(tag)
+        if kind is None:
+            if tag not in FIELD_PLANS:
+                raise SimulationError(f"unknown event kind {tag!r}")
+            kind = self.kinds[tag] = _Kind(tag)
+        for column, value in zip(kind.lists, values):
+            column.append(value)
+        self.order.append(tag)
+        if (
+            self.capacity is not None
+            and len(self.order) - self._order_head > self.capacity
+        ):
+            self._evict_one()
+
+    def append_event(self, event: ObsEvent) -> None:
+        tag = event.type
+        self.append_row(
+            tag, tuple(getattr(event, name) for name in FIELD_PLANS[tag])
+        )
+
+    def _evict_one(self) -> None:
+        tag = self.order[self._order_head]
+        abs_index = self._order_base + self._order_head
+        self._order_head += 1
+        kind = self.kinds[tag]
+        kind.head += 1
+        if abs_index >= self._cut_abs:
+            # Never shipped: this row is gone for good.
+            self.overwritten[tag] = self.overwritten.get(tag, 0) + 1
+        if kind.head >= _COMPACT_THRESHOLD and kind.head * 2 >= len(kind.lists[0]):
+            kind.compact()
+        if (
+            self._order_head >= _COMPACT_THRESHOLD
+            and self._order_head * 2 >= len(self.order)
+        ):
+            del self.order[: self._order_head]
+            self._order_base += self._order_head
+            self._order_head = 0
+
+    # -- cutting chunks for the shipping tier ------------------------------
+
+    def cut(self, max_events: int | None = None) -> tuple[list, dict, dict]:
+        """Everything appended since the last cut, as chunk columns.
+
+        Returns ``(order, columns, cum)``: the kept rows' tag interleave,
+        their per-kind column dict, and the arena's *cumulative* per-kind
+        counters (emitted / sampled_out / overwritten) at the cut — the
+        counters ride in every chunk so the root can account for loss
+        exactly even when chunks themselves are dropped in flight.
+
+        When more than ``max_events`` rows are pending, deterministic
+        head/tail sampling keeps the first ``max_events // 2`` and the
+        last ``max_events - max_events // 2`` rows and counts the middle
+        per kind into :attr:`sampled_out`.
+        """
+        if max_events is not None and max_events < 2:
+            raise SimulationError(
+                f"cut max_events must be >= 2 (head + tail), got {max_events}"
+            )
+        start_abs = max(self._cut_abs, self._order_base + self._order_head)
+        entries = self.order[start_abs - self._order_base :]
+        self._cut_abs = self._order_base + len(self.order)
+        counts: dict[str, int] = {}
+        for tag in entries:
+            counts[tag] = counts.get(tag, 0) + 1
+        # Absolute kind-row index of each tag's first pending row.
+        positions = {tag: self.kind_emitted(tag) - n for tag, n in counts.items()}
+        head_n = tail_n = None
+        if max_events is not None and len(entries) > max_events:
+            head_n = max_events // 2
+            tail_n = len(entries) - (max_events - head_n)
+        out_order: list[str] = []
+        out_columns: dict[str, dict[str, list]] = {}
+        for index, tag in enumerate(entries):
+            kind = self.kinds[tag]
+            row = positions[tag] - kind.base
+            positions[tag] += 1
+            if head_n is not None and head_n <= index < tail_n:
+                self.sampled_out[tag] = self.sampled_out.get(tag, 0) + 1
+                continue
+            columns = out_columns.get(tag)
+            if columns is None:
+                columns = out_columns[tag] = {name: [] for name in kind.fields}
+            for name, column in zip(kind.fields, kind.lists):
+                columns[name].append(column[row])
+            out_order.append(tag)
+        if self.trim_shipped:
+            self._trim_to_cut()
+        return out_order, out_columns, self.cum()
+
+    def _trim_to_cut(self) -> None:
+        """Release every shipped row (they are safe in a chunk now)."""
+        while self._order_base + self._order_head < self._cut_abs:
+            tag = self.order[self._order_head]
+            self._order_head += 1
+            self.kinds[tag].head += 1
+        for kind in self.kinds.values():
+            kind.compact()
+        del self.order[: self._order_head]
+        self._order_base += self._order_head
+        self._order_head = 0
+
+    def cum(self) -> dict:
+        """Cumulative per-kind accounting counters (JSON-able)."""
+        return {
+            "emitted": {
+                tag: self.kinds[tag].emitted() for tag in sorted(self.kinds)
+            },
+            "sampled_out": dict(sorted(self.sampled_out.items())),
+            "overwritten": dict(sorted(self.overwritten.items())),
+        }
+
+    # -- materializing views ----------------------------------------------
+
+    def materialize(self) -> list[ObsEvent]:
+        """The live rows as typed events, in emission order."""
+        cursors = {tag: kind.head for tag, kind in self.kinds.items()}
+        events: list[ObsEvent] = []
+        for tag in self.order[self._order_head :]:
+            kind = self.kinds[tag]
+            row = cursors[tag]
+            cursors[tag] = row + 1
+            values = {
+                name: column[row]
+                for name, column in zip(kind.fields, kind.lists)
+            }
+            events.append(EVENT_TYPES[tag](**values))
+        return events
+
+
+class ArenaBus(ObsBus):
+    """An ObsBus whose default sink is columnar arenas, one per node.
+
+    Always truthy — the arena *is* the subscriber — so guarded hot
+    sites emit into it unconditionally.  ``emit_*`` fast paths append
+    scalars straight into the node's arena; generic :meth:`emit`
+    decomposes the event it is given.  Ordinary subscribers (a live SLO
+    engine, a serve-layer event stream) still work: when any are
+    attached, the fast paths materialize the event once and fan it out
+    after appending.
+
+    ``track_order=True`` additionally keeps the global cross-node
+    interleave so the whole stream can be exported byte-identically to
+    the eager path; shipping-only deployments pass ``False`` and keep
+    memory bounded by per-arena capacity alone.
+    """
+
+    def __init__(
+        self,
+        capacity: int | None = None,
+        trim_shipped: bool = False,
+        track_order: bool = True,
+    ) -> None:
+        super().__init__()
+        self.capacity = capacity
+        self.trim_shipped = trim_shipped
+        self.arenas: dict[str, EventArena] = {}
+        self._order: list[tuple[str, str]] | None = [] if track_order else None
+
+    def __bool__(self) -> bool:
+        return True
+
+    def arena(self, node: str = "") -> EventArena:
+        arena = self.arenas.get(node)
+        if arena is None:
+            arena = self.arenas[node] = EventArena(
+                node=node,
+                capacity=self.capacity,
+                trim_shipped=self.trim_shipped,
+            )
+        return arena
+
+    @property
+    def total_emitted(self) -> int:
+        return sum(arena.total_emitted for arena in self.arenas.values())
+
+    def cum(self) -> dict:
+        """Per-node cumulative accounting (ground truth for the root)."""
+        return {node: arena.cum() for node, arena in sorted(self.arenas.items())}
+
+    # -- emission ----------------------------------------------------------
+
+    def emit(self, event: ObsEvent) -> None:
+        tag = event.type
+        node = event.node
+        self.arena(node).append_row(
+            tag, tuple(getattr(event, name) for name in FIELD_PLANS[tag])
+        )
+        if self._order is not None:
+            self._order.append((node, tag))
+        if self._subscribers:
+            for sink in self._subscribers:
+                sink(event)
+
+    def emit_switch(
+        self,
+        time: int,
+        from_thread: int,
+        to_thread: int,
+        kind: str,
+        cost_ticks: int,
+        node: str = "",
+    ) -> None:
+        self.arena(node).append_row(
+            "context-switch",
+            (time, node, from_thread, to_thread, kind, cost_ticks),
+        )
+        if self._order is not None:
+            self._order.append((node, "context-switch"))
+        if self._subscribers:
+            event = SwitchEvent(
+                time=time,
+                from_thread=from_thread,
+                to_thread=to_thread,
+                kind=kind,
+                cost_ticks=cost_ticks,
+                node=node,
+            )
+            for sink in self._subscribers:
+                sink(event)
+
+    def emit_period_close(
+        self,
+        time: int,
+        thread_id: int,
+        period_index: int,
+        start: int,
+        completion: int,
+        granted: int,
+        delivered: int,
+        missed: bool,
+        voided: bool,
+        node: str = "",
+    ) -> None:
+        self.arena(node).append_row(
+            "period-close",
+            (
+                time,
+                node,
+                thread_id,
+                period_index,
+                start,
+                completion,
+                granted,
+                delivered,
+                missed,
+                voided,
+            ),
+        )
+        if self._order is not None:
+            self._order.append((node, "period-close"))
+        if self._subscribers:
+            event = PeriodCloseEvent(
+                time=time,
+                thread_id=thread_id,
+                period_index=period_index,
+                start=start,
+                completion=completion,
+                granted=granted,
+                delivered=delivered,
+                missed=missed,
+                voided=voided,
+                node=node,
+            )
+            for sink in self._subscribers:
+                sink(event)
+
+    def emit_activation(self, time: int, pending: int, node: str = "") -> None:
+        self.arena(node).append_row("activation", (time, node, pending))
+        if self._order is not None:
+            self._order.append((node, "activation"))
+        if self._subscribers:
+            event = ActivationEvent(time=time, pending=pending, node=node)
+            for sink in self._subscribers:
+                sink(event)
+
+    # -- whole-stream views ------------------------------------------------
+
+    def _walk(self):
+        """Yield ``(kind, row)`` for every live row, global order.
+
+        Rows evicted from a ring arena are the *oldest* of their
+        (node, kind), so when walking the global interleave the first
+        ``base + head`` occurrences of each key are exactly the evicted
+        ones — skip them by count, no tombstones needed.
+        """
+        if self._order is None:
+            raise SimulationError(
+                "this ArenaBus was built with track_order=False; the global "
+                "event stream is only available through shipped chunks"
+            )
+        skips: dict[tuple[str, str], int] = {}
+        cursors: dict[tuple[str, str], int] = {}
+        for node, arena in self.arenas.items():
+            for tag, kind in arena.kinds.items():
+                skips[(node, tag)] = kind.base + kind.head
+                cursors[(node, tag)] = kind.head
+        for key in self._order:
+            if skips[key]:
+                skips[key] -= 1
+                continue
+            row = cursors[key]
+            cursors[key] = row + 1
+            yield self.arenas[key[0]].kinds[key[1]], row
+
+    def materialize(self) -> list[ObsEvent]:
+        """Every live event across all nodes, in global emission order."""
+        events: list[ObsEvent] = []
+        for kind, row in self._walk():
+            values = {
+                name: column[row]
+                for name, column in zip(kind.fields, kind.lists)
+            }
+            events.append(EVENT_TYPES[kind.tag](**values))
+        return events
+
+    def snapshot_columns(self) -> tuple[dict[str, dict[str, list]], list[str]]:
+        """The live stream as merged ``(kinds, order)`` columnar data.
+
+        This is the zero-materialization export path: the columns feed
+        :func:`repro.obs.colfile.columnar_payload` directly, so writing
+        ``events.col.json`` never constructs an event object.
+        """
+        out_columns: dict[str, dict[str, list]] = {}
+        out_order: list[str] = []
+        for kind, row in self._walk():
+            columns = out_columns.get(kind.tag)
+            if columns is None:
+                columns = out_columns[kind.tag] = {
+                    name: [] for name in kind.fields
+                }
+            for name, column in zip(kind.fields, kind.lists):
+                columns[name].append(column[row])
+            out_order.append(kind.tag)
+        return out_columns, out_order

@@ -45,17 +45,33 @@ class ObsSession:
         self,
         histogram_buckets: dict[str, tuple[float, ...]] | None = None,
     ) -> None:
-        self.bus = ObsBus()
+        self._histogram_buckets = histogram_buckets
+        self.bus = self._make_bus()
         self.registry = MetricsRegistry(bucket_overrides=histogram_buckets)
         self.spans = SpanTracker()
         self.collector = EventCollector()
-        self.bus.subscribe(self.collector)
         self._build_metrics()
-        self.bus.subscribe(self._update_metrics)
+        self._wire()
         #: node name -> (segments, {tid: name}) for the Perfetto export.
         self._schedules: dict[str, tuple] = {}
 
     # -- wiring ------------------------------------------------------------
+
+    def _make_bus(self) -> ObsBus:
+        """Subclass hook: which bus this session records into.
+
+        The pipeline session substitutes a columnar
+        :class:`~repro.obs.pipeline.arena.ArenaBus` here."""
+        return ObsBus()
+
+    def _wire(self) -> None:
+        """Subclass hook: attach the session's live subscribers.
+
+        The eager session collects every event and updates metrics
+        per emission; the pipeline session attaches nothing and derives
+        both from its arenas at export time."""
+        self.bus.subscribe(self.collector)
+        self.bus.subscribe(self._update_metrics)
 
     def scoped(self, node: str) -> ScopedBus:
         """A bus view for one cluster node (stamps ``event.node``)."""
@@ -238,7 +254,7 @@ class ObsSession:
         return self.collector.events
 
     def events_jsonl(self) -> str:
-        return events_to_jsonl(self.collector.events)
+        return events_to_jsonl(self.events)
 
     def metrics_prom(self) -> str:
         return render_prometheus(self.registry)
@@ -252,7 +268,7 @@ class ObsSession:
         return perfetto_trace_json(
             spans=self.spans.spans,
             schedules=schedules,
-            events=self.collector.events,
+            events=self.events,
         )
 
     def write(self, directory: str | Path, now: int) -> dict[str, Path]:
@@ -271,12 +287,13 @@ class ObsSession:
 
     def summary(self) -> str:
         """One-paragraph operator view of what the session captured."""
+        events = self.events
         by_type: dict[str, int] = {}
-        for event in self.collector.events:
+        for event in events:
             by_type[event.type] = by_type.get(event.type, 0) + 1
         parts = [f"{name}={count}" for name, count in sorted(by_type.items())]
         return (
-            f"obs: {len(self.collector.events)} events "
+            f"obs: {len(events)} events "
             f"({', '.join(parts) if parts else 'none'}), "
             f"{len(self.spans.spans)} spans, "
             f"{len(self.registry.all_metrics())} metrics"

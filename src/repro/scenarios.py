@@ -173,6 +173,8 @@ def cluster_rack(
     sanitize: bool = True,
     obs=None,
     telemetry: bool = False,
+    obs_pipeline: bool = False,
+    max_chunk_events: int | None = None,
 ):
     """A rack of set-top boxes behind one admission broker.
 
@@ -209,6 +211,8 @@ def cluster_rack(
         sanitize=sanitize,
         obs=obs,
         telemetry=telemetry,
+        obs_pipeline=obs_pipeline,
+        max_chunk_events=max_chunk_events,
     )
     # Stagger arrivals over the first third of the run; every fourth
     # session hangs up two thirds of the way through (churn).

@@ -1,0 +1,18 @@
+"""Fixture: unguarded columnar fast paths, seen through the flow tier.
+
+The per-module ``obs-unguarded-emit`` rule runs in a ``--flow``
+invocation too; these sites must be flagged there exactly as in a
+plain run."""
+
+
+class Kernel:
+    def __init__(self, obs):
+        self.obs = obs
+
+    def close_period(self, deadline, tid, index):
+        self.obs.emit_period_close(
+            deadline, tid, index, 0, 0, 0, 0, False, False
+        )
+
+    def ship(self, arena, now):
+        arena.flush(now)

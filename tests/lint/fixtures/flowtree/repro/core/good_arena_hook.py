@@ -1,0 +1,16 @@
+"""Fixture: guarded columnar fast paths — silent under ``--flow``."""
+
+
+class Kernel:
+    def __init__(self, obs):
+        self.obs = obs
+
+    def close_period(self, deadline, tid, index):
+        if self.obs:
+            self.obs.emit_period_close(
+                deadline, tid, index, 0, 0, 0, 0, False, False
+            )
+
+    def ship(self, arena, now):
+        if arena:
+            arena.flush(now)

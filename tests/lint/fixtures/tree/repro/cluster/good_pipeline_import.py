@@ -1,0 +1,10 @@
+"""Fixture: the cluster layer building the shipping tree — allowed.
+
+``repro.obs.pipeline`` is importable from the coordinator layers
+(cluster, serve); only core and sim below it are barred."""
+
+from repro.obs.pipeline import ArenaBus
+
+
+def wire():
+    return ArenaBus(capacity=1024)

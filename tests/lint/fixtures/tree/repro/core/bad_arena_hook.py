@@ -1,0 +1,24 @@
+"""Fixture: columnar fast paths without (or with the wrong) bus guard."""
+
+
+class Kernel:
+    def __init__(self, obs, arena):
+        self.obs = obs
+        self.arena = arena
+
+    def unguarded_fast_path(self, now, prev, thread):
+        self.obs.emit_switch(now, prev, thread, "voluntary", 0)
+
+    def identity_guarded_fast_path(self, now, pending):
+        if self.obs is not None:  # wired-but-unsinked bus is falsy
+            self.obs.emit_activation(now, pending)
+
+    def unguarded_append(self, tag, values):
+        self.arena.append_row(tag, values)
+
+    def unguarded_flush(self, now):
+        self.arena.flush(now)
+
+    def or_is_not_a_guard(self, event, forced):
+        if self.arena or forced:  # either side alone reaches the append
+            self.arena.append_event(event)

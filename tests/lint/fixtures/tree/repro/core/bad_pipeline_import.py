@@ -1,0 +1,9 @@
+"""Fixture: the mechanism layer importing the columnar pipeline above it
+(layering) — core must never know whether its events land in objects or
+columns; the arena bus is injected as an ordinary ObsBus."""
+
+from repro.obs.pipeline import ArenaBus
+
+
+def build():
+    return ArenaBus()

@@ -1,0 +1,29 @@
+"""Fixture: every accepted guard form around columnar fast paths."""
+
+
+class Kernel:
+    def __init__(self, obs, arena):
+        self.obs = obs
+        self.arena = arena
+
+    def guarded_fast_path(self, now, prev, thread):
+        if self.obs:
+            self.obs.emit_switch(now, prev, thread, "voluntary", 0)
+
+    def conjunction_guard(self, now, pending, missed):
+        if self.obs and missed:
+            self.obs.emit_activation(now, pending)
+
+    def guard_clause(self, tag, values):
+        if not self.arena:
+            return
+        self.arena.append_row(tag, values)
+
+    def nested_under_guard(self, now, events):
+        if self.arena:
+            for event in events:
+                self.arena.append_event(event)
+            self.arena.flush(now)
+
+    def unrelated_flush(self, pipe, now):
+        pipe.flush(now)  # not an obs/arena receiver

@@ -1,0 +1,3 @@
+"""Fixture: the simulation substrate importing the columnar pipeline."""
+
+import repro.obs.pipeline  # noqa: F401

@@ -163,6 +163,20 @@ class TestRpcExceptionSafetyRule:
         assert by_file(flow_violations, "good_rpc.py") == []
 
 
+class TestArenaHooksUnderFlow:
+    """The per-module obs-unguarded-emit rule covers columnar fast
+    paths (emit_*, arena append/flush) in a ``--flow`` invocation too."""
+
+    def test_unguarded_fast_paths_are_flagged(self, flow_violations):
+        found = by_file(flow_violations, "bad_arena_hook.py")
+        assert [v.rule_id for v in found] == ["obs-unguarded-emit"] * 2
+        assert "emit_period_close" in found[0].message
+        assert "flush" in found[1].message
+
+    def test_guarded_fast_paths_are_silent(self, flow_violations):
+        assert by_file(flow_violations, "good_arena_hook.py") == []
+
+
 class TestFlowTierWiring:
     def test_flow_off_reports_nothing_interprocedural(self):
         flow_ids = {

@@ -76,6 +76,19 @@ class TestLayering:
         assert rule_ids(violations) == ["layering"]
         assert "repro.obs.prof" in violations[0].message
 
+    def test_core_importing_obs_pipeline_is_flagged(self):
+        violations = lint("repro/core/bad_pipeline_import.py")
+        assert rule_ids(violations) == ["layering"]
+        assert "repro.obs.pipeline" in violations[0].message
+
+    def test_sim_importing_obs_pipeline_is_flagged(self):
+        violations = lint("repro/sim/bad_pipeline_import.py")
+        assert rule_ids(violations) == ["layering"]
+        assert "repro.obs.pipeline" in violations[0].message
+
+    def test_cluster_may_import_obs_pipeline(self):
+        assert lint("repro/cluster/good_pipeline_import.py") == []
+
     def test_serve_may_import_down_and_read_the_wall_clock(self):
         """The serving boundary's wall-clock exemption is a property of
         its *position*, not a blanket waiver: the module imports
@@ -176,6 +189,18 @@ class TestObsUnguardedEmit:
         guarded try/finally), conjunctions, guard clauses, and dotted
         receivers all pass; a non-prof ``.begin()`` is ignored."""
         assert lint("repro/core/good_prof_hook.py") == []
+
+    def test_unguarded_arena_fast_paths_are_flagged(self):
+        violations = lint("repro/core/bad_arena_hook.py")
+        assert rule_ids(violations) == ["obs-unguarded-emit"] * 5
+        # emit_* fast paths report as bus sites, append/flush as arena.
+        assert sum("bus" in v.message for v in violations) == 2
+        assert sum("arena" in v.message for v in violations) == 3
+        identity = [v for v in violations if "identity check" in v.message]
+        assert len(identity) == 1
+
+    def test_every_accepted_arena_guard_form_passes(self):
+        assert lint("repro/core/good_arena_hook.py") == []
 
     def test_serve_layer_prof_hooks_are_in_scope(self):
         violations = lint("repro/serve/bad_prof_hook.py")

@@ -1,0 +1,463 @@
+"""Unit tests for the columnar obs pipeline: arenas, shipping, the
+colfile format, the drop-in session, and the query/explain engine."""
+
+import json
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.obs.colfile import (
+    ColumnarFormatError,
+    columnar_payload,
+    encode_columnar,
+    load_columnar,
+    read_columnar,
+    write_columnar,
+)
+from repro.obs.events import (
+    AdmissionEvent,
+    GrantChangeEvent,
+    GrantRecomputeEvent,
+    PeriodCloseEvent,
+    SwitchEvent,
+)
+from repro.obs.log import events_to_jsonl
+from repro.obs.pipeline import (
+    ArenaBus,
+    ChunkShipper,
+    EventArena,
+    PipelineObsSession,
+    Query,
+    RackCollector,
+    RootCollector,
+    SeqTracker,
+    causal_chain,
+    check_loss_invariant,
+    describe,
+    explain_miss,
+    find_misses,
+    format_line,
+    select,
+)
+
+
+def switches(n, node="", start=0):
+    return [
+        SwitchEvent(
+            time=start + i * 27,
+            from_thread=i % 4,
+            to_thread=(i + 1) % 4,
+            cost_ticks=54,
+            node=node,
+        )
+        for i in range(n)
+    ]
+
+
+class TestEventArena:
+    def test_append_and_materialize_preserves_order(self):
+        arena = EventArena(node="n0")
+        events = switches(3, node="n0") + [
+            AdmissionEvent(time=100, task="v", thread_id=1, node="n0")
+        ]
+        for event in events:
+            arena.append_event(event)
+        assert len(arena) == 4
+        assert arena.materialize() == events
+
+    def test_ring_overwrite_counts_evicted_rows(self):
+        arena = EventArena(node="n0", capacity=2)
+        for event in switches(5, node="n0"):
+            arena.append_event(event)
+        assert len(arena) == 2
+        assert arena.overwritten == {"context-switch": 3}
+        # The two survivors are the newest two.
+        assert [e.time for e in arena.materialize()] == [81, 108]
+
+    def test_capacity_below_one_is_rejected(self):
+        with pytest.raises(SimulationError):
+            EventArena(capacity=0)
+
+    def test_cut_head_tail_sampling_is_deterministic(self):
+        arena = EventArena(node="n0")
+        for event in switches(10, node="n0"):
+            arena.append_event(event)
+        order, columns, cum = arena.cut(max_events=4)
+        assert order == ["context-switch"] * 4
+        # Head 2 + tail 2 survive; the middle 6 are sampled out.
+        assert columns["context-switch"]["time"] == [0, 27, 216, 243]
+        assert arena.sampled_out == {"context-switch": 6}
+        assert cum["emitted"] == {"context-switch": 10}
+        assert cum["sampled_out"] == {"context-switch": 6}
+
+    def test_cut_is_incremental(self):
+        arena = EventArena(node="n0")
+        for event in switches(2, node="n0"):
+            arena.append_event(event)
+        first, _, _ = arena.cut()
+        arena.append_event(
+            AdmissionEvent(time=999, task="v", thread_id=1, node="n0")
+        )
+        second, columns, cum = arena.cut()
+        assert first == ["context-switch"] * 2
+        assert second == ["admission"]
+        assert columns["admission"]["time"] == [999]
+        assert cum["emitted"] == {"admission": 1, "context-switch": 2}
+
+    def test_cut_max_events_below_two_is_rejected(self):
+        with pytest.raises(SimulationError):
+            EventArena().cut(max_events=1)
+
+
+class TestArenaBus:
+    def test_empty_bus_is_truthy(self):
+        assert ArenaBus()
+        assert len(ArenaBus().arena()) == 0
+
+    def test_snapshot_columns_matches_eager_encoding(self):
+        events = switches(3, node="a") + switches(2, node="b", start=1000)
+        bus = ArenaBus()
+        for event in events:
+            bus.emit(event)
+        columns, order = bus.snapshot_columns()
+        assert columnar_payload(columns, order) == encode_columnar(events)
+
+    def test_subscribers_still_see_typed_events_from_fast_paths(self):
+        bus = ArenaBus()
+        seen = []
+        bus.subscribe(seen.append)
+        bus.emit_switch(27, 1, 2, "involuntary", 54, node="n0")
+        assert seen == [
+            SwitchEvent(
+                time=27,
+                from_thread=1,
+                to_thread=2,
+                kind="involuntary",
+                cost_ticks=54,
+                node="n0",
+            )
+        ]
+        assert bus.materialize() == seen
+
+
+class TestColfile:
+    def test_disk_round_trip(self, tmp_path):
+        events = switches(4, node="n0")
+        path = write_columnar(tmp_path / "events.col.json", encode_columnar(events))
+        assert load_columnar(path) == events
+        assert read_columnar(path)["count"] == 4
+
+    def test_wrong_format_is_rejected_with_location(self, tmp_path):
+        path = tmp_path / "events.col.json"
+        path.write_text(json.dumps({"format": "not-columnar"}))
+        with pytest.raises(ColumnarFormatError, match="events.col.json"):
+            load_columnar(path)
+
+    def test_unknown_version_is_rejected(self):
+        payload = encode_columnar(switches(1))
+        payload["version"] = 999
+        with pytest.raises(ColumnarFormatError, match="version"):
+            from repro.obs.colfile import decode_columnar
+
+            decode_columnar(payload)
+
+    def test_loss_accounting_rides_the_payload(self):
+        payload = encode_columnar(switches(1), loss={"totals": {"dropped": 3}})
+        assert payload["loss"] == {"totals": {"dropped": 3}}
+
+
+class TestSeqTracker:
+    def test_in_order_stream_has_no_loss(self):
+        tracker = SeqTracker()
+        assert all(tracker.accept(i) for i in range(4))
+        assert tracker.lost() == 0
+        assert tracker.received() == 4
+
+    def test_duplicates_are_rejected(self):
+        tracker = SeqTracker()
+        assert tracker.accept(0)
+        assert not tracker.accept(0)
+        assert tracker.received() == 1
+
+    def test_gap_counts_as_lost_until_the_late_chunk_lands(self):
+        tracker = SeqTracker()
+        assert tracker.accept(0)
+        assert tracker.accept(2)  # 1 is in flight or gone
+        assert tracker.lost() == 1
+        assert tracker.accept(1)  # jitter-reordered, not lost after all
+        assert tracker.lost() == 0
+
+
+class _DirectToRoot:
+    """Transport stub: chunk sends land straight on a RootCollector."""
+
+    def __init__(self, root, drop_seqs=()):
+        self.root = root
+        self.drop_seqs = set(drop_seqs)
+
+    def send(self, src, dst, kind, payload, now):
+        if payload["seq"] not in self.drop_seqs:
+            self.root.on_node_chunk(payload)
+
+
+class TestShipping:
+    def test_empty_flush_keeps_the_seq_stream_and_counters(self):
+        bus = ArenaBus()
+        root = RootCollector()
+        shipper = ChunkShipper(bus.arena("n0"), _DirectToRoot(root), "rack0")
+        chunk = shipper.flush(0)
+        assert chunk["count"] == 0 and chunk["seq"] == 0
+        accounting = root.accounting(chunks_sent={"n0": shipper.seq})
+        assert check_loss_invariant(accounting) == []
+        assert accounting["chunks"]["node_lost"] == 0
+
+    def test_lost_chunk_rows_are_counted_not_silent(self):
+        bus = ArenaBus()
+        root = RootCollector()
+        shipper = ChunkShipper(
+            bus.arena("n0"), _DirectToRoot(root, drop_seqs={0}), "rack0"
+        )
+        for event in switches(3, node="n0"):
+            bus.emit(event)
+        shipper.flush(100)  # seq 0: dropped in flight, carries 3 rows
+        bus.emit_switch(999, 0, 1, "voluntary", 54, node="n0")
+        shipper.flush(200)  # seq 1: delivered, carries the truth counters
+        accounting = root.accounting(
+            truth=bus.cum(), chunks_sent={"n0": shipper.seq}
+        )
+        assert check_loss_invariant(accounting) == []
+        row = accounting["kinds"]["context-switch"]
+        assert row == {
+            "emitted": 4,
+            "delivered": 1,
+            "dropped": 3,
+            "sampled_out": 0,
+            "overwritten": 0,
+        }
+        assert accounting["nodes"]["n0"]["chunks"]["lost"] == 1
+
+    def test_rack_batches_reach_the_root_intact(self):
+        bus = ArenaBus()
+        root = RootCollector()
+
+        class _ToRack:
+            def __init__(self, rack):
+                self.rack = rack
+
+            def send(self, src, dst, kind, payload, now):
+                self.rack.on_chunk(payload)
+
+        class _Sink:
+            def send(self, src, dst, kind, payload, now):
+                pass
+
+        rack = RackCollector("rack0", _Sink())
+        shipper = ChunkShipper(bus.arena("n0"), _ToRack(rack), "rack0")
+        for event in switches(2, node="n0"):
+            bus.emit(event)
+        shipper.flush(50)
+        batch = rack.flush(60)
+        assert [c["seq"] for c in batch["chunks"]] == [0]
+        root.on_rack_batch(batch)
+        accounting = root.accounting(truth=bus.cum())
+        assert check_loss_invariant(accounting) == []
+        assert accounting["totals"]["delivered"] == 2
+        assert accounting["chunks"]["rack_batches_delivered"] == 1
+
+
+class TestPipelineObsSession:
+    def test_write_emits_the_columnar_artifacts_too(self, tmp_path):
+        session = PipelineObsSession()
+        for event in switches(3, node="n0"):
+            session.bus.emit(event)
+        session.write(tmp_path, now=1000)
+        for name in (
+            "events.jsonl",
+            "metrics.prom",
+            "trace.perfetto.json",
+            "events.col.json",
+            "pipeline.json",
+            "pipeline.prom",
+        ):
+            assert (tmp_path / name).is_file(), name
+        assert load_columnar(tmp_path / "events.col.json") == session.events
+        report = json.loads((tmp_path / "pipeline.json").read_text())
+        assert report["totals"]["emitted"] == 3
+
+    def test_events_jsonl_matches_an_eager_session_byte_for_byte(self):
+        from repro.obs.session import ObsSession
+
+        eager, pipeline = ObsSession(), PipelineObsSession()
+        for session in (eager, pipeline):
+            for event in switches(5, node="n0"):
+                session.bus.emit(event)
+        assert pipeline.events_jsonl() == eager.events_jsonl()
+
+    def test_registry_derives_on_read_mid_run(self):
+        session = PipelineObsSession()
+        session.bus.emit_switch(27, 0, 1, "voluntary", 54, node="n0")
+        registry = session.registry  # derive now
+        before = registry
+        session.bus.emit_switch(54, 1, 0, "voluntary", 54, node="n0")
+        # Same object (mid-run readers hold the reference), fresh counts.
+        assert session.registry is before
+        series = session.registry.get("repro_context_switches_total").series()
+        assert sum(value for _, value in series) == 2
+
+
+def miss_stream():
+    """A synthetic stream with one attributable miss for n0/video."""
+    events = [
+        AdmissionEvent(
+            time=0, task="video", outcome="accepted", thread_id=1, node="n0"
+        ),
+        AdmissionEvent(
+            time=0, task="other", outcome="accepted", thread_id=2, node="n0"
+        ),
+        GrantChangeEvent(
+            time=100,
+            thread_id=1,
+            period=1000,
+            cpu_ticks=120,
+            entry_index=1,
+            reason="degraded",
+            node="n0",
+        ),
+        GrantRecomputeEvent(
+            time=100,
+            requests=2,
+            granted=2,
+            degraded=1,
+            qos_fraction=0.5,
+            node="n0",
+        ),
+    ]
+    events += [
+        SwitchEvent(
+            time=150 + i * 50,
+            from_thread=1,
+            to_thread=2,
+            kind="involuntary",
+            cost_ticks=54,
+            node="n0",
+        )
+        for i in range(8)
+    ]
+    events += [
+        PeriodCloseEvent(
+            time=1000,
+            thread_id=1,
+            period_index=0,
+            start=50,
+            completion=-1,
+            granted=200,
+            delivered=120,
+            missed=True,
+            node="n0",
+        ),
+        PeriodCloseEvent(
+            time=2000,
+            thread_id=2,
+            period_index=0,
+            start=1050,
+            completion=1900,
+            granted=200,
+            delivered=200,
+            node="n0",
+        ),
+    ]
+    return events
+
+
+class TestQuery:
+    def test_kind_and_window_filters_preserve_stream_order(self):
+        events = miss_stream()
+        matched = select(
+            events,
+            Query(kinds=frozenset({"context-switch"}), window=(150, 300)),
+        )
+        assert [e.time for e in matched] == [150, 200, 250, 300]
+
+    def test_unknown_kind_is_an_actionable_error(self):
+        with pytest.raises(SimulationError, match="unknown event kind"):
+            select(miss_stream(), Query(kinds=frozenset({"nope"})))
+
+    def test_task_filter_resolves_threads_via_admission(self):
+        matched = select(miss_stream(), Query(task="video"))
+        kinds = [e.type for e in matched]
+        # The admission, its grant change, every preemption of thread 1,
+        # and the period-close — but not thread 2's records.
+        assert kinds.count("admission") == 1
+        assert kinds.count("grant-change") == 1
+        assert kinds.count("context-switch") == 8
+        assert kinds.count("period-close") == 1
+
+    def test_node_filter(self):
+        events = miss_stream() + switches(2, node="n1")
+        assert select(events, Query(nodes=frozenset({"n1"}))) == events[-2:]
+
+    def test_format_line_is_stable(self):
+        line = format_line(miss_stream()[0])
+        assert line == (
+            "           0 n0       admission: accepted 'video' -> "
+            "thread 1 (min_rate=0.000, committed=0.000)"
+        )
+        assert describe(miss_stream()[-2]).endswith("delivered 120/200 MISSED")
+
+
+class TestExplain:
+    def test_causal_chain_walks_admission_to_miss(self):
+        events = miss_stream()
+        (miss,) = find_misses(events, "video")
+        chain = causal_chain(events, miss)
+        kinds = [e.type for e in chain]
+        assert kinds[0] == "admission"
+        assert kinds[-1] == "period-close"
+        assert "grant-change" in kinds and "grant-recompute" in kinds
+        assert kinds.count("context-switch") == 8
+
+    def test_report_elides_the_preemption_storm_middle(self):
+        rendered = explain_miss(miss_stream(), "video")
+        assert "miss 0 of 1 for n0/video (thread 1), period 0" in rendered
+        # 8 preemptions, 6 shown (first/last 3): the middle 2 are elided.
+        assert "... 2 more involuntary preemptions ..." in rendered
+        assert "qos-degraded" in rendered and "preemption-storm" in rendered
+
+    def test_loss_section_names_the_missing_links(self):
+        loss = {
+            "totals": {
+                "emitted": 20,
+                "delivered": 15,
+                "dropped": 5,
+                "sampled_out": 0,
+            },
+            "nodes": {
+                "n0": {
+                    "kinds": {
+                        "grant-change": {
+                            "emitted": 3,
+                            "delivered": 1,
+                            "dropped": 2,
+                            "sampled_out": 0,
+                        }
+                    }
+                }
+            },
+        }
+        rendered = explain_miss(miss_stream(), "video", loss=loss)
+        assert "15/20 events delivered, 5 dropped" in rendered
+        assert "n0 lost telemetry" in rendered
+        assert "grant-change: 2 dropped" in rendered
+
+    def test_complete_chain_says_so(self):
+        loss = {"totals": {"emitted": 1, "delivered": 1}, "nodes": {}}
+        rendered = explain_miss(miss_stream(), "video", loss=loss)
+        assert "no loss — the chain is complete" in rendered
+
+    def test_missing_task_and_missing_miss_are_actionable(self):
+        with pytest.raises(SimulationError, match="known: n0/other, n0/video"):
+            explain_miss(miss_stream(), "nope")
+        with pytest.raises(SimulationError, match="missed no periods"):
+            explain_miss(miss_stream(), "other")
+        with pytest.raises(SimulationError, match=r"\[0, 0\]"):
+            explain_miss(miss_stream(), "video", miss_index=3)

@@ -165,6 +165,107 @@ class TestAggregator:
         assert sum(fleet.metrics[MISSES_METRIC].series.values()) == 3
 
 
+def hist_snap(node, time, seq, values):
+    """A snapshot holding one node-labelled latency histogram."""
+    registry = MetricsRegistry()
+    hist = registry.histogram(
+        "repro_grant_latency", "lat", (1.0, 10.0), ("node",)
+    )
+    for value in values:
+        hist.observe(value, node=node)
+    return snapshot_registry(
+        registry, node, time=time, seq=seq, node_filter=node
+    )
+
+
+class TestMergeEdgeCases:
+    """Delivery pathologies the bus makes routine: duplicated snapshots,
+    collector restarts, and racks the collector only partially sees."""
+
+    def test_duplicate_delivery_cannot_double_count_histograms(self):
+        agg = TelemetryAggregator()
+        assert agg.ingest(hist_snap("n0", time=100, seq=1, values=[0.5, 5.0]))
+        assert agg.ingest(hist_snap("n1", time=100, seq=1, values=[5.0]))
+        # The bus redelivers n0's snapshot (retry after a lost ack); the
+        # seq discipline absorbs it before it can reach the fleet merge.
+        assert not agg.ingest(
+            hist_snap("n0", time=100, seq=1, values=[0.5, 5.0])
+        )
+        series = agg.fleet().metrics["repro_grant_latency"].series
+        assert series[("n0",)] == [[1, 2], 2, 5.5]
+        assert series[("n1",)] == [[0, 1], 1, 5.0]
+
+    def test_merge_itself_adds_duplicates_bucket_wise(self):
+        # merge_snapshots is pure data: fed the duplicate directly it
+        # doubles every bucket — the aggregator's seq discipline is the
+        # only thing between redelivery and double counting.
+        dup = hist_snap("n0", time=100, seq=1, values=[0.5])
+        merged = merge_snapshots([dup, dup])
+        assert merged.metrics["repro_grant_latency"].series[("n0",)] == [
+            [2, 2],
+            2,
+            1.0,
+        ]
+
+    def test_collector_restart_rejects_stale_seq(self):
+        # A restarted collector has no seq memory; the first snapshot it
+        # sees may be mid-stream.
+        agg = TelemetryAggregator()
+        assert agg.ingest(snap("n0", time=700, seq=7, misses=9))
+        # A jitter-delayed snapshot cut before the restart lands later:
+        # rejected, so state cannot roll backwards.
+        assert not agg.ingest(snap("n0", time=500, seq=5, misses=6))
+        assert agg.latest("n0").seq == 7
+        # First post-restart load has no previous: the delta is the full
+        # cumulative count (conservative: restarts over-report, never
+        # under-report, an overload).
+        assert agg.observed_load("n0").misses_delta == 9
+        # Once the stream resumes, deltas are against the restart
+        # baseline, not zero.
+        assert agg.ingest(snap("n0", time=800, seq=8, misses=11))
+        assert agg.observed_load("n0").misses_delta == 2
+        assert (agg.ingested, agg.rejected_stale) == (2, 1)
+
+
+class TestPartialRackVisibility:
+    """When only part of a rack's telemetry survives the bus, AIMD must
+    move weights only for nodes whose snapshots are inside the staleness
+    bound — a silent node's weight stays exactly where it was."""
+
+    @staticmethod
+    def make_broker():
+        from repro.cluster.broker import BrokerConfig, ClusterBroker
+        from repro.cluster.placement import make_policy
+        from repro.sim.messages import MessageBus
+        from repro.sim.rng import RngRegistry
+
+        bus = MessageBus(RngRegistry(7).stream("bus"))
+        config = BrokerConfig(
+            telemetry_aimd=True, telemetry_staleness_ticks=100
+        )
+        return ClusterBroker(
+            bus, {"n0": 1.0, "n1": 1.0}, make_policy("best-fit"), config
+        )
+
+    def test_silent_nodes_weight_does_not_move(self):
+        broker = self.make_broker()
+        before = {name: view.weight for name, view in broker.views.items()}
+        # n0's telemetry arrives fresh and degraded; n1's was dropped.
+        broker._on_telemetry(snap("n0", time=100, seq=1, qos=0.5), now=150)
+        assert broker.views["n0"].weight < before["n0"]
+        assert broker.views["n1"].weight == before["n1"]
+
+    def test_stale_snapshot_is_ingested_but_not_acted_on(self):
+        broker = self.make_broker()
+        before = broker.views["n0"].weight
+        # Delivered 400 ticks after it was cut: outside the bound.  The
+        # aggregator still keeps it (it is the freshest view of n0), but
+        # the weight stays where it is.
+        broker._on_telemetry(snap("n0", time=100, seq=1, qos=0.5), now=500)
+        assert broker.telemetry.latest("n0") is not None
+        assert broker.views["n0"].weight == before
+
+
 class TestBrokerIntegration:
     @pytest.fixture(scope="class")
     def rack(self):

@@ -151,6 +151,54 @@ class TestObsAnalysisCli:
         assert "slo-alert" in out
 
 
+class TestObsPipelineCli:
+    @pytest.fixture(scope="class")
+    def pipeline_dir(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("pipeline") / "run"
+        assert main(["run", "--scenario", "cluster_rack", "--seed", "7",
+                     "--duration-ms", "200", "--obs-out", str(out),
+                     "--obs-pipeline"]) == 0
+        return out
+
+    def test_pipeline_writes_the_columnar_artifacts(self, pipeline_dir):
+        for name in ("events.col.json", "pipeline.json", "pipeline.prom"):
+            assert (pipeline_dir / name).is_file(), name
+
+    def test_cluster_pipeline_without_obs_out_is_refused(self, capsys):
+        assert main(["cluster", "--nodes", "2", "--duration-ms", "200",
+                     "--obs-pipeline"]) == 2
+        assert "--obs-out" in capsys.readouterr().out
+
+    def test_query_filters_and_is_deterministic(self, pipeline_dir, capsys):
+        args = ["obs", "query", str(pipeline_dir), "--kind", "context-switch",
+                "--node", "node00", "--window", "0:5000000"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+        assert "matched" in first
+
+    def test_query_count_only(self, pipeline_dir, capsys):
+        assert main(["obs", "query", str(pipeline_dir), "--kind", "admission",
+                     "--count"]) == 0
+        out = capsys.readouterr().out
+        assert out.strip().endswith("event(s) matched")
+        assert "admission:" not in out
+
+    def test_query_rejects_bad_kind_and_window(self, pipeline_dir, capsys):
+        assert main(["obs", "query", str(pipeline_dir),
+                     "--kind", "nope"]) == 2
+        assert "unknown event kind" in capsys.readouterr().out
+        assert main(["obs", "query", str(pipeline_dir),
+                     "--window", "oops"]) == 2
+        assert "LO:HI" in capsys.readouterr().out
+
+    def test_explain_names_known_tasks_on_a_bad_task(self, pipeline_dir, capsys):
+        assert main(["obs", "explain", str(pipeline_dir),
+                     "--task", "nope"]) == 2
+        assert "no task 'nope' in this event stream" in capsys.readouterr().out
+
+
 class TestFuzzCli:
     def test_campaign_is_clean_and_summarized(self, tmp_path, capsys):
         assert main(
